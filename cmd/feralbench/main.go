@@ -1,0 +1,117 @@
+// Command feralbench reproduces the paper's tables and figures.
+//
+// Usage:
+//
+//	feralbench -experiment all            # everything (paper-scale: minutes)
+//	feralbench -experiment fig2 -quick    # one artifact, scaled down
+//
+// Experiments: table1, table2, fig1, fig2, fig3, fig4, fig5, fig6, fig7,
+// safety, ssibug, frameworks, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"feralcc/internal/core"
+)
+
+func main() {
+	var (
+		which = flag.String("experiment", "all", "experiment id (table1,table2,fig1..fig7,safety,ssibug,frameworks,isolevels,all)")
+		quick = flag.Bool("quick", false, "scale experiment parameters down ~10x")
+		seed  = flag.Int64("seed", 2015, "corpus and workload seed")
+		think = flag.Duration("think", time.Millisecond, "simulated application-tier latency per request")
+	)
+	flag.Parse()
+
+	study := core.NewStudy()
+	study.Seed = *seed
+	study.Quick = *quick
+	study.ThinkTime = *think
+
+	ids := strings.Split(*which, ",")
+	if *which == "all" {
+		ids = []string{"table2", "fig1", "table1", "safety", "fig6", "fig7",
+			"fig2", "fig3", "fig4", "fig5", "ssibug", "frameworks", "isolevels"}
+	}
+	for i, id := range ids {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := run(study, strings.TrimSpace(id)); err != nil {
+			fmt.Fprintf(os.Stderr, "feralbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(study *core.Study, id string) error {
+	w := os.Stdout
+	start := time.Now()
+	defer func() {
+		fmt.Fprintf(w, "[%s completed in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}()
+	switch id {
+	case "table1":
+		study.RenderTable1(w)
+	case "table2":
+		study.RenderTable2(w)
+	case "fig1":
+		study.RenderFigure1(w)
+	case "safety":
+		study.RenderSafety(w)
+	case "fig2":
+		points, err := study.RunUniquenessStress()
+		if err != nil {
+			return err
+		}
+		core.RenderStress(w, points)
+	case "fig3":
+		points, err := study.RunUniquenessWorkload()
+		if err != nil {
+			return err
+		}
+		core.RenderWorkload(w, points)
+	case "fig4":
+		points, err := study.RunAssociationStress()
+		if err != nil {
+			return err
+		}
+		core.RenderAssociationStress(w, points)
+	case "fig5":
+		points, err := study.RunAssociationWorkload()
+		if err != nil {
+			return err
+		}
+		core.RenderAssociationWorkload(w, points)
+	case "fig6":
+		core.RenderHistory(w, study.RunHistory(10))
+	case "fig7":
+		core.RenderAuthorship(w, study.RunAuthorship())
+	case "ssibug":
+		res, err := study.RunSSIBug()
+		if err != nil {
+			return err
+		}
+		core.RenderSSIBug(w, res)
+	case "isolevels":
+		points, err := study.RunIsolationSweep()
+		if err != nil {
+			return err
+		}
+		core.RenderIsolationSweep(w, points)
+	case "frameworks":
+		results, err := study.RunFrameworkSurvey()
+		if err != nil {
+			return err
+		}
+		core.RenderFrameworkSurvey(w, results)
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}

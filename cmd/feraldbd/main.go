@@ -1,0 +1,34 @@
+// Command feraldbd serves the database over the wire protocol, playing the
+// PostgreSQL role of the paper's two-machine deployment: run the application
+// tier in one process and this server in another.
+//
+// Usage:
+//
+//	feraldbd -addr 127.0.0.1:5442 -isolation "READ COMMITTED"
+package main
+
+import (
+	"flag"
+	"log"
+
+	"feralcc/internal/storage"
+	"feralcc/internal/wire"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "127.0.0.1:5442", "listen address")
+		iso  = flag.String("isolation", "READ COMMITTED", "default isolation level")
+		bug  = flag.Bool("phantom-bug", false, "emulate PostgreSQL BUG #11732 under SERIALIZABLE")
+	)
+	flag.Parse()
+	level, err := storage.ParseIsolationLevel(*iso)
+	if err != nil {
+		log.Fatalf("feraldbd: %v", err)
+	}
+	store := storage.Open(storage.Options{DefaultIsolation: level, PhantomBug: *bug})
+	log.Printf("feraldbd: default isolation %v, phantom bug %v", level, *bug)
+	if err := wire.ListenAndServe(store, *addr); err != nil {
+		log.Fatalf("feraldbd: %v", err)
+	}
+}

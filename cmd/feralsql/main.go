@@ -1,0 +1,96 @@
+// Command feralsql is an interactive SQL shell against either an embedded
+// in-memory database or a running feraldbd server.
+//
+// Usage:
+//
+//	feralsql                      # embedded database
+//	feralsql -addr 127.0.0.1:5442 # connect to feraldbd
+//	echo "SHOW TABLES" | feralsql
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"feralcc/internal/db"
+	"feralcc/internal/storage"
+	"feralcc/internal/wire"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "", "feraldbd address (empty = embedded database)")
+		iso  = flag.String("isolation", "READ COMMITTED", "default isolation level (embedded only)")
+	)
+	flag.Parse()
+
+	var conn db.Conn
+	if *addr != "" {
+		c, err := wire.Dial(*addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "feralsql: %v\n", err)
+			os.Exit(1)
+		}
+		conn = c
+		fmt.Fprintf(os.Stderr, "connected to %s\n", *addr)
+	} else {
+		level, err := storage.ParseIsolationLevel(*iso)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "feralsql: %v\n", err)
+			os.Exit(1)
+		}
+		conn = db.Open(storage.Options{DefaultIsolation: level}).Connect()
+		fmt.Fprintln(os.Stderr, "embedded database (state is not persisted)")
+	}
+	defer conn.Close()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	prompt := func() { fmt.Fprint(os.Stderr, "feralsql> ") }
+	prompt()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			prompt()
+			continue
+		case line == "\\q" || strings.EqualFold(line, "exit") || strings.EqualFold(line, "quit"):
+			return
+		}
+		res, err := conn.Exec(line)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			prompt()
+			continue
+		}
+		printResult(res)
+		prompt()
+	}
+}
+
+func printResult(res *db.Result) {
+	if len(res.Columns) > 0 {
+		fmt.Println(strings.Join(res.Columns, "\t"))
+		for _, row := range res.Rows {
+			parts := make([]string, len(row))
+			for i, v := range row {
+				parts[i] = v.Format()
+			}
+			fmt.Println(strings.Join(parts, "\t"))
+		}
+		fmt.Printf("(%d rows)\n", len(res.Rows))
+		return
+	}
+	if res.RowsAffected > 0 || res.LastInsertID > 0 {
+		fmt.Printf("OK, %d rows affected", res.RowsAffected)
+		if res.LastInsertID > 0 {
+			fmt.Printf(", last insert id %d", res.LastInsertID)
+		}
+		fmt.Println()
+		return
+	}
+	fmt.Println("OK")
+}

@@ -1,0 +1,51 @@
+// Command railsscan runs the static mechanism analysis over a directory of
+// application source trees (e.g. one produced by corpusgen) and prints the
+// Table 2-style census plus the I-confluence summary.
+//
+// Usage:
+//
+//	railsscan ./corpus
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"feralcc/internal/iconfluence"
+	"feralcc/internal/railsscan"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: railsscan <corpus-dir>")
+		os.Exit(2)
+	}
+	counts, err := railsscan.ScanCorpusDir(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "railsscan: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-24s %5s %5s %4s %4s %5s %5s\n", "App", "M", "T", "PL", "OL", "V", "A")
+	var m, t, pl, ol, v, a int
+	for _, c := range counts {
+		fmt.Printf("%-24s %5d %5d %4d %4d %5d %5d\n", c.App, c.Models,
+			c.Transactions, c.PessimisticLocks, c.OptimisticLocks, c.Validations, c.Associations)
+		m += c.Models
+		t += c.Transactions
+		pl += c.PessimisticLocks
+		ol += c.OptimisticLocks
+		v += c.Validations
+		a += c.Associations
+	}
+	fmt.Printf("%-24s %5d %5d %4d %4d %5d %5d\n", "TOTAL", m, t, pl, ol, v, a)
+
+	rep := iconfluence.Analyze(railsscan.MergeInvariants(counts))
+	fmt.Printf("\nI-confluent under insertion: %.1f%%; under deletion: %.1f%%\n",
+		100*rep.SafeUnderInsertion, 100*rep.SafeUnderDeletion)
+	for _, row := range rep.Rows {
+		if row.Occurrences == 0 {
+			continue
+		}
+		fmt.Printf("%-38s %8d %10s\n", row.Validator, row.Occurrences, row.Verdict)
+	}
+}

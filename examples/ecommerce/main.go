@@ -1,0 +1,177 @@
+// Ecommerce: the Spree inventory anecdotes of Section 3.2, executable.
+//
+// Spree guarded manual stock adjustments (adjust_count_on_hand) with a
+// pessimistic lock but left direct assignment (set_count_on_hand) unguarded,
+// and protected stock levels with a non-negativity validation that prevents
+// negative balances but not Lost Updates. This example demonstrates all
+// three behaviors, plus the AvailabilityValidator race that can oversell
+// inventory.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"feralcc/internal/db"
+	"feralcc/internal/orm"
+	"feralcc/internal/storage"
+)
+
+func buildRegistry() (*orm.Registry, error) {
+	zero := 0.0
+	stockItem := &orm.Model{
+		Name: "StockItem",
+		Attrs: []orm.Attr{
+			{Name: "sku", Kind: storage.KindString},
+			{Name: "count_on_hand", Kind: storage.KindInt},
+		},
+		Validations: []orm.Validation{
+			// Spree's non-negative stock validation.
+			&orm.Numericality{Attr: "count_on_hand", GreaterThanOrEqualTo: &zero},
+		},
+	}
+	lineItem := &orm.Model{
+		Name: "LineItem",
+		Attrs: []orm.Attr{
+			{Name: "sku", Kind: storage.KindString},
+			{Name: "quantity", Kind: storage.KindInt},
+		},
+		Validations: []orm.Validation{
+			// Spree's AvailabilityValidator (Section 4.3): reads stock
+			// inside the validation — not I-confluent.
+			&orm.Custom{
+				ValidatorName: "availability_validator",
+				Attr:          "quantity",
+				Fn: func(ctx *orm.ValidationContext) (string, error) {
+					sku, _ := ctx.Record.Get("sku")
+					qty, _ := ctx.Record.Get("quantity")
+					res, err := ctx.Conn.Exec(
+						"SELECT count_on_hand FROM stockitems WHERE sku = ? LIMIT 1", sku)
+					if err != nil {
+						return "", err
+					}
+					if len(res.Rows) == 0 || res.Rows[0][0].I < qty.I {
+						return "quantity is not available in stock", nil
+					}
+					return "", nil
+				},
+			},
+		},
+	}
+	return orm.NewRegistry(stockItem, lineItem)
+}
+
+func main() {
+	registry, err := buildRegistry()
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := db.Open(storage.Options{DefaultIsolation: storage.ReadCommitted, LockTimeout: 5 * time.Second})
+	setup := orm.NewSession(registry, d.Connect())
+	if err := setup.Migrate(); err != nil {
+		log.Fatal(err)
+	}
+	item, err := setup.Create("StockItem", map[string]storage.Value{
+		"sku": storage.Str("WIDGET"), "count_on_hand": storage.Int(0),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Part 1: set_count_on_hand (no lock) loses updates -------------------
+	fmt.Println("Part 1: unlocked set_count_on_hand under 8 concurrent +1 adjustments")
+	runAdjusters(d, registry, item.ID(), false)
+	final, _ := setup.Find("StockItem", item.ID())
+	fmt.Printf("  expected 80, got %d  (Lost Updates: %d)\n",
+		final.GetInt("count_on_hand"), 80-final.GetInt("count_on_hand"))
+
+	// --- Part 2: adjust_count_on_hand (pessimistic lock) is exact ------------
+	_ = final.Set("count_on_hand", storage.Int(0))
+	if err := setup.Save(final); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Part 2: lock-guarded adjust_count_on_hand, same workload")
+	runAdjusters(d, registry, item.ID(), true)
+	final, _ = setup.Find("StockItem", item.ID())
+	fmt.Printf("  expected 80, got %d\n", final.GetInt("count_on_hand"))
+
+	// --- Part 3: the validation floor holds, but it is not atomicity ---------
+	fmt.Println("Part 3: non-negativity validation")
+	_ = final.Set("count_on_hand", storage.Int(-5))
+	if err := setup.Save(final); err != nil {
+		fmt.Printf("  direct negative write rejected: %v\n", err)
+	}
+
+	// --- Part 4: AvailabilityValidator oversells under concurrency -----------
+	fresh, _ := setup.Find("StockItem", item.ID())
+	_ = fresh.Set("count_on_hand", storage.Int(1)) // one widget left
+	if err := setup.Save(fresh); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Part 4: 8 concurrent orders for the final widget (stock = 1)")
+	var wg sync.WaitGroup
+	accepted := make([]bool, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sess := orm.NewSession(registry, d.Connect())
+			sess.ThinkTime = 2 * time.Millisecond
+			defer sess.Conn().Close()
+			_, err := sess.Create("LineItem", map[string]storage.Value{
+				"sku": storage.Str("WIDGET"), "quantity": storage.Int(1),
+			})
+			accepted[i] = err == nil
+		}(i)
+	}
+	wg.Wait()
+	sold := 0
+	for _, ok := range accepted {
+		if ok {
+			sold++
+		}
+	}
+	fmt.Printf("  orders accepted: %d (stock was 1) — the feral availability check raced\n", sold)
+	fmt.Println("  remedy: wrap order placement in a serializable transaction or decrement under FOR UPDATE")
+}
+
+// runAdjusters spawns 8 workers each incrementing the count 10 times, either
+// through an unlocked read-modify-write or under SELECT ... FOR UPDATE.
+func runAdjusters(d *db.DB, registry *orm.Registry, id int64, locked bool) {
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess := orm.NewSession(registry, d.Connect())
+			defer sess.Conn().Close()
+			for i := 0; i < 10; i++ {
+				for {
+					err := sess.Transaction(func() error {
+						item, err := sess.Find("StockItem", id)
+						if err != nil {
+							return err
+						}
+						if locked {
+							if err := sess.Lock(item); err != nil {
+								return err
+							}
+						} else {
+							// Simulate controller work between read and write,
+							// widening the unlocked race window.
+							time.Sleep(time.Millisecond)
+						}
+						_ = item.Set("count_on_hand", storage.Int(item.GetInt("count_on_hand")+1))
+						return sess.Save(item)
+					})
+					if err == nil {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

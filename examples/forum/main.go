@@ -1,0 +1,105 @@
+// Forum: Discourse's PostValidator anti-spam check (Section 4.3), raced.
+//
+// The validator counts a user's recent posts and rejects the save when the
+// count exceeds a rate limit. The check is a read of database state inside
+// the validation — not I-confluent — so "a spammer could technically foil
+// this validation by attempting to simultaneously author many posts."
+// This example does exactly that, then shows the serializable fix.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"feralcc/internal/db"
+	"feralcc/internal/orm"
+	"feralcc/internal/storage"
+)
+
+const rateLimit = 3 // posts allowed per user
+
+func buildRegistry() (*orm.Registry, error) {
+	post := &orm.Model{
+		Name: "Post",
+		Attrs: []orm.Attr{
+			{Name: "user_id", Kind: storage.KindInt},
+			{Name: "body", Kind: storage.KindString},
+		},
+		Validations: []orm.Validation{
+			&orm.Custom{
+				ValidatorName: "post_validator",
+				Attr:          "user_id",
+				Fn: func(ctx *orm.ValidationContext) (string, error) {
+					uid, _ := ctx.Record.Get("user_id")
+					res, err := ctx.Conn.Exec(
+						"SELECT COUNT(*) FROM posts WHERE user_id = ?", uid)
+					if err != nil {
+						return "", err
+					}
+					if res.Rows[0][0].I >= rateLimit {
+						return "you are posting too fast (spam check)", nil
+					}
+					return "", nil
+				},
+			},
+		},
+	}
+	return orm.NewRegistry(post)
+}
+
+func main() {
+	fmt.Printf("Spam rate limit: %d posts per user\n", rateLimit)
+
+	serialPosts := spamRun(storage.ReadCommitted, false)
+	fmt.Printf("sequential spammer at READ COMMITTED:  %2d posts landed (limit enforced)\n", serialPosts)
+
+	burstPosts := spamRun(storage.ReadCommitted, true)
+	fmt.Printf("concurrent spammer at READ COMMITTED:  %2d posts landed (validator foiled!)\n", burstPosts)
+
+	fixedPosts := spamRun(storage.Serializable, true)
+	fmt.Printf("concurrent spammer at SERIALIZABLE:    %2d posts landed (certification aborts the racers)\n", fixedPosts)
+}
+
+// spamRun attempts 16 posts by one user and returns how many landed.
+func spamRun(level storage.IsolationLevel, concurrent bool) int64 {
+	registry, err := buildRegistry()
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := db.Open(storage.Options{DefaultIsolation: level, LockTimeout: 2 * time.Second})
+	setup := orm.NewSession(registry, d.Connect())
+	if err := setup.Migrate(); err != nil {
+		log.Fatal(err)
+	}
+
+	attempt := func(sess *orm.Session) {
+		_, _ = sess.Create("Post", map[string]storage.Value{
+			"user_id": storage.Int(42), "body": storage.Str("BUY NOW"),
+		})
+	}
+	if concurrent {
+		var wg sync.WaitGroup
+		for i := 0; i < 16; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sess := orm.NewSession(registry, d.Connect())
+				sess.ThinkTime = 2 * time.Millisecond
+				defer sess.Conn().Close()
+				attempt(sess)
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i := 0; i < 16; i++ {
+			attempt(setup)
+		}
+	}
+	n, err := setup.Count("Post")
+	if err != nil {
+		log.Fatal(err)
+	}
+	return n
+}

@@ -1,0 +1,113 @@
+// Orphans: the Section 5.4 association anomaly, live.
+//
+// A department deletion cascades ferally (the ORM SELECTs the children and
+// destroys them one by one) while concurrent requests keep inserting users
+// into that department. Every user whose insert validates before the delete
+// commits — but lands after the cascade's SELECT — is orphaned. Applying the
+// in-database foreign key migration makes the anomaly impossible.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"feralcc/internal/appserver"
+	"feralcc/internal/db"
+	"feralcc/internal/storage"
+)
+
+func main() {
+	fmt.Println("Feral cascade vs in-database foreign key, 50 departments x 16 racing inserts")
+	for _, withFK := range []bool{false, true} {
+		orphans, err := run(withFK)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := "feral :dependent => :destroy only"
+		if withFK {
+			mode = "plus in-database FK (ON DELETE CASCADE)"
+		}
+		fmt.Printf("  %-42s orphaned users: %d\n", mode, orphans)
+	}
+	fmt.Println("The feral cascade races; the database constraint cannot.")
+}
+
+func run(withFK bool) (int64, error) {
+	d := db.Open(storage.Options{DefaultIsolation: storage.ReadCommitted, LockTimeout: 2 * time.Second})
+	registry, err := appserver.AssociationModels()
+	if err != nil {
+		return 0, err
+	}
+	if err := appserver.MigrateOn(d, registry); err != nil {
+		return 0, err
+	}
+	if withFK {
+		conn := d.Connect()
+		_, err := conn.Exec(`ALTER TABLE validated_users ADD FOREIGN KEY (validated_department_id)
+			REFERENCES validated_departments ON DELETE CASCADE`)
+		conn.Close()
+		if err != nil {
+			return 0, err
+		}
+	}
+	pool, err := appserver.NewPool(16, registry, func() db.Conn { return d.Connect() })
+	if err != nil {
+		return 0, err
+	}
+	defer pool.Close()
+	pool.Configure(func(w *appserver.Worker) { w.Session.ThinkTime = 2 * time.Millisecond })
+
+	const departments, inserts = 50, 16
+	for i := 1; i <= departments; i++ {
+		if err := createDepartment(pool, int64(i)); err != nil {
+			return 0, err
+		}
+	}
+	for i := 1; i <= departments; i++ {
+		deptID := int64(i)
+		var wg sync.WaitGroup
+		wg.Add(inserts + 1)
+		go func() {
+			defer wg.Done()
+			_ = pool.Do(func(w *appserver.Worker) error {
+				rec, err := w.Session.Find("ValidatedDepartment", deptID)
+				if err != nil {
+					return err
+				}
+				return w.Session.Destroy(rec)
+			})
+		}()
+		for c := 0; c < inserts; c++ {
+			go func() {
+				defer wg.Done()
+				_ = pool.Do(func(w *appserver.Worker) error {
+					_, err := w.Session.Create("ValidatedUser", map[string]storage.Value{
+						"validated_department_id": storage.Int(deptID),
+					})
+					return err // validation/FK failures are expected outcomes
+				})
+			}()
+		}
+		wg.Wait()
+	}
+	conn := d.Connect()
+	defer conn.Close()
+	return appserver.CountOrphans(conn, "validated_users", "validated_department_id", "validated_departments")
+}
+
+func createDepartment(pool *appserver.Pool, id int64) error {
+	return pool.Do(func(w *appserver.Worker) error {
+		rec, err := w.Session.New("ValidatedDepartment", map[string]storage.Value{
+			"name": storage.Str(fmt.Sprintf("dept-%d", id)),
+		})
+		if err != nil {
+			return err
+		}
+		if err := rec.Set("id", storage.Int(id)); err != nil {
+			return err
+		}
+		return w.Session.Save(rec)
+	})
+}

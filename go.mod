@@ -1,0 +1,3 @@
+module feralcc
+
+go 1.22

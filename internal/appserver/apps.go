@@ -1,0 +1,132 @@
+package appserver
+
+import (
+	"feralcc/internal/db"
+	"feralcc/internal/orm"
+	"feralcc/internal/storage"
+)
+
+// This file defines the two experiment applications of Appendix C.
+
+// UniquenessModels builds the Appendix C.1 registry: SimpleKeyValue (no
+// validations, only NOT NULL presence checks) and ValidatedKeyValue (feral
+// uniqueness on key).
+func UniquenessModels() (*orm.Registry, error) {
+	simple := &orm.Model{
+		Name:      "SimpleKeyValue",
+		TableName: "simple_key_values",
+		Attrs: []orm.Attr{
+			{Name: "key", Kind: storage.KindString},
+			{Name: "value", Kind: storage.KindString},
+		},
+		Validations: []orm.Validation{
+			&orm.Presence{Attr: "key"},
+			&orm.Presence{Attr: "value"},
+		},
+		Timestamps: true,
+	}
+	validated := &orm.Model{
+		Name:      "ValidatedKeyValue",
+		TableName: "validated_key_values",
+		Attrs: []orm.Attr{
+			{Name: "key", Kind: storage.KindString},
+			{Name: "value", Kind: storage.KindString},
+		},
+		Validations: []orm.Validation{
+			&orm.Presence{Attr: "key"},
+			&orm.Presence{Attr: "value"},
+			&orm.Uniqueness{Attr: "key"},
+		},
+		Timestamps: true,
+	}
+	return orm.NewRegistry(simple, validated)
+}
+
+// AssociationModels builds the Appendix C.4 registry: two parallel pairs of
+// Users/Departments models — one pair bare, one pair with the feral
+// association machinery (has_many :dependent => :destroy plus
+// validates :department, :presence => true).
+func AssociationModels() (*orm.Registry, error) {
+	simpleDept := &orm.Model{
+		Name:      "SimpleDepartment",
+		TableName: "simple_departments",
+		Attrs:     []orm.Attr{{Name: "name", Kind: storage.KindString}},
+		Associations: []orm.Association{
+			{Kind: orm.HasMany, Name: "simple_users", Target: "SimpleUser",
+				ForeignKey: "simple_department_id", Dependent: orm.DependentNone},
+		},
+		Timestamps: true,
+	}
+	simpleUser := &orm.Model{
+		Name:      "SimpleUser",
+		TableName: "simple_users",
+		Attrs: []orm.Attr{
+			{Name: "simple_department_id", Kind: storage.KindInt},
+			{Name: "name", Kind: storage.KindString},
+		},
+		Timestamps: true,
+	}
+	validatedDept := &orm.Model{
+		Name:      "ValidatedDepartment",
+		TableName: "validated_departments",
+		Attrs:     []orm.Attr{{Name: "name", Kind: storage.KindString}},
+		Associations: []orm.Association{
+			{Kind: orm.HasMany, Name: "validated_users", Target: "ValidatedUser",
+				ForeignKey: "validated_department_id", Dependent: orm.DependentDestroy},
+		},
+		Timestamps: true,
+	}
+	validatedUser := &orm.Model{
+		Name:      "ValidatedUser",
+		TableName: "validated_users",
+		Attrs: []orm.Attr{
+			{Name: "validated_department_id", Kind: storage.KindInt},
+			{Name: "name", Kind: storage.KindString},
+		},
+		Associations: []orm.Association{
+			{Kind: orm.BelongsTo, Name: "department", Target: "ValidatedDepartment",
+				ForeignKey: "validated_department_id"},
+		},
+		Validations: []orm.Validation{
+			&orm.Presence{Association: "department"},
+		},
+		Timestamps: true,
+	}
+	return orm.NewRegistry(simpleDept, simpleUser, validatedDept, validatedUser)
+}
+
+// MigrateOn creates the registry's tables using a throwaway session.
+func MigrateOn(d *db.DB, registry *orm.Registry) error {
+	conn := d.Connect()
+	defer conn.Close()
+	return orm.NewSession(registry, conn).Migrate()
+}
+
+// CountDuplicates runs the Appendix C.2 duplicate counter against a table:
+// SELECT key, COUNT(key)-1 FROM t GROUP BY key HAVING COUNT(key) > 1,
+// summing the surplus across keys.
+func CountDuplicates(conn db.Conn, table string) (int64, error) {
+	res, err := conn.Exec(
+		"SELECT key, COUNT(key)-1 FROM " + table + " GROUP BY key HAVING COUNT(key) > 1")
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, row := range res.Rows {
+		total += row[1].I
+	}
+	return total, nil
+}
+
+// CountOrphans runs the Appendix C.5 orphan counter: users whose department
+// no longer exists, via LEFT OUTER JOIN.
+func CountOrphans(conn db.Conn, usersTable, deptCol, deptsTable string) (int64, error) {
+	res, err := conn.Exec(
+		"SELECT COUNT(*) FROM " + usersTable + " AS U " +
+			"LEFT OUTER JOIN " + deptsTable + " AS D ON U." + deptCol + " = D.id " +
+			"WHERE D.id IS NULL")
+	if err != nil {
+		return 0, err
+	}
+	return res.Rows[0][0].I, nil
+}

@@ -1,0 +1,216 @@
+package appserver
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"feralcc/internal/orm"
+	"feralcc/internal/storage"
+)
+
+// Server is the HTTP front end: it accepts experiment requests and forwards
+// each to a pooled worker, queueing when every worker is busy (the Nginx →
+// Unicorn handoff).
+type Server struct {
+	pool *Pool
+	mux  *http.ServeMux
+	http *http.Server
+	ln   net.Listener
+}
+
+// NewServer builds the front end over a worker pool, exposing the two
+// experiment applications:
+//
+//	POST   /entries            {"model": "...", "key": k, "value": v}
+//	POST   /users              {"model": "...", "department_id": n}
+//	POST   /departments        {"model": "...", "id": n, "name": s}
+//	DELETE /departments/{id}?model=...
+//	GET    /healthz
+func NewServer(pool *Pool) *Server {
+	s := &Server{pool: pool, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/entries", s.createEntry)
+	s.mux.HandleFunc("/users", s.createUser)
+	s.mux.HandleFunc("/departments", s.createDepartment)
+	s.mux.HandleFunc("/departments/", s.deleteDepartment)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// Listen binds the server to addr (use "127.0.0.1:0" for an ephemeral port).
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.http = &http.Server{Handler: s.mux}
+	go s.http.Serve(ln)
+	return nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the listener down.
+func (s *Server) Close() {
+	if s.http != nil {
+		s.http.Close()
+	}
+}
+
+// apiError maps handler failures onto HTTP statuses the way a Rails app
+// would: validation failures are 422, conflicts/serialization 409, the rest
+// 500.
+func apiError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, orm.ErrRecordInvalid):
+		status = http.StatusUnprocessableEntity
+	case errors.Is(err, storage.ErrUniqueViolation),
+		errors.Is(err, storage.ErrForeignKeyViolation),
+		errors.Is(err, storage.ErrSerialization),
+		errors.Is(err, orm.ErrStaleObject):
+		status = http.StatusConflict
+	case errors.Is(err, orm.ErrRecordNotFound):
+		status = http.StatusNotFound
+	}
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func decodeBody(r *http.Request, into any) error {
+	defer r.Body.Close()
+	return json.NewDecoder(r.Body).Decode(into)
+}
+
+func (s *Server) createEntry(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var body struct {
+		Model string `json:"model"`
+		Key   string `json:"key"`
+		Value string `json:"value"`
+	}
+	if err := decodeBody(r, &body); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var id int64
+	err := s.pool.Do(func(wk *Worker) error {
+		rec, err := wk.Session.Create(body.Model, map[string]storage.Value{
+			"key":   storage.Str(body.Key),
+			"value": storage.Str(body.Value),
+		})
+		if err != nil {
+			return err
+		}
+		id = rec.ID()
+		return nil
+	})
+	if err != nil {
+		apiError(w, err)
+		return
+	}
+	_ = json.NewEncoder(w).Encode(map[string]int64{"id": id})
+}
+
+func (s *Server) createUser(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var body struct {
+		Model        string `json:"model"`
+		DepartmentID int64  `json:"department_id"`
+		FKAttr       string `json:"fk_attr"`
+	}
+	if err := decodeBody(r, &body); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var id int64
+	err := s.pool.Do(func(wk *Worker) error {
+		rec, err := wk.Session.Create(body.Model, map[string]storage.Value{
+			body.FKAttr: storage.Int(body.DepartmentID),
+		})
+		if err != nil {
+			return err
+		}
+		id = rec.ID()
+		return nil
+	})
+	if err != nil {
+		apiError(w, err)
+		return
+	}
+	_ = json.NewEncoder(w).Encode(map[string]int64{"id": id})
+}
+
+func (s *Server) createDepartment(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var body struct {
+		Model string `json:"model"`
+		ID    int64  `json:"id"`
+		Name  string `json:"name"`
+	}
+	if err := decodeBody(r, &body); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	err := s.pool.Do(func(wk *Worker) error {
+		attrs := map[string]storage.Value{"name": storage.Str(body.Name)}
+		if body.ID > 0 {
+			attrs["id"] = storage.Int(body.ID)
+		}
+		_, err := wk.Session.Create(body.Model, attrs)
+		return err
+	})
+	if err != nil {
+		apiError(w, err)
+		return
+	}
+	_ = json.NewEncoder(w).Encode(map[string]string{"status": "created"})
+}
+
+func (s *Server) deleteDepartment(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodDelete {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	idStr := strings.TrimPrefix(r.URL.Path, "/departments/")
+	id, err := strconv.ParseInt(idStr, 10, 64)
+	if err != nil {
+		http.Error(w, "bad id", http.StatusBadRequest)
+		return
+	}
+	model := r.URL.Query().Get("model")
+	err = s.pool.Do(func(wk *Worker) error {
+		rec, err := wk.Session.Find(model, id)
+		if err != nil {
+			return err
+		}
+		return wk.Session.Destroy(rec)
+	})
+	if err != nil {
+		apiError(w, err)
+		return
+	}
+	_ = json.NewEncoder(w).Encode(map[string]string{"status": "deleted"})
+}

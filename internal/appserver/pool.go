@@ -1,0 +1,80 @@
+// Package appserver reproduces the deployment architecture of Section 2.2:
+// a pool of P single-threaded application workers (the Unicorn model), each
+// owning one database connection and one ORM session, behind an HTTP front
+// end (the Nginx role). Workers share no state; the database is their only
+// rendezvous — which is precisely the condition under which the paper's
+// feral validations race.
+package appserver
+
+import (
+	"fmt"
+
+	"feralcc/internal/db"
+	"feralcc/internal/orm"
+)
+
+// Worker is one single-threaded application process: an ORM session over a
+// dedicated connection.
+type Worker struct {
+	ID      int
+	Session *orm.Session
+}
+
+// Pool is a fixed set of workers checked out one request at a time,
+// mirroring a multi-process, single-threaded Unicorn configuration with P
+// processes.
+type Pool struct {
+	workers chan *Worker
+	size    int
+	conns   []db.Conn
+}
+
+// NewPool builds a pool of size workers; each gets its own connection from
+// connect and its own session over registry.
+func NewPool(size int, registry *orm.Registry, connect func() db.Conn) (*Pool, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("appserver: pool size must be positive, got %d", size)
+	}
+	p := &Pool{workers: make(chan *Worker, size), size: size}
+	for i := 0; i < size; i++ {
+		conn := connect()
+		p.conns = append(p.conns, conn)
+		p.workers <- &Worker{ID: i, Session: orm.NewSession(registry, conn)}
+	}
+	return p, nil
+}
+
+// Size returns the number of workers.
+func (p *Pool) Size() int { return p.size }
+
+// Configure applies fn to every worker while the pool is quiescent (e.g. to
+// set the sessions' simulated think time).
+func (p *Pool) Configure(fn func(*Worker)) {
+	ws := make([]*Worker, 0, p.size)
+	for i := 0; i < p.size; i++ {
+		ws = append(ws, <-p.workers)
+	}
+	for _, w := range ws {
+		fn(w)
+		p.workers <- w
+	}
+}
+
+// Do checks out a worker, runs fn on it, and returns it. Blocks while all
+// workers are busy, exactly as a Unicorn master queues requests. The error
+// is fn's error.
+func (p *Pool) Do(fn func(*Worker) error) error {
+	w := <-p.workers
+	defer func() { p.workers <- w }()
+	return fn(w)
+}
+
+// Close releases all connections. Callers must not use the pool afterwards.
+func (p *Pool) Close() {
+	for i := 0; i < p.size; i++ {
+		<-p.workers
+	}
+	for _, c := range p.conns {
+		c.Close()
+	}
+}

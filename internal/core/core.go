@@ -1,0 +1,169 @@
+// Package core is the public façade of the reproduction: a Study handle
+// that runs every analysis and experiment of the paper and renders results
+// in the shape of its tables and figures. Downstream users who just want
+// "give me the paper's numbers from this library" start here; users who
+// want the pieces use the internal packages directly.
+package core
+
+import (
+	"time"
+
+	"feralcc/internal/corpus"
+	"feralcc/internal/experiment"
+	"feralcc/internal/frameworks"
+	"feralcc/internal/railsscan"
+)
+
+// Study orchestrates the full reproduction.
+type Study struct {
+	// Seed drives corpus synthesis and workload generation.
+	Seed int64
+	// Quick scales experiment parameters down (~10x) for smoke runs.
+	Quick bool
+	// ThinkTime is the simulated application-tier latency; see
+	// orm.Session.ThinkTime.
+	ThinkTime time.Duration
+
+	analysis *experiment.CorpusAnalysis
+}
+
+// NewStudy returns a study with the paper's default parameters.
+func NewStudy() *Study {
+	return &Study{Seed: 2015, ThinkTime: time.Millisecond}
+}
+
+// Analysis lazily runs (and caches) the corpus generation + scan +
+// classification pipeline shared by Table 1, Table 2, Figure 1, and the
+// safety summary.
+func (s *Study) Analysis() *experiment.CorpusAnalysis {
+	if s.analysis == nil {
+		s.analysis = experiment.RunCorpusAnalysis(s.Seed)
+	}
+	return s.analysis
+}
+
+// Corpus returns the generated application corpus.
+func (s *Study) Corpus() *corpus.Corpus { return s.Analysis().Corpus }
+
+// Counts returns the per-application scan results.
+func (s *Study) Counts() []*railsscan.Counts { return s.Analysis().Counts }
+
+// StressConfig returns the Figure 2 configuration at the study's scale.
+func (s *Study) StressConfig() experiment.StressConfig {
+	cfg := experiment.DefaultStressConfig()
+	cfg.ThinkTime = s.ThinkTime
+	if s.Quick {
+		cfg.Workers = []int{1, 4, 16, 64}
+		cfg.Rounds = 20
+		cfg.Concurrency = 32
+	}
+	return cfg
+}
+
+// WorkloadConfig returns the Figure 3 configuration at the study's scale.
+func (s *Study) WorkloadConfig() experiment.WorkloadConfig {
+	cfg := experiment.DefaultWorkloadConfig()
+	cfg.Seed = s.Seed
+	cfg.ThinkTime = s.ThinkTime
+	if s.Quick {
+		cfg.KeySpaces = []int64{1, 100, 10000, 1000000}
+		cfg.Clients = 32
+		cfg.OpsPerClient = 50
+		cfg.Workers = 32
+	}
+	return cfg
+}
+
+// AssociationStressConfig returns the Figure 4 configuration.
+func (s *Study) AssociationStressConfig() experiment.AssociationStressConfig {
+	cfg := experiment.DefaultAssociationStressConfig()
+	cfg.ThinkTime = s.ThinkTime
+	if s.Quick {
+		cfg.Workers = []int{1, 4, 16, 64}
+		cfg.Departments = 25
+		cfg.InsertsPerDepartment = 32
+	}
+	return cfg
+}
+
+// AssociationWorkloadConfig returns the Figure 5 configuration.
+func (s *Study) AssociationWorkloadConfig() experiment.AssociationWorkloadConfig {
+	cfg := experiment.DefaultAssociationWorkloadConfig()
+	cfg.Seed = s.Seed
+	cfg.ThinkTime = s.ThinkTime
+	if s.Quick {
+		cfg.DepartmentCounts = []int{1, 10, 100, 1000}
+		cfg.Clients = 32
+		cfg.Ops = 50
+		cfg.Workers = 32
+	}
+	return cfg
+}
+
+// RunUniquenessStress runs Figure 2.
+func (s *Study) RunUniquenessStress() ([]experiment.StressPoint, error) {
+	return experiment.RunUniquenessStress(s.StressConfig())
+}
+
+// RunUniquenessWorkload runs Figure 3.
+func (s *Study) RunUniquenessWorkload() ([]experiment.WorkloadPoint, error) {
+	return experiment.RunUniquenessWorkload(s.WorkloadConfig())
+}
+
+// RunAssociationStress runs Figure 4.
+func (s *Study) RunAssociationStress() ([]experiment.AssociationStressPoint, error) {
+	return experiment.RunAssociationStress(s.AssociationStressConfig())
+}
+
+// RunAssociationWorkload runs Figure 5.
+func (s *Study) RunAssociationWorkload() ([]experiment.AssociationWorkloadPoint, error) {
+	return experiment.RunAssociationWorkload(s.AssociationWorkloadConfig())
+}
+
+// RunHistory runs Figure 6 at the given snapshot resolution.
+func (s *Study) RunHistory(points int) []experiment.HistoryPoint {
+	return experiment.RunHistoryAnalysis(s.Corpus(), points)
+}
+
+// RunAuthorship runs Figure 7.
+func (s *Study) RunAuthorship() experiment.AuthorshipSummary {
+	return experiment.RunAuthorshipAnalysis(s.Corpus())
+}
+
+// RunSSIBug runs the footnote 8 reproduction.
+func (s *Study) RunSSIBug() (experiment.SSIBugResult, error) {
+	workers, rounds, concurrency := 16, 100, 64
+	if s.Quick {
+		workers, rounds, concurrency = 8, 25, 16
+	}
+	return experiment.RunSSIBug(workers, rounds, concurrency)
+}
+
+// RunIsolationSweep runs the extension experiment: both anomaly classes
+// measured at every isolation level the engine implements.
+func (s *Study) RunIsolationSweep() ([]experiment.IsolationSweepPoint, error) {
+	cfg := experiment.DefaultIsolationSweepConfig()
+	cfg.ThinkTime = s.ThinkTime
+	if s.Quick {
+		cfg.Workers, cfg.Rounds, cfg.Concurrency = 8, 10, 16
+	}
+	return experiment.RunIsolationSweep(cfg)
+}
+
+// RunFrameworkSurvey runs Section 6's susceptibility harness over every
+// surveyed framework profile.
+func (s *Study) RunFrameworkSurvey() ([]frameworks.Susceptibility, error) {
+	rounds, concurrency := 50, 16
+	if s.Quick {
+		rounds, concurrency = 15, 8
+	}
+	var out []frameworks.Susceptibility
+	for _, p := range frameworks.Survey() {
+		res, err := frameworks.RunSusceptibility(p, rounds, concurrency, s.ThinkTime)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

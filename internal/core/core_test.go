@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func quickStudy() *Study {
+	s := NewStudy()
+	s.Quick = true
+	s.ThinkTime = time.Millisecond
+	return s
+}
+
+func TestStudyAnalysisIsCachedAndCorrect(t *testing.T) {
+	s := NewStudy()
+	a1 := s.Analysis()
+	a2 := s.Analysis()
+	if a1 != a2 {
+		t.Fatal("analysis not cached")
+	}
+	if len(s.Counts()) != 67 || len(s.Corpus().Apps) != 67 {
+		t.Fatal("corpus size wrong")
+	}
+}
+
+func TestRenderTables(t *testing.T) {
+	s := NewStudy()
+	var buf bytes.Buffer
+	s.RenderTable1(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"validates_presence_of", "1762", "validates_uniqueness_of", "440",
+		"86.9%", "36.6%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 output missing %q", want)
+		}
+	}
+	buf.Reset()
+	s.RenderTable2(&buf)
+	out = buf.String()
+	for _, want := range []string{"Canvas LMS", "Obtvse", "29.07", "52.31"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 output missing %q", want)
+		}
+	}
+	buf.Reset()
+	s.RenderFigure1(&buf)
+	if !strings.Contains(buf.String(), "average") {
+		t.Error("Figure 1 output missing average row")
+	}
+	buf.Reset()
+	s.RenderSafety(&buf)
+	if !strings.Contains(buf.String(), "42 I-confluent, 18 not") {
+		t.Errorf("safety output wrong:\n%s", buf.String())
+	}
+}
+
+func TestQuickStressEndToEnd(t *testing.T) {
+	s := quickStudy()
+	points, err := s.RunUniquenessStress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderStress(&buf, points)
+	if !strings.Contains(buf.String(), "Figure 2") {
+		t.Error("render missing title")
+	}
+}
+
+func TestQuickHistoryAndAuthorship(t *testing.T) {
+	s := quickStudy()
+	var buf bytes.Buffer
+	RenderHistory(&buf, s.RunHistory(4))
+	if !strings.Contains(buf.String(), "Figure 6") {
+		t.Error("history render missing title")
+	}
+	buf.Reset()
+	RenderAuthorship(&buf, s.RunAuthorship())
+	out := buf.String()
+	if !strings.Contains(out, "42.4%") || !strings.Contains(out, "20.3%") {
+		t.Error("authorship render missing paper references")
+	}
+}
+
+func TestQuickFrameworkSurvey(t *testing.T) {
+	s := quickStudy()
+	results, err := s.RunFrameworkSurvey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 7 {
+		t.Fatalf("framework results = %d", len(results))
+	}
+	var buf bytes.Buffer
+	RenderFrameworkSurvey(&buf, results)
+	for _, want := range []string{"Rails", "Django", "Waterline", "CakePHP"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("survey output missing %s", want)
+		}
+	}
+}
+
+func TestQuickSSIBugRender(t *testing.T) {
+	s := quickStudy()
+	res, err := s.RunSSIBug()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DuplicatesCorrect != 0 {
+		t.Errorf("correct serializable admitted %d duplicates", res.DuplicatesCorrect)
+	}
+	var buf bytes.Buffer
+	RenderSSIBug(&buf, res)
+	if !strings.Contains(buf.String(), "11732") {
+		t.Error("ssi bug render missing bug number")
+	}
+}
+
+func TestConfigScaling(t *testing.T) {
+	full := NewStudy()
+	quick := quickStudy()
+	if len(quick.StressConfig().Workers) >= len(full.StressConfig().Workers) {
+		t.Error("quick mode should sweep fewer worker counts")
+	}
+	if quick.WorkloadConfig().OpsPerClient >= full.WorkloadConfig().OpsPerClient {
+		t.Error("quick mode should issue fewer ops")
+	}
+	if quick.AssociationStressConfig().Departments >= full.AssociationStressConfig().Departments {
+		t.Error("quick mode should use fewer departments")
+	}
+	if len(quick.AssociationWorkloadConfig().DepartmentCounts) >= len(full.AssociationWorkloadConfig().DepartmentCounts) {
+		t.Error("quick mode should sweep fewer department counts")
+	}
+}

@@ -1,0 +1,455 @@
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// GeneratedModel is one synthesized Active Record class.
+type GeneratedModel struct {
+	Index       int
+	Name        string // CamelCase class name
+	IntroCommit int
+	Author      int
+	// Optimistic marks models carrying a lock_version column.
+	Optimistic bool
+}
+
+// SnakeName returns the file/table-style name.
+func (m *GeneratedModel) SnakeName() string { return toSnake(m.Name) }
+
+// GeneratedAssociation is one association declaration.
+type GeneratedAssociation struct {
+	Model       int    // declaring model index
+	Kind        string // "belongs_to", "has_many", "has_one"
+	Target      int    // target model index
+	Name        string // association name as declared
+	Dependent   string // "", "destroy", "delete_all"
+	IntroCommit int
+	Author      int
+}
+
+// GeneratedValidation is one validation declaration.
+type GeneratedValidation struct {
+	Kind        ValidationKind
+	Model       int
+	Field       string
+	NewSyntax   bool // `validates :x, presence: true` vs `validates_presence_of :x`
+	ClassBased  bool // custom validator class + validates_with
+	IntroCommit int
+	Author      int
+}
+
+// GeneratedCallSite is one transaction or pessimistic-lock use in a
+// controller.
+type GeneratedCallSite struct {
+	Controller  int
+	Model       int
+	Label       string
+	IntroCommit int
+	Author      int
+}
+
+// App is one synthesized application.
+type App struct {
+	Stats            AppStats
+	Slug             string
+	Models           []GeneratedModel
+	Associations     []GeneratedAssociation
+	Validations      []GeneratedValidation
+	Transactions     []GeneratedCallSite
+	PessimisticLocks []GeneratedCallSite
+	// CommitAuthorCounts[a] is the number of commits authored by author a
+	// (descending) — the git-log equivalent for Figure 7.
+	CommitAuthorCounts []int
+}
+
+// Corpus is the full synthesized 67-app corpus.
+type Corpus struct {
+	Apps []*App
+	Seed int64
+}
+
+// modelNouns seeds model class names.
+var modelNouns = []string{
+	"Account", "Order", "Post", "Comment", "Product", "Invoice", "Ticket",
+	"Project", "Task", "Message", "Profile", "Category", "Tag", "Review",
+	"Payment", "Shipment", "Address", "Group", "Event", "Page", "Image",
+	"Document", "Report", "Session", "Team", "Role", "Badge", "Topic",
+	"Reply", "Vote", "Follow", "Notification", "Subscription", "Plan",
+	"Coupon", "Cart", "Wishlist", "Attachment", "Audit", "Setting",
+}
+
+// fieldFor maps validator kinds to plausible attribute names.
+func fieldFor(validator string, n int) string {
+	switch validator {
+	case "validates_uniqueness_of":
+		return []string{"email", "username", "slug", "code", "token"}[n%5]
+	case "validates_length_of":
+		return []string{"title", "name", "summary", "bio"}[n%4]
+	case "validates_inclusion_of":
+		return []string{"state", "status", "visibility"}[n%3]
+	case "validates_numericality_of":
+		return []string{"quantity", "price", "position", "count_on_hand"}[n%4]
+	case "validates_email":
+		return "email"
+	case "validates_attachment_content_type", "validates_attachment_size":
+		return []string{"avatar", "attachment", "logo"}[n%3]
+	case "validates_confirmation_of":
+		return "password"
+	case "validates_format_of":
+		return []string{"slug", "phone", "url", "zipcode"}[n%4]
+	case "validates_acceptance_of":
+		return "terms_of_service"
+	case "validates_exclusion_of":
+		return []string{"username", "subdomain"}[n%2]
+	default:
+		return []string{"name", "title", "body", "description", "label"}[n%5]
+	}
+}
+
+// Generate synthesizes the corpus deterministically from seed.
+func Generate(seed int64) *Corpus {
+	rng := rand.New(rand.NewSource(seed))
+	dealt := DealValidations(seed)
+	c := &Corpus{Seed: seed}
+	for i, stats := range Table2 {
+		c.Apps = append(c.Apps, generateApp(i, stats, dealt[i], rng))
+	}
+	return c
+}
+
+func generateApp(appIdx int, stats AppStats, kinds []ValidationKind, rng *rand.Rand) *App {
+	app := &App{Stats: stats, Slug: slugOf(stats.Name)}
+
+	// Models, with Figure 6's early-introduction profile.
+	for j := 0; j < stats.Models; j++ {
+		name := modelNouns[(appIdx*7+j)%len(modelNouns)]
+		if j >= len(modelNouns) {
+			name = fmt.Sprintf("%s%d", name, j/len(modelNouns)+1)
+		}
+		app.Models = append(app.Models, GeneratedModel{Index: j, Name: name})
+	}
+	assignIntros(stats.Commits, len(app.Models), 0.0, 0.7, 2.0, rng, func(j, c int) {
+		app.Models[j].IntroCommit = c
+	})
+
+	// Optimistic locking columns on the first OL models.
+	for j := 0; j < stats.OptimisticLocks && j < len(app.Models); j++ {
+		app.Models[j].Optimistic = true
+	}
+
+	// Associations: alternate belongs_to / has_many between model pairs.
+	nameCount := map[string]int{}
+	for k := 0; k < stats.Associations; k++ {
+		var a GeneratedAssociation
+		pair := k / 2
+		if k%2 == 0 {
+			child := (pair + 1) % stats.Models
+			parent := pair % stats.Models
+			a = GeneratedAssociation{Model: child, Kind: "belongs_to", Target: parent}
+			a.Name = toSnake(app.Models[parent].Name)
+		} else {
+			parent := pair % stats.Models
+			child := (pair + 1) % stats.Models
+			a = GeneratedAssociation{Model: parent, Kind: "has_many", Target: child}
+			a.Name = toSnake(app.Models[child].Name) + "s"
+			switch pair % 3 {
+			case 0:
+				a.Dependent = "destroy"
+			case 1:
+				a.Dependent = "delete_all"
+			}
+		}
+		key := fmt.Sprintf("%d/%s", a.Model, a.Name)
+		if n := nameCount[key]; n > 0 {
+			a.Name = fmt.Sprintf("%s_%d", a.Name, n+1)
+		}
+		nameCount[key]++
+		app.Associations = append(app.Associations, a)
+	}
+	assignIntros(stats.Commits, len(app.Associations), 0.03, 0.97, 1.2, rng, func(j, c int) {
+		app.Associations[j].IntroCommit = c
+	})
+
+	// Validations: place association-guarding ones on models that declare a
+	// belongs_to, everything else round-robin.
+	belongsByModel := map[int][]string{}
+	modelsWithBelongs := []int{}
+	for _, a := range app.Associations {
+		if a.Kind == "belongs_to" {
+			if len(belongsByModel[a.Model]) == 0 {
+				modelsWithBelongs = append(modelsWithBelongs, a.Model)
+			}
+			belongsByModel[a.Model] = append(belongsByModel[a.Model], a.Name)
+		}
+	}
+	assocCursor, plainCursor, classBudget := 0, 0, 0
+	for n, kind := range kinds {
+		v := GeneratedValidation{Kind: kind, NewSyntax: n%2 == 0}
+		switch {
+		case kind.OnAssociation && len(modelsWithBelongs) > 0:
+			m := modelsWithBelongs[assocCursor%len(modelsWithBelongs)]
+			assocCursor++
+			names := belongsByModel[m]
+			v.Model = m
+			v.Field = names[assocCursor%len(names)]
+		case kind.Custom:
+			v.Model = plainCursor % stats.Models
+			plainCursor++
+			v.Field = fieldFor("", n)
+			// The paper found 8 of 60 customs were validator classes; pin
+			// the two named ones and mark six more.
+			if kind.Label != "" && strings.Contains(kind.Label, "Validator") {
+				v.ClassBased = true
+			} else if classBudget < 6 && n%7 == 0 {
+				v.ClassBased = true
+				classBudget++
+			}
+		default:
+			v.Model = plainCursor % stats.Models
+			plainCursor++
+			v.Field = fieldFor(kind.Validator, n)
+		}
+		app.Validations = append(app.Validations, v)
+	}
+	assignIntros(stats.Commits, len(app.Validations), 0.05, 0.95, 1.4, rng, func(j, c int) {
+		app.Validations[j].IntroCommit = c
+	})
+
+	// Transactions and pessimistic locks live in controllers, introduced
+	// latest (Figure 6's bottom curve).
+	spreeLabels := []string{
+		"cancel_order", "approve_order", "transfer_shipments",
+		"transfer_items", "transfer_stock", "update_inventory_status",
+	}
+	for k := 0; k < stats.Transactions; k++ {
+		site := GeneratedCallSite{
+			Controller: k % maxInt(1, stats.Models/3),
+			Model:      k % stats.Models,
+			Label:      fmt.Sprintf("atomic_step_%d", k+1),
+		}
+		if stats.Name == "Spree" && k < len(spreeLabels) {
+			site.Label = spreeLabels[k]
+		}
+		app.Transactions = append(app.Transactions, site)
+	}
+	assignIntros(stats.Commits, len(app.Transactions), 0.15, 0.85, 1.0, rng, func(j, c int) {
+		app.Transactions[j].IntroCommit = c
+	})
+	for k := 0; k < stats.PessimisticLocks; k++ {
+		app.PessimisticLocks = append(app.PessimisticLocks, GeneratedCallSite{
+			Controller: k % maxInt(1, stats.Models/3),
+			Model:      k % stats.Models,
+			Label:      fmt.Sprintf("locked_step_%d", k+1),
+		})
+	}
+	assignIntros(stats.Commits, len(app.PessimisticLocks), 0.2, 0.8, 1.0, rng, func(j, c int) {
+		app.PessimisticLocks[j].IntroCommit = c
+	})
+
+	// Entities cannot precede the model they attach to.
+	for j := range app.Validations {
+		if mc := app.Models[app.Validations[j].Model].IntroCommit; app.Validations[j].IntroCommit < mc {
+			app.Validations[j].IntroCommit = minInt(mc+1, stats.Commits)
+		}
+	}
+	for j := range app.Associations {
+		if mc := app.Models[app.Associations[j].Model].IntroCommit; app.Associations[j].IntroCommit < mc {
+			app.Associations[j].IntroCommit = minInt(mc+1, stats.Commits)
+		}
+	}
+
+	assignAuthorship(app, rng)
+	return app
+}
+
+// assignIntros gives n entities introduction commits following the profile
+// t(u) = offset + span*u^gamma over a history of C commits: gamma > 1
+// back-loads introductions, gamma < 1 front-loads them. Entity order is
+// shuffled so introduction order is uncorrelated with entity index.
+func assignIntros(commits, n int, offset, span, gamma float64, rng *rand.Rand, set func(entity, commit int)) {
+	if n == 0 {
+		return
+	}
+	order := rng.Perm(n)
+	for rank := 0; rank < n; rank++ {
+		u := float64(rank+1) / float64(n)
+		t := offset + span*math.Pow(u, gamma)
+		c := int(t * float64(commits))
+		if c < 1 {
+			c = 1
+		}
+		if c > commits {
+			c = commits
+		}
+		set(order[rank], c)
+	}
+}
+
+// assignAuthorship reproduces the Figure 7 finding by construction: 95% of
+// commits are authored by ~42.4% of authors, while 95% of invariants
+// (validations + associations) are authored by ~20.3% of authors.
+func assignAuthorship(app *App, rng *rand.Rand) {
+	authors := app.Stats.Authors
+	commits := app.Stats.Commits
+	if authors < 1 {
+		authors = 1
+	}
+	kc := maxInt(1, int(math.Round(0.424*float64(authors))))
+	app.CommitAuthorCounts = splitGeometric(commits, authors, kc, 0.95)
+
+	kv := maxInt(1, int(math.Round(0.203*float64(authors))))
+	invariants := len(app.Validations) + len(app.Associations)
+	perAuthor := splitGeometric(invariants, authors, kv, 0.95)
+	// Deal invariant authorship according to perAuthor.
+	var deck []int
+	for a, n := range perAuthor {
+		for i := 0; i < n; i++ {
+			deck = append(deck, a)
+		}
+	}
+	rng.Shuffle(len(deck), func(i, j int) { deck[i], deck[j] = deck[j], deck[i] })
+	idx := 0
+	for j := range app.Validations {
+		app.Validations[j].Author = deck[idx]
+		idx++
+	}
+	for j := range app.Associations {
+		app.Associations[j].Author = deck[idx]
+		idx++
+	}
+	// Model and call-site authorship follows the commit distribution.
+	modelDeck := weightedAuthors(app.CommitAuthorCounts, len(app.Models)+len(app.Transactions)+len(app.PessimisticLocks), rng)
+	idx = 0
+	for j := range app.Models {
+		app.Models[j].Author = modelDeck[idx]
+		idx++
+	}
+	for j := range app.Transactions {
+		app.Transactions[j].Author = modelDeck[idx]
+		idx++
+	}
+	for j := range app.PessimisticLocks {
+		app.PessimisticLocks[j].Author = modelDeck[idx]
+		idx++
+	}
+}
+
+// splitGeometric distributes total units over `authors` slots so the top k
+// slots hold `share` of the total (geometrically decaying within the top),
+// and the remainder spreads evenly over the rest.
+func splitGeometric(total, authors, k int, share float64) []int {
+	out := make([]int, authors)
+	if total == 0 {
+		return out
+	}
+	if k > authors {
+		k = authors
+	}
+	top := int(math.Round(share * float64(total)))
+	if authors == k {
+		top = total
+	}
+	rest := total - top
+	// Geometric weights 1, r, r^2, ... within the head. The taper is gentle
+	// (r close to 1) so that covering `share` of the total requires the
+	// whole head: that pins the Figure 7 concentration statistics at k/n by
+	// construction while keeping per-author counts unequal.
+	const r = 0.95
+	weights := make([]float64, k)
+	sum := 0.0
+	for i := range weights {
+		weights[i] = math.Pow(r, float64(i))
+		sum += weights[i]
+	}
+	assigned := 0
+	for i := 0; i < k; i++ {
+		n := int(math.Floor(weights[i] / sum * float64(top)))
+		out[i] = n
+		assigned += n
+	}
+	out[0] += top - assigned // rounding remainder to the top author
+	if authors > k {
+		tail := authors - k
+		each := rest / tail
+		extra := rest % tail
+		for i := k; i < authors; i++ {
+			out[i] = each
+			if i-k < extra {
+				out[i]++
+			}
+		}
+	} else {
+		out[0] += rest
+	}
+	return out
+}
+
+// weightedAuthors deals n author indexes proportionally to counts.
+func weightedAuthors(counts []int, n int, rng *rand.Rand) []int {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	out := make([]int, n)
+	if total == 0 {
+		return out
+	}
+	for i := 0; i < n; i++ {
+		pick := rng.Intn(total)
+		acc := 0
+		for a, c := range counts {
+			acc += c
+			if pick < acc {
+				out[i] = a
+				break
+			}
+		}
+	}
+	return out
+}
+
+func slugOf(name string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '.' || r == '-':
+			b.WriteByte('_')
+		}
+	}
+	return strings.Trim(b.String(), "_")
+}
+
+func toSnake(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		if r >= 'A' && r <= 'Z' {
+			if i > 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r - 'A' + 'a')
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

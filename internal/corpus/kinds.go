@@ -1,0 +1,234 @@
+package corpus
+
+import "math/rand"
+
+// ValidationKind describes one validation instance in the synthesized
+// corpus: its Rails validator name plus the contextual flags the
+// I-confluence classification needs.
+type ValidationKind struct {
+	Validator string
+	// OnAssociation marks presence validations guarding a belongs_to.
+	OnAssociation bool
+	// ReadsDatabase marks user-defined validations that query state.
+	ReadsDatabase bool
+	// Custom marks user-defined (non-built-in) validations.
+	Custom bool
+	// Label carries a human-readable name for notable custom validators
+	// (AvailabilityValidator, PostValidator, ...).
+	Label string
+}
+
+// Table 1 composition of the 3505 validation uses, reconstructed from the
+// paper's published counts:
+//
+//   - Table 1 gives the ten most common built-ins (3124 uses) plus an
+//     "Other" bucket of 321;
+//   - Section 4.1 gives 60 user-defined validations (3505 - 3445 built-in);
+//   - Section 4.3 splits the custom validations 42 I-confluent / 18 not;
+//   - Sections 4.2 + 5.1 pin the aggregate safety fractions (86.9% safe
+//     under insertion, 36.6% under deletion, uniqueness = 12.7% of built-in
+//     uses), which fixes the split of presence validations into plain
+//     (62) vs association-guarding (1700) and of the Other bucket into
+//     value-local format checks (296) vs FK-checking plugin validations
+//     (25, validates_existence_of).
+const (
+	countPresenceAssoc   = 1700
+	countPresencePlain   = 62
+	countUniqueness      = 440
+	countLength          = 438
+	countInclusion       = 201
+	countNumericality    = 133
+	countAssociated      = 39
+	countEmail           = 34
+	countAttachmentCT    = 29
+	countAttachmentSize  = 29
+	countConfirmation    = 19
+	countOtherFormat     = 180 // validates_format_of
+	countOtherAcceptance = 60  // validates_acceptance_of
+	countOtherExclusion  = 56  // validates_exclusion_of
+	countOtherExistence  = 25  // validates_existence_of (FK plugin)
+	countCustomSafe      = 42
+	countCustomUnsafe    = 18
+
+	// CustomProjects is the number of projects declaring user-defined
+	// validations (Section 4.3).
+	CustomProjects = 17
+)
+
+// BuiltInComposition returns the pool of 3445 built-in validation instances.
+func BuiltInComposition() []ValidationKind {
+	var pool []ValidationKind
+	add := func(n int, k ValidationKind) {
+		for i := 0; i < n; i++ {
+			pool = append(pool, k)
+		}
+	}
+	add(countPresenceAssoc, ValidationKind{Validator: "validates_presence_of", OnAssociation: true})
+	add(countPresencePlain, ValidationKind{Validator: "validates_presence_of"})
+	add(countUniqueness, ValidationKind{Validator: "validates_uniqueness_of"})
+	add(countLength, ValidationKind{Validator: "validates_length_of"})
+	add(countInclusion, ValidationKind{Validator: "validates_inclusion_of"})
+	add(countNumericality, ValidationKind{Validator: "validates_numericality_of"})
+	add(countAssociated, ValidationKind{Validator: "validates_associated", OnAssociation: true})
+	add(countEmail, ValidationKind{Validator: "validates_email"})
+	add(countAttachmentCT, ValidationKind{Validator: "validates_attachment_content_type"})
+	add(countAttachmentSize, ValidationKind{Validator: "validates_attachment_size"})
+	add(countConfirmation, ValidationKind{Validator: "validates_confirmation_of"})
+	add(countOtherFormat, ValidationKind{Validator: "validates_format_of"})
+	add(countOtherAcceptance, ValidationKind{Validator: "validates_acceptance_of"})
+	add(countOtherExclusion, ValidationKind{Validator: "validates_exclusion_of"})
+	add(countOtherExistence, ValidationKind{Validator: "validates_existence_of", OnAssociation: true})
+	return pool
+}
+
+// CustomComposition returns the 60 user-defined validation instances.
+// Two are the named examples the paper discusses: Spree's
+// AvailabilityValidator and Discourse's PostValidator, both of which read
+// database state. Three perform foreign-key checking and three read
+// database-backed configuration (Section 4.3); the remaining ten unsafe
+// ones read other state.
+func CustomComposition() []ValidationKind {
+	var pool []ValidationKind
+	pool = append(pool, ValidationKind{
+		Validator: "availability_validator", Custom: true, ReadsDatabase: true,
+		Label: "Spree AvailabilityValidator (stock check)",
+	})
+	pool = append(pool, ValidationKind{
+		Validator: "post_validator", Custom: true, ReadsDatabase: true,
+		Label: "Discourse PostValidator (spam rate limit)",
+	})
+	for i := 0; i < 3; i++ {
+		pool = append(pool, ValidationKind{
+			Validator: "foreign_key_check", Custom: true, ReadsDatabase: true,
+			Label: "manual foreign key check",
+		})
+	}
+	for i := 0; i < 3; i++ {
+		pool = append(pool, ValidationKind{
+			Validator: "config_limit_check", Custom: true, ReadsDatabase: true,
+			Label: "database-backed configuration check",
+		})
+	}
+	for i := 0; i < countCustomUnsafe-8; i++ {
+		pool = append(pool, ValidationKind{
+			Validator: "stateful_check", Custom: true, ReadsDatabase: true,
+			Label: "user-defined stateful predicate",
+		})
+	}
+	for i := 0; i < countCustomSafe; i++ {
+		label := "credit card format check"
+		name := "card_format_check"
+		if i%2 == 1 {
+			label = "static username blacklist"
+			name = "blacklist_check"
+		}
+		pool = append(pool, ValidationKind{Validator: name, Custom: true, Label: label})
+	}
+	return pool
+}
+
+// DealValidations deterministically distributes the global validation pool
+// across the Table 2 applications so that each app receives exactly its
+// published Validations count and the corpus-wide kind totals equal Table 1.
+//
+// Custom validations are dealt first, into exactly CustomProjects apps
+// (the highest-validation apps, with Spree and Discourse pinned so their
+// named validators land where the paper found them); the built-in pool is
+// then shuffled with the given seed and dealt sequentially. Apps without
+// associations swap any association-guarding validations for plain ones.
+func DealValidations(seed int64) [][]ValidationKind {
+	rng := rand.New(rand.NewSource(seed))
+	perApp := make([][]ValidationKind, len(Table2))
+	remaining := make([]int, len(Table2))
+	for i, a := range Table2 {
+		remaining[i] = a.Validations
+	}
+
+	// 1. Custom validations into 17 projects.
+	customApps := customAppIndexes()
+	customs := CustomComposition()
+	spreeIdx, discourseIdx := appIndex("Spree"), appIndex("Discourse")
+	give := func(app int, k ValidationKind) {
+		perApp[app] = append(perApp[app], k)
+		remaining[app]--
+	}
+	give(spreeIdx, customs[0])     // AvailabilityValidator
+	give(discourseIdx, customs[1]) // PostValidator
+	rest := customs[2:]
+	for i, k := range rest {
+		give(customApps[i%len(customApps)], k)
+	}
+
+	// 2. Built-ins, shuffled and dealt in Table 2 order.
+	pool := BuiltInComposition()
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	next := 0
+	for i := range Table2 {
+		for remaining[i] > 0 {
+			give(i, pool[next])
+			next++
+		}
+	}
+
+	// 3. Fix-up: apps with zero associations cannot host association-
+	// guarding validations; swap with plain ones elsewhere.
+	for i, a := range Table2 {
+		if a.Associations > 0 {
+			continue
+		}
+		for j := range perApp[i] {
+			if !perApp[i][j].OnAssociation {
+				continue
+			}
+			if donor, k := findPlainPresence(perApp, i); donor >= 0 {
+				perApp[i][j], perApp[donor][k] = perApp[donor][k], perApp[i][j]
+			}
+		}
+	}
+	return perApp
+}
+
+// customAppIndexes picks the 17 projects that host user-defined validations:
+// the apps with the most validations (Spree and Discourse are among them).
+func customAppIndexes() []int {
+	type pair struct{ idx, v int }
+	pairs := make([]pair, len(Table2))
+	for i, a := range Table2 {
+		pairs[i] = pair{i, a.Validations}
+	}
+	for i := 1; i < len(pairs); i++ {
+		for j := i; j > 0 && pairs[j].v > pairs[j-1].v; j-- {
+			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+		}
+	}
+	out := make([]int, CustomProjects)
+	for i := 0; i < CustomProjects; i++ {
+		out[i] = pairs[i].idx
+	}
+	return out
+}
+
+func appIndex(name string) int {
+	for i, a := range Table2 {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// findPlainPresence locates a non-association validation in another app that
+// can be swapped for an association-guarding one.
+func findPlainPresence(perApp [][]ValidationKind, exclude int) (int, int) {
+	for i := range perApp {
+		if i == exclude || Table2[i].Associations == 0 {
+			continue
+		}
+		for j, k := range perApp[i] {
+			if !k.OnAssociation && !k.Custom {
+				return i, j
+			}
+		}
+	}
+	return -1, -1
+}

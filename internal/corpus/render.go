@@ -1,0 +1,268 @@
+package corpus
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Render produces the application's final source tree as path -> contents.
+func (a *App) Render() map[string]string {
+	return a.RenderAt(1.0)
+}
+
+// RenderAt produces the source tree as of the given fraction of the
+// application's commit history: entities whose introduction commit falls
+// after fraction*Commits are omitted. This is the generator-side equivalent
+// of checking out an old commit, and is what the Figure 6 longitudinal
+// analysis scans.
+func (a *App) RenderAt(fraction float64) map[string]string {
+	cutoff := int(fraction * float64(a.Stats.Commits))
+	if fraction >= 1.0 {
+		cutoff = a.Stats.Commits
+	}
+	out := make(map[string]string)
+
+	type modelBody struct {
+		lines   []string
+		classes []string // custom validator classes rendered before the model
+	}
+	bodies := make(map[int]*modelBody)
+	body := func(m int) *modelBody {
+		b := bodies[m]
+		if b == nil {
+			b = &modelBody{}
+			bodies[m] = b
+		}
+		return b
+	}
+
+	for _, m := range a.Models {
+		if m.IntroCommit > cutoff {
+			continue
+		}
+		b := body(m.Index)
+		if m.Optimistic {
+			b.lines = append(b.lines, "  self.locking_column = :lock_version")
+		}
+	}
+	for _, as := range a.Associations {
+		if as.IntroCommit > cutoff || a.Models[as.Model].IntroCommit > cutoff {
+			continue
+		}
+		line := fmt.Sprintf("  %s :%s", as.Kind, as.Name)
+		if as.Dependent != "" {
+			line += fmt.Sprintf(", :dependent => :%s", as.Dependent)
+		}
+		body(as.Model).lines = append(body(as.Model).lines, line)
+	}
+	for _, v := range a.Validations {
+		if v.IntroCommit > cutoff || a.Models[v.Model].IntroCommit > cutoff {
+			continue
+		}
+		b := body(v.Model)
+		lines, class := renderValidation(&v)
+		b.lines = append(b.lines, lines...)
+		if class != "" {
+			b.classes = append(b.classes, class)
+		}
+	}
+
+	// Model files (only for models introduced by the cutoff).
+	for _, m := range a.Models {
+		if m.IntroCommit > cutoff {
+			continue
+		}
+		b := body(m.Index)
+		var f strings.Builder
+		for _, cls := range b.classes {
+			f.WriteString(cls)
+			f.WriteString("\n")
+		}
+		fmt.Fprintf(&f, "class %s < ActiveRecord::Base\n", m.Name)
+		for _, line := range b.lines {
+			f.WriteString(line)
+			f.WriteString("\n")
+		}
+		f.WriteString("end\n")
+		out[filepath.Join(a.Slug, "app", "models", m.SnakeName()+".rb")] = f.String()
+	}
+
+	// Controllers: group transaction/lock call sites.
+	type ctrl struct{ lines []string }
+	ctrls := map[int]*ctrl{}
+	ctrlOf := func(i int) *ctrl {
+		c := ctrls[i]
+		if c == nil {
+			c = &ctrl{}
+			ctrls[i] = c
+		}
+		return c
+	}
+	for _, t := range a.Transactions {
+		if t.IntroCommit > cutoff {
+			continue
+		}
+		model := a.Models[t.Model].Name
+		c := ctrlOf(t.Controller)
+		c.lines = append(c.lines,
+			fmt.Sprintf("  def %s", t.Label),
+			fmt.Sprintf("    %s.transaction do", model),
+			fmt.Sprintf("      @record = %s.find(params[:id])", model),
+			"      @record.save!",
+			"    end",
+			"  end",
+		)
+	}
+	for _, l := range a.PessimisticLocks {
+		if l.IntroCommit > cutoff {
+			continue
+		}
+		model := a.Models[l.Model].Name
+		c := ctrlOf(l.Controller)
+		c.lines = append(c.lines,
+			fmt.Sprintf("  def %s", l.Label),
+			fmt.Sprintf("    @record = %s.lock.find(params[:id])", model),
+			"    @record.save!",
+			"  end",
+		)
+	}
+	ids := make([]int, 0, len(ctrls))
+	for i := range ctrls {
+		ids = append(ids, i)
+	}
+	sort.Ints(ids)
+	for _, i := range ids {
+		var f strings.Builder
+		fmt.Fprintf(&f, "class Controller%d < ApplicationController\n", i)
+		for _, line := range ctrls[i].lines {
+			f.WriteString(line)
+			f.WriteString("\n")
+		}
+		f.WriteString("end\n")
+		out[filepath.Join(a.Slug, "app", "controllers", fmt.Sprintf("controller_%d.rb", i))] = f.String()
+	}
+
+	out[filepath.Join(a.Slug, "config", "application.rb")] =
+		fmt.Sprintf("# %s — %s\nmodule %s\n  class Application < Rails::Application\n  end\nend\n",
+			a.Stats.Name, a.Stats.Description, strings.ReplaceAll(a.Stats.Name, " ", ""))
+	return out
+}
+
+// renderValidation renders one validation declaration. Returns the lines to
+// insert in the class body and, for class-based custom validators, the class
+// definition to emit before the model.
+func renderValidation(v *GeneratedValidation) ([]string, string) {
+	k := v.Kind
+	switch {
+	case k.Custom && v.ClassBased:
+		className := camel(k.Validator)
+		probe := fmt.Sprintf("record.%s =~ /\\A[0-9-]+\\z/", v.Field)
+		if k.ReadsDatabase {
+			probe = fmt.Sprintf("StockItem.where(:sku => record.sku).first.count_on_hand >= record.%s", v.Field)
+		}
+		class := fmt.Sprintf(`class %s < ActiveModel::Validator
+  # %s
+  def validate(record)
+    record.errors.add(:%s, 'is invalid') unless %s
+  end
+end
+`, className, k.Label, v.Field, probe)
+		return []string{fmt.Sprintf("  validates_with %s", className)}, class
+	case k.Custom:
+		probe := "value =~ /\\A[0-9-]+\\z/"
+		if k.ReadsDatabase {
+			probe = "StockItem.where(:sku => record.sku).first.count_on_hand >= value"
+		}
+		return []string{
+			fmt.Sprintf("  validates_each :%s do |record, attr, value|", v.Field),
+			fmt.Sprintf("    record.errors.add(attr, 'is invalid') unless %s", probe),
+			"  end",
+		}, ""
+	}
+
+	old := func(option string) []string {
+		return []string{fmt.Sprintf("  %s :%s%s", k.Validator, v.Field, option)}
+	}
+	neu := func(option string) []string {
+		return []string{fmt.Sprintf("  validates :%s, %s", v.Field, option)}
+	}
+	switch k.Validator {
+	case "validates_presence_of":
+		if v.NewSyntax {
+			return neu(":presence => true"), ""
+		}
+		return old(""), ""
+	case "validates_uniqueness_of":
+		if v.NewSyntax {
+			return neu(":uniqueness => true"), ""
+		}
+		return old(""), ""
+	case "validates_length_of":
+		if v.NewSyntax {
+			return neu(":length => { :maximum => 255 }"), ""
+		}
+		return old(", :maximum => 255"), ""
+	case "validates_inclusion_of":
+		if v.NewSyntax {
+			return neu(":inclusion => { :in => %w(active archived) }"), ""
+		}
+		return old(", :in => %w(active archived)"), ""
+	case "validates_numericality_of":
+		if v.NewSyntax {
+			return neu(":numericality => { :greater_than_or_equal_to => 0 }"), ""
+		}
+		return old(", :greater_than_or_equal_to => 0"), ""
+	case "validates_associated":
+		return old(""), ""
+	case "validates_email":
+		return old(""), ""
+	case "validates_attachment_content_type":
+		return old(", :content_type => %w(image/png image/jpeg)"), ""
+	case "validates_attachment_size":
+		return old(", :less_than => 5.megabytes"), ""
+	case "validates_confirmation_of":
+		return old(""), ""
+	case "validates_format_of":
+		return old(", :with => /\\A[a-z0-9-]+\\z/"), ""
+	case "validates_acceptance_of":
+		return old(""), ""
+	case "validates_exclusion_of":
+		return old(", :in => %w(admin root)"), ""
+	case "validates_existence_of":
+		return old(""), ""
+	default:
+		return old(""), ""
+	}
+}
+
+func camel(snake string) string {
+	parts := strings.Split(snake, "_")
+	var b strings.Builder
+	for _, p := range parts {
+		if p == "" {
+			continue
+		}
+		b.WriteString(strings.ToUpper(p[:1]))
+		b.WriteString(p[1:])
+	}
+	return b.String()
+}
+
+// WriteTo materializes the corpus tree under dir.
+func (c *Corpus) WriteTo(dir string) error {
+	for _, app := range c.Apps {
+		for path, content := range app.Render() {
+			full := filepath.Join(dir, path)
+			if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+				return err
+			}
+			if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

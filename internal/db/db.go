@@ -1,0 +1,141 @@
+// Package db exposes the embedded database through a connection-oriented
+// API: a DB handle produces Conns, each Conn carries at most one open
+// transaction, and Conns are safe to use from one goroutine at a time.
+//
+// The same Conn interface is implemented by package wire's TCP client, so
+// every layer above (the ORM, the application server, the experiments) is
+// indifferent to whether the database is in-process or across a network —
+// mirroring how the paper's Rails applications spoke to a remote PostgreSQL.
+package db
+
+import (
+	"sync"
+
+	"feralcc/internal/sqlexec"
+	"feralcc/internal/storage"
+)
+
+// Result re-exports the executor result type.
+type Result = sqlexec.Result
+
+// Conn is one logical database connection.
+type Conn interface {
+	// Exec parses and executes one SQL statement with `?` placeholders
+	// bound to args.
+	Exec(sql string, args ...storage.Value) (*Result, error)
+	// Close releases the connection, rolling back any open transaction.
+	Close() error
+}
+
+// DB is a handle on an embedded database.
+type DB struct {
+	store *storage.Database
+}
+
+// Open creates an empty embedded database.
+func Open(opts storage.Options) *DB {
+	return &DB{store: storage.Open(opts)}
+}
+
+// Wrap adapts an existing storage database.
+func Wrap(store *storage.Database) *DB { return &DB{store: store} }
+
+// Store exposes the underlying storage engine (used by tests and by
+// experiment verification code that needs raw access).
+func (d *DB) Store() *storage.Database { return d.store }
+
+// Connect opens a new connection.
+func (d *DB) Connect() Conn {
+	return &embeddedConn{session: sqlexec.NewSession(d.store)}
+}
+
+// ExecScript runs a semicolon-separated SQL script on a throwaway
+// connection, stopping at the first error. Convenient for schema setup.
+func (d *DB) ExecScript(script string) error {
+	conn := d.Connect()
+	defer conn.Close()
+	return ExecScript(conn, script)
+}
+
+// ExecScript runs a semicolon-separated script on an existing connection.
+func ExecScript(conn Conn, script string) error {
+	stmts, err := splitScript(script)
+	if err != nil {
+		return err
+	}
+	for _, stmt := range stmts {
+		if _, err := conn.Exec(stmt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitScript splits a script on semicolons outside string literals.
+func splitScript(script string) ([]string, error) {
+	var out []string
+	var cur []byte
+	inString := false
+	for i := 0; i < len(script); i++ {
+		c := script[i]
+		switch {
+		case c == '\'':
+			inString = !inString
+			cur = append(cur, c)
+		case c == ';' && !inString:
+			if s := trimSpace(string(cur)); s != "" {
+				out = append(out, s)
+			}
+			cur = cur[:0]
+		default:
+			cur = append(cur, c)
+		}
+	}
+	if s := trimSpace(string(cur)); s != "" {
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func trimSpace(s string) string {
+	start, end := 0, len(s)
+	for start < end && isSpace(s[start]) {
+		start++
+	}
+	for end > start && isSpace(s[end-1]) {
+		end--
+	}
+	return s[start:end]
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+// embeddedConn is an in-process connection. A mutex serializes use so that
+// accidental cross-goroutine sharing fails safe rather than corrupting the
+// session's transaction state.
+type embeddedConn struct {
+	mu      sync.Mutex
+	session *sqlexec.Session
+	closed  bool
+}
+
+// Exec implements Conn.
+func (c *embeddedConn) Exec(sql string, args ...storage.Value) (*Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, storage.ErrTxDone
+	}
+	return c.session.Exec(sql, args...)
+}
+
+// Close implements Conn.
+func (c *embeddedConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.session.Reset()
+		c.closed = true
+	}
+	return nil
+}

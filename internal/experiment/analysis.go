@@ -1,0 +1,243 @@
+package experiment
+
+import (
+	"sort"
+
+	"feralcc/internal/corpus"
+	"feralcc/internal/iconfluence"
+	"feralcc/internal/railsscan"
+)
+
+// CorpusAnalysis bundles everything derived from one generated corpus scan.
+type CorpusAnalysis struct {
+	Corpus *corpus.Corpus
+	Counts []*railsscan.Counts
+	Report *iconfluence.Report
+}
+
+// RunCorpusAnalysis generates the synthetic corpus, scans every application
+// with the static analyzer, and classifies the found invariants — the whole
+// Sections 3–4 pipeline (Table 1, Table 2, Figure 1, safety percentages).
+func RunCorpusAnalysis(seed int64) *CorpusAnalysis {
+	c := corpus.Generate(seed)
+	var counts []*railsscan.Counts
+	for _, app := range c.Apps {
+		counts = append(counts, railsscan.Scan(app.Stats.Name, app.Render()))
+	}
+	return &CorpusAnalysis{
+		Corpus: c,
+		Counts: counts,
+		Report: iconfluence.Analyze(railsscan.MergeInvariants(counts)),
+	}
+}
+
+// Figure1Row is one application's mechanism intensity (the per-app series of
+// Figure 1).
+type Figure1Row struct {
+	App                  string
+	Models               int
+	TransactionsPerModel float64
+	ValidationsPerModel  float64
+	AssociationsPerModel float64
+}
+
+// Figure1 derives the per-application Figure 1 series from a scan.
+func Figure1(counts []*railsscan.Counts) (rows []Figure1Row, avg Figure1Row) {
+	var sumM, sumT, sumV, sumA float64
+	for _, c := range counts {
+		m := float64(c.Models)
+		if m == 0 {
+			m = 1
+		}
+		rows = append(rows, Figure1Row{
+			App:                  c.App,
+			Models:               c.Models,
+			TransactionsPerModel: float64(c.Transactions) / m,
+			ValidationsPerModel:  float64(c.Validations) / m,
+			AssociationsPerModel: float64(c.Associations) / m,
+		})
+		sumM += float64(c.Models)
+		sumT += float64(c.Transactions) / m
+		sumV += float64(c.Validations) / m
+		sumA += float64(c.Associations) / m
+	}
+	n := float64(len(counts))
+	if n == 0 {
+		return rows, avg
+	}
+	avg = Figure1Row{
+		App:                  "average",
+		Models:               int(sumM / n),
+		TransactionsPerModel: sumT / n,
+		ValidationsPerModel:  sumV / n,
+		AssociationsPerModel: sumA / n,
+	}
+	return rows, avg
+}
+
+// HistoryPoint is one Figure 6 snapshot: the median fraction of the final
+// mechanism count present at a given fraction of project history.
+type HistoryPoint struct {
+	Fraction     float64
+	Models       float64
+	Transactions float64
+	Validations  float64
+	Associations float64
+}
+
+// RunHistoryAnalysis reproduces Figure 6 by rendering each application at a
+// sequence of history fractions, re-scanning the snapshot, and taking the
+// median share of each mechanism's final count. As in the paper, projects
+// with zero occurrences of a mechanism are omitted from that mechanism's
+// median.
+func RunHistoryAnalysis(c *corpus.Corpus, points int) []HistoryPoint {
+	finals := make([]*railsscan.Counts, len(c.Apps))
+	for i, app := range c.Apps {
+		finals[i] = railsscan.Scan(app.Stats.Name, app.Render())
+	}
+	var out []HistoryPoint
+	for p := 1; p <= points; p++ {
+		f := float64(p) / float64(points)
+		var mShare, tShare, vShare, aShare []float64
+		for i, app := range c.Apps {
+			snap := railsscan.Scan(app.Stats.Name, app.RenderAt(f))
+			if finals[i].Models > 0 {
+				mShare = append(mShare, float64(snap.Models)/float64(finals[i].Models))
+			}
+			if finals[i].Transactions > 0 {
+				tShare = append(tShare, float64(snap.Transactions)/float64(finals[i].Transactions))
+			}
+			if finals[i].Validations > 0 {
+				vShare = append(vShare, float64(snap.Validations)/float64(finals[i].Validations))
+			}
+			if finals[i].Associations > 0 {
+				aShare = append(aShare, float64(snap.Associations)/float64(finals[i].Associations))
+			}
+		}
+		out = append(out, HistoryPoint{
+			Fraction:     f,
+			Models:       median(mShare),
+			Transactions: median(tShare),
+			Validations:  median(vShare),
+			Associations: median(aShare),
+		})
+	}
+	return out
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	mid := len(xs) / 2
+	if len(xs)%2 == 1 {
+		return xs[mid]
+	}
+	return (xs[mid-1] + xs[mid]) / 2
+}
+
+// AuthorshipSummary is the Figure 7 aggregate: the average (across
+// projects) fraction of authors needed to cover 95% of commits, and of
+// invariants (validations plus associations).
+type AuthorshipSummary struct {
+	CommitAuthorShare95    float64 // paper: 0.424
+	InvariantAuthorShare95 float64 // paper: 0.203
+	// CDFs are the average cumulative curves over a [0,1] author-fraction
+	// grid, for plotting.
+	Grid         []float64
+	CommitCDF    []float64
+	InvariantCDF []float64
+}
+
+// RunAuthorshipAnalysis reproduces Figure 7 from the generator's commit and
+// blame metadata (the git-log/git-blame equivalents).
+func RunAuthorshipAnalysis(c *corpus.Corpus) AuthorshipSummary {
+	grid := make([]float64, 21)
+	for i := range grid {
+		grid[i] = float64(i) / 20
+	}
+	sum := AuthorshipSummary{Grid: grid,
+		CommitCDF: make([]float64, len(grid)), InvariantCDF: make([]float64, len(grid))}
+	var share95Commits, share95Inv float64
+	apps := 0
+	for _, app := range c.Apps {
+		commitCounts := append([]int(nil), app.CommitAuthorCounts...)
+		invCounts := make([]int, app.Stats.Authors)
+		for _, v := range app.Validations {
+			invCounts[v.Author]++
+		}
+		for _, a := range app.Associations {
+			invCounts[a.Author]++
+		}
+		cc := authorCDF(commitCounts, grid)
+		ic := authorCDF(invCounts, grid)
+		if cc == nil || ic == nil {
+			continue
+		}
+		apps++
+		for i := range grid {
+			sum.CommitCDF[i] += cc[i]
+			sum.InvariantCDF[i] += ic[i]
+		}
+		share95Commits += shareCovering(commitCounts, 0.95)
+		share95Inv += shareCovering(invCounts, 0.95)
+	}
+	if apps > 0 {
+		for i := range grid {
+			sum.CommitCDF[i] /= float64(apps)
+			sum.InvariantCDF[i] /= float64(apps)
+		}
+		sum.CommitAuthorShare95 = share95Commits / float64(apps)
+		sum.InvariantAuthorShare95 = share95Inv / float64(apps)
+	}
+	return sum
+}
+
+// authorCDF returns, for each author-fraction grid point, the fraction of
+// units authored by that top share of authors (authors sorted by
+// contribution, descending).
+func authorCDF(counts []int, grid []float64) []float64 {
+	sorted := append([]int(nil), counts...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	total := 0
+	for _, n := range sorted {
+		total += n
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]float64, len(grid))
+	for i, g := range grid {
+		k := int(g * float64(len(sorted)))
+		covered := 0
+		for j := 0; j < k && j < len(sorted); j++ {
+			covered += sorted[j]
+		}
+		out[i] = float64(covered) / float64(total)
+	}
+	return out
+}
+
+// shareCovering returns the minimum fraction of authors (sorted descending)
+// whose contributions cover `target` of the total.
+func shareCovering(counts []int, target float64) float64 {
+	sorted := append([]int(nil), counts...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	total := 0
+	for _, n := range sorted {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	need := target * float64(total)
+	covered := 0.0
+	for i, n := range sorted {
+		covered += float64(n)
+		if covered >= need {
+			return float64(i+1) / float64(len(sorted))
+		}
+	}
+	return 1
+}

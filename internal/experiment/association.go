@@ -1,0 +1,306 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"feralcc/internal/appserver"
+	"feralcc/internal/db"
+	"feralcc/internal/orm"
+	"feralcc/internal/storage"
+)
+
+// AssociationVariant selects the referential-integrity mechanism under test.
+type AssociationVariant uint8
+
+const (
+	// NoConstraints uses the bare models: deletes do not cascade at all.
+	NoConstraints AssociationVariant = iota
+	// FeralAssociation uses the Rails machinery: has_many :dependent =>
+	// :destroy plus validates :department, :presence => true.
+	FeralAssociation
+	// InDatabaseFK adds the in-database foreign key (ON DELETE CASCADE)
+	// migration on top of the feral machinery (footnote 13).
+	InDatabaseFK
+)
+
+func (v AssociationVariant) String() string {
+	switch v {
+	case NoConstraints:
+		return "without validation"
+	case FeralAssociation:
+		return "with validation"
+	case InDatabaseFK:
+		return "with validation + in-database FK"
+	default:
+		return fmt.Sprintf("AssociationVariant(%d)", uint8(v))
+	}
+}
+
+// AssociationStressConfig parameterizes the Figure 4 stress test.
+type AssociationStressConfig struct {
+	// Workers is the x-axis (paper: 1..64).
+	Workers []int
+	// Departments is the number of rounds, one department each (100).
+	Departments int
+	// InsertsPerDepartment is the number of concurrent user creations racing
+	// each department's deletion (64).
+	InsertsPerDepartment int
+	Isolation            storage.IsolationLevel
+	ThinkTime            time.Duration
+}
+
+// DefaultAssociationStressConfig returns the paper's parameters.
+func DefaultAssociationStressConfig() AssociationStressConfig {
+	return AssociationStressConfig{
+		Workers:              []int{1, 2, 4, 8, 16, 32, 64},
+		Departments:          100,
+		InsertsPerDepartment: 64,
+		Isolation:            storage.ReadCommitted,
+		ThinkTime:            time.Millisecond,
+	}
+}
+
+// AssociationStressPoint is one Figure 4 data point.
+type AssociationStressPoint struct {
+	Workers int
+	Orphans map[AssociationVariant]int64
+}
+
+// RunAssociationStress reproduces Figure 4: for each department, issue one
+// deletion alongside 64 concurrent user insertions, and count users whose
+// department no longer exists.
+func RunAssociationStress(cfg AssociationStressConfig) ([]AssociationStressPoint, error) {
+	var out []AssociationStressPoint
+	for _, p := range cfg.Workers {
+		point := AssociationStressPoint{Workers: p, Orphans: map[AssociationVariant]int64{}}
+		for _, variant := range []AssociationVariant{NoConstraints, FeralAssociation, InDatabaseFK} {
+			orphans, err := associationStressCell(cfg, p, variant)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: association stress P=%d %v: %w", p, variant, err)
+			}
+			point.Orphans[variant] = orphans
+		}
+		out = append(out, point)
+	}
+	return out, nil
+}
+
+// associationTables returns the model and table names for a variant.
+func associationTables(variant AssociationVariant) (deptModel, userModel, usersTable, fkCol, deptsTable string) {
+	if variant == NoConstraints {
+		return "SimpleDepartment", "SimpleUser", "simple_users", "simple_department_id", "simple_departments"
+	}
+	return "ValidatedDepartment", "ValidatedUser", "validated_users", "validated_department_id", "validated_departments"
+}
+
+func newAssociationStack(isolation storage.IsolationLevel, variant AssociationVariant, workers int, think time.Duration) (*db.DB, *appserver.Pool, error) {
+	d := db.Open(storage.Options{DefaultIsolation: isolation, LockTimeout: 2 * time.Second})
+	registry, err := appserver.AssociationModels()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := appserver.MigrateOn(d, registry); err != nil {
+		return nil, nil, err
+	}
+	if variant == InDatabaseFK {
+		conn := d.Connect()
+		_, err := conn.Exec("ALTER TABLE validated_users ADD FOREIGN KEY (validated_department_id) " +
+			"REFERENCES validated_departments ON DELETE CASCADE")
+		conn.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	pool, err := appserver.NewPool(workers, registry, func() db.Conn { return d.Connect() })
+	if err != nil {
+		return nil, nil, err
+	}
+	pool.Configure(func(w *appserver.Worker) { w.Session.ThinkTime = think })
+	return d, pool, nil
+}
+
+func associationStressCell(cfg AssociationStressConfig, workers int, variant AssociationVariant) (int64, error) {
+	d, pool, err := newAssociationStack(cfg.Isolation, variant, workers, cfg.ThinkTime)
+	if err != nil {
+		return 0, err
+	}
+	defer pool.Close()
+	deptModel, userModel, usersTable, fkCol, deptsTable := associationTables(variant)
+
+	// Create the departments up front (Appendix C.5).
+	for i := 1; i <= cfg.Departments; i++ {
+		err := pool.Do(func(w *appserver.Worker) error {
+			rec, err := w.Session.New(deptModel, map[string]storage.Value{
+				"name": storage.Str(fmt.Sprintf("dept-%d", i)),
+			})
+			if err != nil {
+				return err
+			}
+			if err := rec.Set("id", storage.Int(int64(i))); err != nil {
+				return err
+			}
+			return w.Session.Save(rec)
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	for i := 1; i <= cfg.Departments; i++ {
+		deptID := int64(i)
+		var wg sync.WaitGroup
+		wg.Add(cfg.InsertsPerDepartment + 1)
+		go func() {
+			defer wg.Done()
+			_ = pool.Do(func(w *appserver.Worker) error {
+				rec, err := w.Session.Find(deptModel, deptID)
+				if err != nil {
+					return err
+				}
+				return w.Session.Destroy(rec)
+			})
+		}()
+		for c := 0; c < cfg.InsertsPerDepartment; c++ {
+			go func() {
+				defer wg.Done()
+				_ = pool.Do(func(w *appserver.Worker) error {
+					_, err := w.Session.Create(userModel, map[string]storage.Value{
+						fkCol: storage.Int(deptID),
+					})
+					return err
+				})
+			}()
+		}
+		wg.Wait()
+	}
+	conn := d.Connect()
+	defer conn.Close()
+	return appserver.CountOrphans(conn, usersTable, fkCol, deptsTable)
+}
+
+// AssociationWorkloadConfig parameterizes the Figure 5 workload test.
+type AssociationWorkloadConfig struct {
+	// DepartmentCounts is the x-axis (paper: 1 to 10000).
+	DepartmentCounts []int
+	// Clients concurrent clients (64) each issuing Ops operations (100) in a
+	// 10:1 create:delete mix.
+	Clients   int
+	Ops       int
+	Workers   int
+	Isolation storage.IsolationLevel
+	Seed      int64
+	ThinkTime time.Duration
+}
+
+// DefaultAssociationWorkloadConfig returns the paper's parameters.
+func DefaultAssociationWorkloadConfig() AssociationWorkloadConfig {
+	return AssociationWorkloadConfig{
+		DepartmentCounts: []int{1, 10, 100, 1000, 10000},
+		Clients:          64,
+		Ops:              100,
+		Workers:          64,
+		Isolation:        storage.ReadCommitted,
+		Seed:             2015,
+		ThinkTime:        time.Millisecond,
+	}
+}
+
+// AssociationWorkloadPoint is one Figure 5 data point.
+type AssociationWorkloadPoint struct {
+	Departments int
+	Orphans     map[AssociationVariant]int64
+}
+
+// RunAssociationWorkload reproduces Figure 5: concurrent clients create
+// users under random departments and delete random departments at a 10:1
+// ratio; orphans result only when a deletion's feral cascade misses a
+// racing insertion.
+func RunAssociationWorkload(cfg AssociationWorkloadConfig) ([]AssociationWorkloadPoint, error) {
+	var out []AssociationWorkloadPoint
+	for _, depts := range cfg.DepartmentCounts {
+		point := AssociationWorkloadPoint{Departments: depts, Orphans: map[AssociationVariant]int64{}}
+		for _, variant := range []AssociationVariant{NoConstraints, FeralAssociation} {
+			orphans, err := associationWorkloadCell(cfg, depts, variant)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: association workload D=%d %v: %w", depts, variant, err)
+			}
+			point.Orphans[variant] = orphans
+		}
+		out = append(out, point)
+	}
+	return out, nil
+}
+
+func associationWorkloadCell(cfg AssociationWorkloadConfig, departments int, variant AssociationVariant) (int64, error) {
+	d, pool, err := newAssociationStack(cfg.Isolation, variant, cfg.Workers, cfg.ThinkTime)
+	if err != nil {
+		return 0, err
+	}
+	defer pool.Close()
+	deptModel, userModel, usersTable, fkCol, deptsTable := associationTables(variant)
+
+	for i := 1; i <= departments; i++ {
+		err := pool.Do(func(w *appserver.Worker) error {
+			rec, err := w.Session.New(deptModel, map[string]storage.Value{
+				"name": storage.Str(fmt.Sprintf("dept-%d", i)),
+			})
+			if err != nil {
+				return err
+			}
+			if err := rec.Set("id", storage.Int(int64(i))); err != nil {
+				return err
+			}
+			return w.Session.Save(rec)
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(cfg.Clients)
+	for c := 0; c < cfg.Clients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)*104729))
+			for op := 0; op < cfg.Ops; op++ {
+				deptID := int64(rng.Intn(departments) + 1)
+				if rng.Float64() < 1.0/11.0 {
+					_ = pool.Do(func(w *appserver.Worker) error {
+						rec, err := w.Session.Find(deptModel, deptID)
+						if err != nil {
+							return err // already deleted: fine
+						}
+						return w.Session.Destroy(rec)
+					})
+				} else {
+					_ = pool.Do(func(w *appserver.Worker) error {
+						_, err := w.Session.Create(userModel, map[string]storage.Value{
+							fkCol: storage.Int(deptID),
+						})
+						return err
+					})
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	conn := d.Connect()
+	defer conn.Close()
+	return appserver.CountOrphans(conn, usersTable, fkCol, deptsTable)
+}
+
+// errIgnorable reports whether an experiment request failure is an expected
+// loss mode rather than an infrastructure error (exported for tests).
+func errIgnorable(err error) bool {
+	return err == nil ||
+		errors.Is(err, orm.ErrRecordInvalid) ||
+		errors.Is(err, orm.ErrRecordNotFound) ||
+		errors.Is(err, storage.ErrUniqueViolation) ||
+		errors.Is(err, storage.ErrForeignKeyViolation) ||
+		errors.Is(err, storage.ErrSerialization)
+}

@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"time"
+
+	"feralcc/internal/appserver"
+	"feralcc/internal/db"
+	"feralcc/internal/storage"
+)
+
+// SSIBugResult reproduces the paper's footnote 8 (PostgreSQL BUG #11732):
+// the uniqueness stress workload run under nominally SERIALIZABLE isolation,
+// once against a correct implementation and once with the phantom-
+// certification bug enabled.
+type SSIBugResult struct {
+	DuplicatesCorrect int64
+	DuplicatesBuggy   int64
+	// ReadCommitted is the same workload at the weak default, for the
+	// footnote's comparison ("the number of anomalies is reduced compared to
+	// the number under Read Committed ... but we still detected duplicate
+	// records").
+	DuplicatesReadCommitted int64
+}
+
+// RunSSIBug measures duplicate admission for the feral validator under
+// Serializable (correct), Serializable with the phantom bug, and Read
+// Committed.
+func RunSSIBug(workers, rounds, concurrency int) (SSIBugResult, error) {
+	run := func(level storage.IsolationLevel, bug bool) (int64, error) {
+		cfg := StressConfig{
+			Workers:     []int{workers},
+			Concurrency: concurrency,
+			Rounds:      rounds,
+			Isolation:   level,
+			PhantomBug:  bug,
+			ThinkTime:   time.Millisecond,
+		}
+		return ssiBugCell(cfg)
+	}
+	var res SSIBugResult
+	var err error
+	if res.DuplicatesCorrect, err = run(storage.Serializable, false); err != nil {
+		return res, err
+	}
+	if res.DuplicatesBuggy, err = run(storage.Serializable, true); err != nil {
+		return res, err
+	}
+	if res.DuplicatesReadCommitted, err = run(storage.ReadCommitted, false); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// ssiBugCell runs the feral-validation variant only.
+func ssiBugCell(cfg StressConfig) (int64, error) {
+	d := db.Open(storage.Options{
+		DefaultIsolation: cfg.Isolation,
+		PhantomBug:       cfg.PhantomBug,
+		LockTimeout:      2 * time.Second,
+	})
+	registry, err := appserver.UniquenessModels()
+	if err != nil {
+		return 0, err
+	}
+	if err := appserver.MigrateOn(d, registry); err != nil {
+		return 0, err
+	}
+	pool, err := appserver.NewPool(cfg.Workers[0], registry, func() db.Conn { return d.Connect() })
+	if err != nil {
+		return 0, err
+	}
+	defer pool.Close()
+	pool.Configure(func(w *appserver.Worker) { w.Session.ThinkTime = cfg.ThinkTime })
+	if err := runStressRounds(pool, "ValidatedKeyValue", cfg.Rounds, cfg.Concurrency); err != nil {
+		return 0, err
+	}
+	conn := d.Connect()
+	defer conn.Close()
+	return appserver.CountDuplicates(conn, "validated_key_values")
+}

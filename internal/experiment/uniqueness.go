@@ -1,0 +1,299 @@
+// Package experiment implements one runner per table and figure of the
+// paper's evaluation: the uniqueness and association anomaly measurements of
+// Section 5 (Figures 2–5), the corpus census of Section 3 (Table 2,
+// Figures 1, 6, 7), the I-confluence classification of Section 4 (Table 1
+// and the safety percentages), the PostgreSQL SSI bug reproduction of
+// footnote 8, and the cross-framework survey of Section 6.
+package experiment
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"feralcc/internal/appserver"
+	"feralcc/internal/db"
+	"feralcc/internal/storage"
+	"feralcc/internal/workload"
+)
+
+// UniquenessVariant selects the integrity mechanism under test.
+type UniquenessVariant uint8
+
+const (
+	// NoValidation inserts blindly (SimpleKeyValue).
+	NoValidation UniquenessVariant = iota
+	// FeralValidation uses the application-level uniqueness validation
+	// (ValidatedKeyValue) — the paper's default Rails behavior.
+	FeralValidation
+	// FeralWithIndex adds the in-database unique index migration on top of
+	// the feral validation — the paper's remedy (footnote 10).
+	FeralWithIndex
+)
+
+func (v UniquenessVariant) String() string {
+	switch v {
+	case NoValidation:
+		return "without validation"
+	case FeralValidation:
+		return "with validation"
+	case FeralWithIndex:
+		return "with validation + unique index"
+	default:
+		return fmt.Sprintf("UniquenessVariant(%d)", uint8(v))
+	}
+}
+
+// StressConfig parameterizes the Figure 2 uniqueness stress test.
+type StressConfig struct {
+	// Workers is the x-axis: Unicorn worker counts (paper: 1..64).
+	Workers []int
+	// Concurrency is the number of simultaneous requests per round (64).
+	Concurrency int
+	// Rounds is the number of rounds, one fresh key each (100).
+	Rounds int
+	// Isolation is the database default isolation level (Read Committed in
+	// the paper's PostgreSQL deployment).
+	Isolation storage.IsolationLevel
+	// PhantomBug enables the PostgreSQL bug #11732 reproduction when
+	// Isolation is Serializable.
+	PhantomBug bool
+	// ThinkTime is the simulated application-tier processing separating a
+	// validation from its write (see orm.Session.ThinkTime). Zero collapses
+	// the race window to nanoseconds and hides the anomalies the paper
+	// measured against a real Rails stack.
+	ThinkTime time.Duration
+}
+
+// DefaultStressConfig returns the paper's parameters.
+func DefaultStressConfig() StressConfig {
+	return StressConfig{
+		Workers:     []int{1, 2, 4, 8, 16, 32, 64},
+		Concurrency: 64,
+		Rounds:      100,
+		Isolation:   storage.ReadCommitted,
+		ThinkTime:   time.Millisecond,
+	}
+}
+
+// StressPoint is one Figure 2 data point.
+type StressPoint struct {
+	Workers    int
+	Duplicates map[UniquenessVariant]int64
+}
+
+// RunUniquenessStress reproduces Figure 2: for each worker count, issue
+// Rounds sets of Concurrency simultaneous creations of the same key and
+// count surviving duplicate records per variant.
+func RunUniquenessStress(cfg StressConfig) ([]StressPoint, error) {
+	var out []StressPoint
+	for _, p := range cfg.Workers {
+		point := StressPoint{Workers: p, Duplicates: map[UniquenessVariant]int64{}}
+		for _, variant := range []UniquenessVariant{NoValidation, FeralValidation, FeralWithIndex} {
+			dups, err := uniquenessStressCell(cfg, p, variant)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: stress P=%d %v: %w", p, variant, err)
+			}
+			point.Duplicates[variant] = dups
+		}
+		out = append(out, point)
+	}
+	return out, nil
+}
+
+// uniquenessStressCell runs one (worker count, variant) cell on a fresh
+// database and returns the duplicate count.
+func uniquenessStressCell(cfg StressConfig, workers int, variant UniquenessVariant) (int64, error) {
+	d, pool, table, model, err := buildUniquenessStack(cfg, workers, variant)
+	if err != nil {
+		return 0, err
+	}
+	defer pool.Close()
+	if err := runStressRounds(pool, model, cfg.Rounds, cfg.Concurrency); err != nil {
+		return 0, err
+	}
+	conn := d.Connect()
+	defer conn.Close()
+	return countDuplicatesOn(conn, table)
+}
+
+// buildUniquenessStack assembles a fresh database, registry, migrations,
+// and worker pool for one uniqueness-experiment cell.
+func buildUniquenessStack(cfg StressConfig, workers int, variant UniquenessVariant) (*db.DB, *appserver.Pool, string, string, error) {
+	d := db.Open(storage.Options{
+		DefaultIsolation: cfg.Isolation,
+		PhantomBug:       cfg.PhantomBug,
+		LockTimeout:      2 * time.Second,
+	})
+	registry, err := appserver.UniquenessModels()
+	if err != nil {
+		return nil, nil, "", "", err
+	}
+	if err := appserver.MigrateOn(d, registry); err != nil {
+		return nil, nil, "", "", err
+	}
+	model, table := "SimpleKeyValue", "simple_key_values"
+	if variant != NoValidation {
+		model, table = "ValidatedKeyValue", "validated_key_values"
+	}
+	if variant == FeralWithIndex {
+		conn := d.Connect()
+		_, err := conn.Exec("CREATE UNIQUE INDEX ON validated_key_values (key)")
+		conn.Close()
+		if err != nil {
+			return nil, nil, "", "", err
+		}
+	}
+	pool, err := appserver.NewPool(workers, registry, func() db.Conn { return d.Connect() })
+	if err != nil {
+		return nil, nil, "", "", err
+	}
+	pool.Configure(func(w *appserver.Worker) { w.Session.ThinkTime = cfg.ThinkTime })
+	return d, pool, table, model, nil
+}
+
+// countDuplicatesOn aliases the appendix C.2 duplicate counter.
+func countDuplicatesOn(conn db.Conn, table string) (int64, error) {
+	return appserver.CountDuplicates(conn, table)
+}
+
+// runStressRounds issues Rounds sets of Concurrency simultaneous creations,
+// one fresh key per round, blocking between rounds so every round races
+// internally (Appendix C.2).
+func runStressRounds(pool *appserver.Pool, model string, rounds, concurrency int) error {
+	for round := 0; round < rounds; round++ {
+		key := fmt.Sprintf("key-%d", round)
+		var wg sync.WaitGroup
+		wg.Add(concurrency)
+		for c := 0; c < concurrency; c++ {
+			go func() {
+				defer wg.Done()
+				// Validation failures and unique violations are the point of
+				// the experiment, not errors of it.
+				_ = pool.Do(func(w *appserver.Worker) error {
+					_, err := w.Session.Create(model, map[string]storage.Value{
+						"key":   storage.Str(key),
+						"value": storage.Str("v"),
+					})
+					return err
+				})
+			}()
+		}
+		wg.Wait()
+	}
+	return nil
+}
+
+// WorkloadConfig parameterizes the Figure 3 uniqueness workload test.
+type WorkloadConfig struct {
+	// KeySpaces is the x-axis (paper: 1 to 1M).
+	KeySpaces []int64
+	// Distributions to sweep (paper: uniform, YCSB, LinkBench x2).
+	Distributions []string
+	// Clients is the number of concurrent clients (64), each issuing
+	// OpsPerClient operations (100).
+	Clients      int
+	OpsPerClient int
+	// Workers is the Unicorn pool size (64).
+	Workers   int
+	Isolation storage.IsolationLevel
+	Seed      int64
+	ThinkTime time.Duration
+}
+
+// DefaultWorkloadConfig returns the paper's parameters.
+func DefaultWorkloadConfig() WorkloadConfig {
+	return WorkloadConfig{
+		KeySpaces:     []int64{1, 10, 100, 1000, 10000, 100000, 1000000},
+		Distributions: workload.Names(),
+		Clients:       64,
+		OpsPerClient:  100,
+		Workers:       64,
+		Isolation:     storage.ReadCommitted,
+		Seed:          2015,
+		ThinkTime:     time.Millisecond,
+	}
+}
+
+// WorkloadPoint is one Figure 3 data point.
+type WorkloadPoint struct {
+	Distribution string
+	Keys         int64
+	Duplicates   map[UniquenessVariant]int64
+}
+
+// RunUniquenessWorkload reproduces Figure 3: 64 clients independently
+// issuing 100 insertions each with keys drawn from the distribution, for
+// each key-space size, with and without the feral validation.
+func RunUniquenessWorkload(cfg WorkloadConfig) ([]WorkloadPoint, error) {
+	var out []WorkloadPoint
+	for _, dist := range cfg.Distributions {
+		for _, keys := range cfg.KeySpaces {
+			point := WorkloadPoint{Distribution: dist, Keys: keys,
+				Duplicates: map[UniquenessVariant]int64{}}
+			for _, variant := range []UniquenessVariant{NoValidation, FeralValidation} {
+				dups, err := uniquenessWorkloadCell(cfg, dist, keys, variant)
+				if err != nil {
+					return nil, fmt.Errorf("experiment: workload %s/%d: %w", dist, keys, err)
+				}
+				point.Duplicates[variant] = dups
+			}
+			out = append(out, point)
+		}
+	}
+	return out, nil
+}
+
+func uniquenessWorkloadCell(cfg WorkloadConfig, dist string, keys int64, variant UniquenessVariant) (int64, error) {
+	d := db.Open(storage.Options{DefaultIsolation: cfg.Isolation, LockTimeout: 2 * time.Second})
+	registry, err := appserver.UniquenessModels()
+	if err != nil {
+		return 0, err
+	}
+	if err := appserver.MigrateOn(d, registry); err != nil {
+		return 0, err
+	}
+	model, table := "SimpleKeyValue", "simple_key_values"
+	if variant != NoValidation {
+		model, table = "ValidatedKeyValue", "validated_key_values"
+	}
+	pool, err := appserver.NewPool(cfg.Workers, registry, func() db.Conn { return d.Connect() })
+	if err != nil {
+		return 0, err
+	}
+	defer pool.Close()
+	pool.Configure(func(w *appserver.Worker) { w.Session.ThinkTime = cfg.ThinkTime })
+
+	var wg sync.WaitGroup
+	wg.Add(cfg.Clients)
+	errs := make([]error, cfg.Clients)
+	for c := 0; c < cfg.Clients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			gen, err := workload.New(dist, keys, cfg.Seed+int64(c)*7919)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			for op := 0; op < cfg.OpsPerClient; op++ {
+				key := fmt.Sprintf("key-%d", gen.Next())
+				_ = pool.Do(func(w *appserver.Worker) error {
+					_, err := w.Session.Create(model, map[string]storage.Value{
+						"key":   storage.Str(key),
+						"value": storage.Str("v"),
+					})
+					return err
+				})
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	conn := d.Connect()
+	defer conn.Close()
+	return appserver.CountDuplicates(conn, table)
+}

@@ -1,0 +1,99 @@
+package frameworks
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSurveyCoversSectionSix(t *testing.T) {
+	profiles := Survey()
+	if len(profiles) != 7 {
+		t.Fatalf("profiles = %d, want 7 (Rails + six surveyed frameworks)", len(profiles))
+	}
+	byName := map[string]Profile{}
+	for _, p := range profiles {
+		if p.Name == "" || p.Version == "" || p.Notes == "" {
+			t.Errorf("incomplete profile: %+v", p)
+		}
+		byName[p.Name] = p
+	}
+	// The paper's key findings, encoded.
+	if byName["Rails"].DeclaredUniqueBecomesConstraint {
+		t.Error("Rails must not back validations with constraints (the whole point)")
+	}
+	if !byName["JPA"].DeclaredUniqueBecomesConstraint {
+		t.Error("JPA backs @Column(unique=true) with a constraint")
+	}
+	if byName["Hibernate"].DeclaredFKBecomesConstraint {
+		t.Error("Hibernate does not enforce declared FKs in the database")
+	}
+	if byName["CakePHP"].ValidationsInTransaction || byName["Laravel"].ValidationsInTransaction {
+		t.Error("CakePHP/Laravel do not wrap validations in transactions")
+	}
+	if !byName["Django"].DeclaredFKBecomesConstraint || byName["Django"].CustomValidationsInTransaction {
+		t.Error("Django: DB-backed FK but custom validations unwrapped")
+	}
+	if !byName["Waterline"].DeclaredUniqueBecomesConstraint || byName["Waterline"].ValidationsInTransaction {
+		t.Error("Waterline: in-DB constraints but non-transactional validations")
+	}
+}
+
+func profileByName(t *testing.T, name string) Profile {
+	t.Helper()
+	for _, p := range Survey() {
+		if p.Name == name {
+			return p
+		}
+	}
+	t.Fatalf("no profile %s", name)
+	return Profile{}
+}
+
+func TestRailsProfileIsSusceptibleToBothRaces(t *testing.T) {
+	s, err := RunSusceptibility(profileByName(t, "Rails"), 15, 8, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.UniquenessAnomalies == 0 {
+		t.Error("Rails profile admitted no duplicates; the feral race should fire")
+	}
+	if s.FKAnomalies == 0 {
+		t.Error("Rails profile admitted no orphans; the feral cascade race should fire")
+	}
+}
+
+func TestDjangoProfileConstraintsHold(t *testing.T) {
+	s, err := RunSusceptibility(profileByName(t, "Django"), 15, 8, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.UniquenessAnomalies != 0 {
+		t.Errorf("Django's DB-backed uniqueness admitted %d duplicates", s.UniquenessAnomalies)
+	}
+	if s.FKAnomalies != 0 {
+		t.Errorf("Django's DB-backed FK admitted %d orphans", s.FKAnomalies)
+	}
+}
+
+func TestJPAUniquenessHeldButFKNot(t *testing.T) {
+	s, err := RunSusceptibility(profileByName(t, "JPA"), 15, 8, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.UniquenessAnomalies != 0 {
+		t.Errorf("JPA unique constraint admitted %d duplicates", s.UniquenessAnomalies)
+	}
+	if s.FKAnomalies == 0 {
+		t.Error("JPA profile (no declared FK constraint here) should orphan under the race")
+	}
+}
+
+func TestCakePHPFullySusceptible(t *testing.T) {
+	s, err := RunSusceptibility(profileByName(t, "CakePHP"), 15, 8, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.UniquenessAnomalies == 0 || s.FKAnomalies == 0 {
+		t.Errorf("CakePHP profile should be susceptible to both races: %+v", s)
+	}
+}

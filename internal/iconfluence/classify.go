@@ -1,0 +1,314 @@
+// Package iconfluence implements the invariant confluence analysis of
+// Section 4: a classification of (invariant, operation) pairs as safe or
+// unsafe under coordination-free concurrent execution, applied to validation
+// usage profiles to reproduce Table 1 and the paper's safety percentages
+// (86.9% of built-in validation uses safe under insertion, 36.6% under
+// deletion), plus a bounded model checker that searches for concrete merge
+// counterexamples — mechanizing the paper's "manual proofs".
+package iconfluence
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Op is a workload operation class.
+type Op uint8
+
+const (
+	Insert Op = iota
+	Update
+	Delete
+)
+
+func (o Op) String() string {
+	switch o {
+	case Insert:
+		return "insert"
+	case Update:
+		return "update"
+	case Delete:
+		return "delete"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Verdict is the Table 1 "I-Confluent?" column.
+type Verdict uint8
+
+const (
+	// Safe: the invariant is invariant confluent — concurrent, coordination-
+	// free execution preserves it.
+	Safe Verdict = iota
+	// Unsafe: a merge of independently valid states can violate it.
+	Unsafe
+	// Depends: safety depends on usage (operation mix or what the
+	// validation guards), per the paper's "Depends" rows.
+	Depends
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Safe:
+		return "Yes"
+	case Unsafe:
+		return "No"
+	case Depends:
+		return "Depends"
+	default:
+		return fmt.Sprintf("Verdict(%d)", uint8(v))
+	}
+}
+
+// Invariant describes one declared validation instance with the contextual
+// flags the classification needs.
+type Invariant struct {
+	// Validator is the Rails-style validator name (validates_presence_of...).
+	Validator string
+	// OnAssociation marks presence/associated validations that guard
+	// referential integrity (the FK use of validates_presence_of).
+	OnAssociation bool
+	// ReadsDatabase marks custom validations whose predicate queries
+	// database state (Spree's AvailabilityValidator, config lookups, ...).
+	ReadsDatabase bool
+}
+
+// Classification is the verdict for one (invariant, operation) pair with the
+// proof sketch the paper's analysis rests on.
+type Classification struct {
+	Verdict   Verdict
+	Rationale string
+}
+
+// valueLocal lists the validators whose predicate is a function of the
+// record's in-memory attribute values alone. As the Rails committer quoted
+// in Section 5.1 put it: "all of the other validations are constrained by
+// the attribute values currently in memory, so aren't susceptible to similar
+// flaws."
+var valueLocal = map[string]bool{
+	"validates_length_of":               true,
+	"validates_inclusion_of":            true,
+	"validates_exclusion_of":            true,
+	"validates_numericality_of":         true,
+	"validates_format_of":               true,
+	"validates_email":                   true,
+	"validates_attachment_content_type": true,
+	"validates_attachment_size":         true,
+	"validates_confirmation_of":         true,
+	"validates_acceptance_of":           true,
+	"validates_size_of":                 true,
+	"validates_absence_of":              true,
+	"validates_date_of":                 true,
+	"validates_url_format_of":           true,
+}
+
+// ClassifyPair classifies an (invariant, operation) pair.
+func ClassifyPair(inv Invariant, op Op) Classification {
+	name := strings.ToLower(inv.Validator)
+	switch {
+	case name == "validates_uniqueness_of":
+		if op == Delete {
+			return Classification{Safe,
+				"deletions cannot introduce duplicate values; merging delete-only histories preserves uniqueness"}
+		}
+		return Classification{Unsafe,
+			"two coordination-free insertions of the same value each pass the SELECT probe; the merged state holds duplicates"}
+	case name == "validates_presence_of":
+		if !inv.OnAssociation {
+			return Classification{Safe,
+				"non-null-ness depends only on the written record; merging valid states cannot null a field"}
+		}
+		if op == Delete {
+			return Classification{Unsafe,
+				"a parent deletion merged with a concurrent child insertion orphans the child (foreign keys are not I-confluent under deletion)"}
+		}
+		return Classification{Safe,
+			"foreign key constraints are I-confluent under insertion: both sides insert, the merge keeps all parents"}
+	case name == "validates_associated" || name == "validates_existence_of":
+		// validates_existence_of is the community plugin for FK checking the
+		// paper's Section 4.3 found among custom/plugin validations.
+		if op == Delete {
+			return Classification{Unsafe,
+				"mixed insertions and deletions across the association break the merged state's referential integrity"}
+		}
+		return Classification{Safe, "insert-only histories preserve the association"}
+	case valueLocal[name]:
+		return Classification{Safe,
+			"the predicate is a function of the record's in-memory values alone; merges cannot change them"}
+	default:
+		// Custom / user-defined validations: conservative classification per
+		// Section 4.1 — pairs not in the known-safe set are labeled unsafe
+		// when the predicate reads database state.
+		if inv.ReadsDatabase {
+			return Classification{Unsafe,
+				"the user-defined predicate reads database state; concurrently merged writes can invalidate the read"}
+		}
+		return Classification{Safe,
+			"the user-defined predicate is a pure function of the record (format check or blacklist)"}
+	}
+}
+
+// Classify returns the overall Table 1 verdict for an invariant, across the
+// operation mix: Safe for all ops, Unsafe for any single-op violation at the
+// default mix, or Depends when insertion and deletion verdicts differ.
+func Classify(inv Invariant) Verdict {
+	ins := ClassifyPair(inv, Insert).Verdict
+	del := ClassifyPair(inv, Delete).Verdict
+	switch {
+	case ins == del:
+		return ins
+	default:
+		return Depends
+	}
+}
+
+// ClassifyName returns the Table 1 verdict for a validator name as printed
+// in the paper — contextual validators (presence, associated) report Depends
+// because their safety is usage-dependent.
+func ClassifyName(validator string) Verdict {
+	name := strings.ToLower(validator)
+	switch {
+	case name == "validates_presence_of" || name == "validates_associated":
+		return Depends
+	case name == "validates_uniqueness_of":
+		return Unsafe
+	case valueLocal[name]:
+		return Safe
+	default:
+		return Depends
+	}
+}
+
+// Usage is one validation-usage aggregate from the corpus: an invariant plus
+// its occurrence count.
+type Usage struct {
+	Invariant Invariant
+	Count     int
+}
+
+// Row is one line of Table 1.
+type Row struct {
+	Validator   string
+	Occurrences int
+	Verdict     Verdict
+}
+
+// Report aggregates a corpus's validation usages into the paper's published
+// quantities.
+type Report struct {
+	// Rows reproduces Table 1: validators by descending occurrence count,
+	// with an "Other" catch-all row like the paper's.
+	Rows []Row
+	// TotalBuiltIn / TotalCustom split the 3505 total of Section 4.1.
+	TotalBuiltIn int
+	TotalCustom  int
+	// SafeUnderInsertion is the fraction of validation occurrences that are
+	// I-confluent for insert-only workloads; SafeUnderDeletion for
+	// workloads that also delete (an occurrence counts as safe only if both
+	// the insert and delete directions are safe, since real deletion
+	// workloads mix both). These reproduce the paper's 86.9% / 36.6%.
+	SafeUnderInsertion float64
+	SafeUnderDeletion  float64
+	// CustomSafe / CustomUnsafe reproduce the 42 / 18 custom validation
+	// split of Section 4.3.
+	CustomSafe   int
+	CustomUnsafe int
+	// UniquenessShare is the fraction of built-in uses that are uniqueness
+	// validations (12.7% in Section 5.1).
+	UniquenessShare float64
+}
+
+// topTable1 lists the validators printed as named rows in Table 1, in the
+// paper's order; everything else built-in folds into "Other".
+var topTable1 = []string{
+	"validates_presence_of",
+	"validates_uniqueness_of",
+	"validates_length_of",
+	"validates_inclusion_of",
+	"validates_numericality_of",
+	"validates_associated",
+	"validates_email",
+	"validates_attachment_content_type",
+	"validates_attachment_size",
+	"validates_confirmation_of",
+}
+
+// isCustomName reports whether a validator name denotes a user-defined
+// validation rather than a Rails built-in.
+func isCustomName(name string) bool {
+	lower := strings.ToLower(name)
+	if lower == "validates_each" {
+		return true
+	}
+	if valueLocal[lower] {
+		return false
+	}
+	for _, t := range topTable1 {
+		if lower == t {
+			return false
+		}
+	}
+	return !strings.HasPrefix(lower, "validates_")
+}
+
+// Analyze classifies a corpus usage profile.
+func Analyze(usages []Usage) *Report {
+	rep := &Report{}
+	named := make(map[string]*Row, len(topTable1))
+	for _, v := range topTable1 {
+		named[v] = &Row{Validator: v}
+	}
+	other := &Row{Validator: "Other"}
+
+	var insertSafe, deleteSafe, total int
+	for _, u := range usages {
+		name := strings.ToLower(u.Invariant.Validator)
+		insOK := ClassifyPair(u.Invariant, Insert).Verdict == Safe
+		delOK := insOK && ClassifyPair(u.Invariant, Delete).Verdict == Safe
+		total += u.Count
+		if insOK {
+			insertSafe += u.Count
+		}
+		if delOK {
+			deleteSafe += u.Count
+		}
+		if isCustomName(name) {
+			rep.TotalCustom += u.Count
+			if insOK && delOK {
+				rep.CustomSafe += u.Count
+			} else {
+				rep.CustomUnsafe += u.Count
+			}
+			continue
+		}
+		rep.TotalBuiltIn += u.Count
+		if row, ok := named[name]; ok {
+			row.Occurrences += u.Count
+		} else {
+			other.Occurrences += u.Count
+		}
+		if name == "validates_uniqueness_of" {
+			rep.UniquenessShare += float64(u.Count)
+		}
+	}
+	for _, v := range topTable1 {
+		row := named[v]
+		row.Verdict = ClassifyName(v)
+		rep.Rows = append(rep.Rows, *row)
+	}
+	sort.SliceStable(rep.Rows, func(i, j int) bool {
+		return rep.Rows[i].Occurrences > rep.Rows[j].Occurrences
+	})
+	other.Verdict = Depends
+	rep.Rows = append(rep.Rows, *other)
+	if total > 0 {
+		rep.SafeUnderInsertion = float64(insertSafe) / float64(total)
+		rep.SafeUnderDeletion = float64(deleteSafe) / float64(total)
+	}
+	if rep.TotalBuiltIn > 0 {
+		rep.UniquenessShare /= float64(rep.TotalBuiltIn)
+	}
+	return rep
+}

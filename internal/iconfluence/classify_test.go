@@ -1,0 +1,144 @@
+package iconfluence
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClassifyPairTable1Rows(t *testing.T) {
+	cases := []struct {
+		inv  Invariant
+		op   Op
+		want Verdict
+	}{
+		// Uniqueness: the headline unsafe case.
+		{Invariant{Validator: "validates_uniqueness_of"}, Insert, Unsafe},
+		{Invariant{Validator: "validates_uniqueness_of"}, Update, Unsafe},
+		{Invariant{Validator: "validates_uniqueness_of"}, Delete, Safe},
+		// Presence, plain: always safe.
+		{Invariant{Validator: "validates_presence_of"}, Insert, Safe},
+		{Invariant{Validator: "validates_presence_of"}, Delete, Safe},
+		// Presence guarding an association: FK semantics — insert safe,
+		// delete unsafe.
+		{Invariant{Validator: "validates_presence_of", OnAssociation: true}, Insert, Safe},
+		{Invariant{Validator: "validates_presence_of", OnAssociation: true}, Delete, Unsafe},
+		// Associated mirrors the FK analysis.
+		{Invariant{Validator: "validates_associated"}, Insert, Safe},
+		{Invariant{Validator: "validates_associated"}, Delete, Unsafe},
+		// Value-local family: safe everywhere.
+		{Invariant{Validator: "validates_length_of"}, Insert, Safe},
+		{Invariant{Validator: "validates_inclusion_of"}, Delete, Safe},
+		{Invariant{Validator: "validates_numericality_of"}, Update, Safe},
+		{Invariant{Validator: "validates_email"}, Insert, Safe},
+		{Invariant{Validator: "validates_attachment_content_type"}, Insert, Safe},
+		{Invariant{Validator: "validates_attachment_size"}, Insert, Safe},
+		{Invariant{Validator: "validates_confirmation_of"}, Insert, Safe},
+		// Custom validations split on whether they read database state.
+		{Invariant{Validator: "availability_validator", ReadsDatabase: true}, Insert, Unsafe},
+		{Invariant{Validator: "credit_card_format", ReadsDatabase: false}, Insert, Safe},
+	}
+	for _, c := range cases {
+		got := ClassifyPair(c.inv, c.op)
+		if got.Verdict != c.want {
+			t.Errorf("ClassifyPair(%+v, %v) = %v, want %v (%s)",
+				c.inv, c.op, got.Verdict, c.want, got.Rationale)
+		}
+		if got.Rationale == "" {
+			t.Errorf("ClassifyPair(%+v, %v): empty rationale", c.inv, c.op)
+		}
+	}
+}
+
+func TestClassifyNameMatchesTable1Column(t *testing.T) {
+	want := map[string]Verdict{
+		"validates_presence_of":             Depends,
+		"validates_uniqueness_of":           Unsafe,
+		"validates_length_of":               Safe,
+		"validates_inclusion_of":            Safe,
+		"validates_numericality_of":         Safe,
+		"validates_associated":              Depends,
+		"validates_email":                   Safe,
+		"validates_attachment_content_type": Safe,
+		"validates_attachment_size":         Safe,
+		"validates_confirmation_of":         Safe,
+	}
+	for name, v := range want {
+		if got := ClassifyName(name); got != v {
+			t.Errorf("ClassifyName(%s) = %v, want %v", name, got, v)
+		}
+	}
+}
+
+func TestClassifyOverall(t *testing.T) {
+	if Classify(Invariant{Validator: "validates_uniqueness_of"}) != Depends {
+		// insert-unsafe + delete-safe = Depends in the pairwise sense; the
+		// printed Table 1 column (ClassifyName) reports No because the
+		// dangerous direction dominates usage.
+		t.Error("pairwise uniqueness should be Depends (unsafe only under insert)")
+	}
+	if Classify(Invariant{Validator: "validates_length_of"}) != Safe {
+		t.Error("length should be Safe overall")
+	}
+	if Classify(Invariant{Validator: "validates_presence_of", OnAssociation: true}) != Depends {
+		t.Error("association presence should be Depends overall")
+	}
+}
+
+func TestVerdictAndOpStrings(t *testing.T) {
+	if Safe.String() != "Yes" || Unsafe.String() != "No" || Depends.String() != "Depends" {
+		t.Error("verdict strings must match Table 1's column")
+	}
+	if Insert.String() != "insert" || Delete.String() != "delete" || Update.String() != "update" {
+		t.Error("op strings wrong")
+	}
+}
+
+func TestAnalyzeReportShares(t *testing.T) {
+	usages := []Usage{
+		{Invariant{Validator: "validates_presence_of"}, 60},
+		{Invariant{Validator: "validates_presence_of", OnAssociation: true}, 40},
+		{Invariant{Validator: "validates_uniqueness_of"}, 25},
+		{Invariant{Validator: "validates_length_of"}, 50},
+		{Invariant{Validator: "validates_format_of"}, 25}, // folds into Other
+		{Invariant{Validator: "spam_check", ReadsDatabase: true}, 3},
+		{Invariant{Validator: "format_check", ReadsDatabase: false}, 7},
+	}
+	rep := Analyze(usages)
+	if rep.TotalBuiltIn != 200 {
+		t.Fatalf("built-in total = %d", rep.TotalBuiltIn)
+	}
+	if rep.TotalCustom != 10 || rep.CustomSafe != 7 || rep.CustomUnsafe != 3 {
+		t.Fatalf("custom split: %+v", rep)
+	}
+	// Insert-safe: everything but uniqueness (25) and the db-reading custom
+	// (3) -> 182/210.
+	if math.Abs(rep.SafeUnderInsertion-182.0/210.0) > 1e-9 {
+		t.Fatalf("insert-safe = %f", rep.SafeUnderInsertion)
+	}
+	// Mixed-deletion-safe: additionally excludes association-presence (40)
+	// -> 142/210.
+	if math.Abs(rep.SafeUnderDeletion-142.0/210.0) > 1e-9 {
+		t.Fatalf("delete-safe = %f", rep.SafeUnderDeletion)
+	}
+	if math.Abs(rep.UniquenessShare-0.125) > 1e-9 {
+		t.Fatalf("uniqueness share = %f", rep.UniquenessShare)
+	}
+	// Rows: sorted by occurrences with Other appended.
+	if rep.Rows[0].Validator != "validates_presence_of" || rep.Rows[0].Occurrences != 100 {
+		t.Fatalf("top row: %+v", rep.Rows[0])
+	}
+	last := rep.Rows[len(rep.Rows)-1]
+	if last.Validator != "Other" || last.Occurrences != 25 {
+		t.Fatalf("other row: %+v", last)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	rep := Analyze(nil)
+	if rep.TotalBuiltIn != 0 || rep.SafeUnderInsertion != 0 {
+		t.Fatalf("empty corpus: %+v", rep)
+	}
+	if len(rep.Rows) != 11 { // ten named rows + Other
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+}

@@ -1,0 +1,399 @@
+package iconfluence
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file mechanizes the paper's I-confluence case analysis as a bounded
+// counterexample search. Invariant confluence (Bailis et al., "Coordination
+// Avoidance in Database Systems") holds for an invariant I and a set of
+// operations iff for every I-valid state S and every pair of I-valid states
+// T1(S), T2(S) produced by applying operations independently, the merge of
+// the two branches is also I-valid. The merge follows Section 4.1's model:
+// set union for records with distinct identities, some-write-wins for
+// conflicting writes to the same record, and deletions dominating.
+//
+// The search below enumerates small states and operation pairs exhaustively;
+// finding a counterexample proves non-confluence, and exhausting the bounded
+// space without one is strong evidence of confluence for the operation class
+// (the accompanying tests pin both directions against the paper's table).
+
+// Rec is one record of the toy relational state: integer-valued fields only,
+// which suffices for every invariant in Table 1 (string domains map to ints).
+type Rec struct {
+	Table  string
+	ID     int
+	Fields map[string]int // field -> value; a missing field models NULL
+}
+
+func (r Rec) key() string { return fmt.Sprintf("%s/%d", r.Table, r.ID) }
+
+func (r Rec) clone() Rec {
+	f := make(map[string]int, len(r.Fields))
+	for k, v := range r.Fields {
+		f[k] = v
+	}
+	return Rec{Table: r.Table, ID: r.ID, Fields: f}
+}
+
+// State is a set of records keyed by (table, id).
+type State struct {
+	recs map[string]Rec
+}
+
+// NewState builds a state from records.
+func NewState(recs ...Rec) *State {
+	s := &State{recs: make(map[string]Rec, len(recs))}
+	for _, r := range recs {
+		s.recs[r.key()] = r.clone()
+	}
+	return s
+}
+
+func (s *State) clone() *State {
+	c := &State{recs: make(map[string]Rec, len(s.recs))}
+	for k, r := range s.recs {
+		c.recs[k] = r.clone()
+	}
+	return c
+}
+
+// Records returns the records of a table, sorted by id.
+func (s *State) Records(table string) []Rec {
+	var out []Rec
+	for _, r := range s.recs {
+		if r.Table == table {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// String renders the state for counterexample reports.
+func (s *State) String() string {
+	keys := make([]string, 0, len(s.recs))
+	for k := range s.recs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("{")
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		r := s.recs[k]
+		fmt.Fprintf(&b, "%s%v", k, fieldsString(r.Fields))
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+func fieldsString(f map[string]int) string {
+	keys := make([]string, 0, len(f))
+	for k := range f {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("(")
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "%s=%d", k, f[k])
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// TxOp is one operation applied by a branch.
+type TxOp interface {
+	Apply(s *State)
+	String() string
+}
+
+// InsertOp adds a record (no-op if the identity exists).
+type InsertOp struct{ Rec Rec }
+
+func (o InsertOp) Apply(s *State) {
+	if _, exists := s.recs[o.Rec.key()]; !exists {
+		s.recs[o.Rec.key()] = o.Rec.clone()
+	}
+}
+func (o InsertOp) String() string {
+	return fmt.Sprintf("insert %s%s", o.Rec.key(), fieldsString(o.Rec.Fields))
+}
+
+// DeleteOp removes a record by identity.
+type DeleteOp struct {
+	Table string
+	ID    int
+}
+
+func (o DeleteOp) Apply(s *State) { delete(s.recs, fmt.Sprintf("%s/%d", o.Table, o.ID)) }
+func (o DeleteOp) String() string { return fmt.Sprintf("delete %s/%d", o.Table, o.ID) }
+
+// UpdateOp overwrites one field of an existing record.
+type UpdateOp struct {
+	Table string
+	ID    int
+	Field string
+	Value int
+}
+
+func (o UpdateOp) Apply(s *State) {
+	k := fmt.Sprintf("%s/%d", o.Table, o.ID)
+	if r, ok := s.recs[k]; ok {
+		r = r.clone()
+		r.Fields[o.Field] = o.Value
+		s.recs[k] = r
+	}
+}
+func (o UpdateOp) String() string {
+	return fmt.Sprintf("update %s/%d.%s=%d", o.Table, o.ID, o.Field, o.Value)
+}
+
+// Merge combines two branches diverged from base: inserts union, deletes
+// dominate, and conflicting updates to the same record resolve
+// some-write-wins (branch 1), per the merge model of Section 4.1.
+func Merge(base, b1, b2 *State) *State {
+	out := base.clone()
+	apply := func(branch *State) {
+		for k, r := range branch.recs {
+			if _, inBase := base.recs[k]; !inBase {
+				out.recs[k] = r.clone() // branch insert
+			}
+		}
+		for k := range base.recs {
+			if _, kept := branch.recs[k]; !kept {
+				delete(out.recs, k) // branch delete dominates
+			}
+		}
+	}
+	apply(b1)
+	apply(b2)
+	// Updates: some-write-wins, first branch preferred.
+	for k, baseRec := range base.recs {
+		r1, ok1 := b1.recs[k]
+		r2, ok2 := b2.recs[k]
+		if _, stillThere := out.recs[k]; !stillThere {
+			continue
+		}
+		switch {
+		case ok1 && !recEqual(r1, baseRec):
+			out.recs[k] = r1.clone()
+		case ok2 && !recEqual(r2, baseRec):
+			out.recs[k] = r2.clone()
+		}
+	}
+	return out
+}
+
+func recEqual(a, b Rec) bool {
+	if len(a.Fields) != len(b.Fields) {
+		return false
+	}
+	for k, v := range a.Fields {
+		if b.Fields[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// StateInvariant is a decidable predicate over toy states.
+type StateInvariant interface {
+	Name() string
+	Holds(s *State) bool
+}
+
+// UniqueInvariant: no two records of Table share a value of Field.
+type UniqueInvariant struct{ Table, Field string }
+
+func (u UniqueInvariant) Name() string { return fmt.Sprintf("unique(%s.%s)", u.Table, u.Field) }
+func (u UniqueInvariant) Holds(s *State) bool {
+	seen := map[int]bool{}
+	for _, r := range s.Records(u.Table) {
+		v, ok := r.Fields[u.Field]
+		if !ok {
+			continue
+		}
+		if seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// FKInvariant: every record of ChildTable with FKField set references an
+// existing record of ParentTable.
+type FKInvariant struct{ ChildTable, FKField, ParentTable string }
+
+func (f FKInvariant) Name() string {
+	return fmt.Sprintf("fk(%s.%s -> %s)", f.ChildTable, f.FKField, f.ParentTable)
+}
+func (f FKInvariant) Holds(s *State) bool {
+	parents := map[int]bool{}
+	for _, r := range s.Records(f.ParentTable) {
+		parents[r.ID] = true
+	}
+	for _, r := range s.Records(f.ChildTable) {
+		if ref, ok := r.Fields[f.FKField]; ok && !parents[ref] {
+			return false
+		}
+	}
+	return true
+}
+
+// NonNegativeInvariant: Field of every Table record is >= 0 (Spree's stock
+// validation).
+type NonNegativeInvariant struct{ Table, Field string }
+
+func (n NonNegativeInvariant) Name() string {
+	return fmt.Sprintf("nonneg(%s.%s)", n.Table, n.Field)
+}
+func (n NonNegativeInvariant) Holds(s *State) bool {
+	for _, r := range s.Records(n.Table) {
+		if v, ok := r.Fields[n.Field]; ok && v < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// RangeInvariant: Field values lie in [Min, Max] — the value-local
+// format/length/inclusion family.
+type RangeInvariant struct {
+	Table, Field string
+	Min, Max     int
+}
+
+func (r RangeInvariant) Name() string {
+	return fmt.Sprintf("range(%s.%s in [%d,%d])", r.Table, r.Field, r.Min, r.Max)
+}
+func (r RangeInvariant) Holds(s *State) bool {
+	for _, rec := range s.Records(r.Table) {
+		if v, ok := rec.Fields[r.Field]; ok && (v < r.Min || v > r.Max) {
+			return false
+		}
+	}
+	return true
+}
+
+// Counterexample is a witness of non-confluence.
+type Counterexample struct {
+	Invariant StateInvariant
+	Base      *State
+	Op1, Op2  TxOp
+	Merged    *State
+}
+
+// String renders the witness.
+func (c *Counterexample) String() string {
+	return fmt.Sprintf("invariant %s: base %s; branch1 %s; branch2 %s; merged %s violates",
+		c.Invariant.Name(), c.Base, c.Op1, c.Op2, c.Merged)
+}
+
+// SearchSpace bounds the exhaustive search.
+type SearchSpace struct {
+	Bases []*State
+	Ops   []TxOp
+}
+
+// FindCounterexample exhaustively checks every (base, op1, op2) triple in
+// the space: if the base and both single-op branches satisfy the invariant
+// but their merge does not, the invariant is not I-confluent for that
+// operation class. Returns nil when the bounded space is exhausted.
+func FindCounterexample(inv StateInvariant, space SearchSpace) *Counterexample {
+	for _, base := range space.Bases {
+		if !inv.Holds(base) {
+			continue
+		}
+		for _, op1 := range space.Ops {
+			b1 := base.clone()
+			op1.Apply(b1)
+			if !inv.Holds(b1) {
+				continue
+			}
+			for _, op2 := range space.Ops {
+				b2 := base.clone()
+				op2.Apply(b2)
+				if !inv.Holds(b2) {
+					continue
+				}
+				merged := Merge(base, b1, b2)
+				if !inv.Holds(merged) {
+					return &Counterexample{Invariant: inv, Base: base, Op1: op1, Op2: op2, Merged: merged}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// DefaultSpace builds a small but adversarial search space over the given
+// tables: states with up to two parents/children and operations over ids
+// and values in {1, 2}.
+func DefaultSpace(ops []TxOp) SearchSpace {
+	parent := func(id int) Rec { return Rec{Table: "parents", ID: id, Fields: map[string]int{}} }
+	child := func(id, ref int) Rec {
+		return Rec{Table: "children", ID: id, Fields: map[string]int{"parent_id": ref}}
+	}
+	item := func(id, v int) Rec {
+		return Rec{Table: "items", ID: id, Fields: map[string]int{"val": v}}
+	}
+	bases := []*State{
+		NewState(),
+		NewState(parent(1)),
+		NewState(parent(1), parent(2)),
+		NewState(parent(1), child(1, 1)),
+		NewState(item(1, 1)),
+		NewState(item(1, 1), item(2, 2)),
+	}
+	return SearchSpace{Bases: bases, Ops: ops}
+}
+
+// InsertOps / DeleteOps / UpdateOps generate the bounded operation sets.
+func InsertOps() []TxOp {
+	var ops []TxOp
+	for id := 1; id <= 3; id++ {
+		for v := 1; v <= 2; v++ {
+			ops = append(ops,
+				InsertOp{Rec{Table: "items", ID: id, Fields: map[string]int{"val": v}}},
+				InsertOp{Rec{Table: "children", ID: id, Fields: map[string]int{"parent_id": v}}},
+				InsertOp{Rec{Table: "parents", ID: id, Fields: map[string]int{}}},
+			)
+		}
+	}
+	return ops
+}
+
+// DeleteOps enumerates deletions over the bounded id space.
+func DeleteOps() []TxOp {
+	var ops []TxOp
+	for id := 1; id <= 2; id++ {
+		ops = append(ops,
+			DeleteOp{Table: "items", ID: id},
+			DeleteOp{Table: "parents", ID: id},
+			DeleteOp{Table: "children", ID: id},
+		)
+	}
+	return ops
+}
+
+// UpdateOps enumerates single-field overwrites, including negative values so
+// bound invariants are exercised.
+func UpdateOps() []TxOp {
+	var ops []TxOp
+	for id := 1; id <= 2; id++ {
+		for v := -1; v <= 2; v++ {
+			ops = append(ops, UpdateOp{Table: "items", ID: id, Field: "val", Value: v})
+		}
+	}
+	return ops
+}

@@ -1,0 +1,189 @@
+package iconfluence
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestProverUniquenessInsertCounterexample(t *testing.T) {
+	// Two concurrent insertions of the same value break uniqueness: the
+	// prover must find the witness (the duplicate-record anomaly of §5.1).
+	inv := UniqueInvariant{Table: "items", Field: "val"}
+	cx := FindCounterexample(inv, DefaultSpace(InsertOps()))
+	if cx == nil {
+		t.Fatal("no counterexample found; uniqueness should NOT be I-confluent under insertion")
+	}
+	if !inv.Holds(cx.Base) {
+		t.Fatal("witness base state invalid")
+	}
+	if inv.Holds(cx.Merged) {
+		t.Fatal("witness merged state does not violate")
+	}
+	if !strings.Contains(cx.String(), "unique") {
+		t.Errorf("witness rendering: %s", cx)
+	}
+}
+
+func TestProverUniquenessDeleteSafe(t *testing.T) {
+	// Deletions alone cannot create duplicates.
+	inv := UniqueInvariant{Table: "items", Field: "val"}
+	if cx := FindCounterexample(inv, DefaultSpace(DeleteOps())); cx != nil {
+		t.Fatalf("unexpected counterexample under deletions: %s", cx)
+	}
+}
+
+func TestProverFKDeleteCounterexample(t *testing.T) {
+	// The association anomaly of §5.4: parent delete racing child insert.
+	inv := FKInvariant{ChildTable: "children", FKField: "parent_id", ParentTable: "parents"}
+	ops := append(InsertOps(), DeleteOps()...)
+	cx := FindCounterexample(inv, DefaultSpace(ops))
+	if cx == nil {
+		t.Fatal("no counterexample; FK should NOT be I-confluent under mixed insert/delete")
+	}
+	// The witness must involve one delete and one insert.
+	_, del1 := cx.Op1.(DeleteOp)
+	_, del2 := cx.Op2.(DeleteOp)
+	if !del1 && !del2 {
+		t.Fatalf("witness without a delete: %s", cx)
+	}
+}
+
+func TestProverFKInsertOnlySafe(t *testing.T) {
+	// Foreign keys ARE I-confluent under insertions (§4.2).
+	inv := FKInvariant{ChildTable: "children", FKField: "parent_id", ParentTable: "parents"}
+	if cx := FindCounterexample(inv, DefaultSpace(InsertOps())); cx != nil {
+		t.Fatalf("unexpected counterexample under insert-only: %s", cx)
+	}
+}
+
+func TestProverValueLocalInvariantsSafe(t *testing.T) {
+	// Range (length/inclusion/numericality analogue) is safe under every
+	// operation class: merges never change an individual record's value.
+	inv := RangeInvariant{Table: "items", Field: "val", Min: 0, Max: 2}
+	ops := append(append(InsertOps(), DeleteOps()...), UpdateOps()[4:]...) // updates within range only
+	var inRange []TxOp
+	for _, op := range ops {
+		if u, ok := op.(UpdateOp); ok && (u.Value < 0 || u.Value > 2) {
+			continue
+		}
+		if i, ok := op.(InsertOp); ok {
+			if v, has := i.Rec.Fields["val"]; has && (v < 0 || v > 2) {
+				continue
+			}
+		}
+		inRange = append(inRange, op)
+	}
+	if cx := FindCounterexample(inv, DefaultSpace(inRange)); cx != nil {
+		t.Fatalf("value-local invariant produced a counterexample: %s", cx)
+	}
+}
+
+func TestProverNonNegativeSafeUnderOverwrites(t *testing.T) {
+	// Non-negativity under register overwrites is I-confluent (numericality
+	// row of Table 1) — the *Lost Update* on stock is an isolation anomaly,
+	// not a merge-invariance one, which is exactly the paper's point about
+	// Spree's validation "preventing negative balances but not Lost Update".
+	inv := NonNegativeInvariant{Table: "items", Field: "val"}
+	var nonNeg []TxOp
+	for _, op := range UpdateOps() {
+		if u := op.(UpdateOp); u.Value >= 0 {
+			nonNeg = append(nonNeg, op)
+		}
+	}
+	if cx := FindCounterexample(inv, DefaultSpace(nonNeg)); cx != nil {
+		t.Fatalf("unexpected counterexample: %s", cx)
+	}
+}
+
+func TestMergeSemantics(t *testing.T) {
+	base := NewState(
+		Rec{Table: "items", ID: 1, Fields: map[string]int{"val": 1}},
+		Rec{Table: "items", ID: 2, Fields: map[string]int{"val": 2}},
+	)
+	// Branch 1 updates item 1; branch 2 deletes item 2 and inserts item 3.
+	b1 := base.clone()
+	UpdateOp{Table: "items", ID: 1, Field: "val", Value: 9}.Apply(b1)
+	b2 := base.clone()
+	DeleteOp{Table: "items", ID: 2}.Apply(b2)
+	InsertOp{Rec{Table: "items", ID: 3, Fields: map[string]int{"val": 3}}}.Apply(b2)
+
+	m := Merge(base, b1, b2)
+	recs := m.Records("items")
+	if len(recs) != 2 {
+		t.Fatalf("merged records: %v", m)
+	}
+	if recs[0].ID != 1 || recs[0].Fields["val"] != 9 {
+		t.Fatalf("update lost in merge: %v", recs[0])
+	}
+	if recs[1].ID != 3 {
+		t.Fatalf("insert lost / delete not dominant: %v", recs)
+	}
+}
+
+func TestMergeConflictingUpdatesSomeWriteWins(t *testing.T) {
+	base := NewState(Rec{Table: "items", ID: 1, Fields: map[string]int{"val": 0}})
+	b1 := base.clone()
+	UpdateOp{Table: "items", ID: 1, Field: "val", Value: 1}.Apply(b1)
+	b2 := base.clone()
+	UpdateOp{Table: "items", ID: 1, Field: "val", Value: 2}.Apply(b2)
+	m := Merge(base, b1, b2)
+	got := m.Records("items")[0].Fields["val"]
+	if got != 1 && got != 2 {
+		t.Fatalf("merge invented a value: %d", got)
+	}
+	if got != 1 {
+		t.Fatalf("some-write-wins should prefer branch 1, got %d", got)
+	}
+}
+
+func TestOpsAreStateLocal(t *testing.T) {
+	// Applying an op to a clone must not mutate the original (the prover
+	// depends on this).
+	base := NewState(Rec{Table: "items", ID: 1, Fields: map[string]int{"val": 1}})
+	c := base.clone()
+	UpdateOp{Table: "items", ID: 1, Field: "val", Value: 99}.Apply(c)
+	if base.Records("items")[0].Fields["val"] != 1 {
+		t.Fatal("clone shares record maps with base")
+	}
+	DeleteOp{Table: "items", ID: 1}.Apply(c)
+	if len(base.Records("items")) != 1 {
+		t.Fatal("delete leaked to base")
+	}
+}
+
+// Property: merging a branch with an untouched branch equals the branch
+// itself (merge identity).
+func TestQuickMergeIdentity(t *testing.T) {
+	f := func(vals []uint8) bool {
+		if len(vals) > 6 {
+			vals = vals[:6]
+		}
+		var recs []Rec
+		for i, v := range vals {
+			recs = append(recs, Rec{Table: "items", ID: i + 1, Fields: map[string]int{"val": int(v % 4)}})
+		}
+		base := NewState(recs...)
+		branch := base.clone()
+		InsertOp{Rec{Table: "items", ID: 99, Fields: map[string]int{"val": 1}}}.Apply(branch)
+		merged := Merge(base, branch, base.clone())
+		return len(merged.Records("items")) == len(branch.Records("items"))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvariantNames(t *testing.T) {
+	names := []string{
+		UniqueInvariant{"t", "f"}.Name(),
+		FKInvariant{"c", "f", "p"}.Name(),
+		NonNegativeInvariant{"t", "f"}.Name(),
+		RangeInvariant{"t", "f", 0, 1}.Name(),
+	}
+	for _, n := range names {
+		if n == "" {
+			t.Fatal("empty invariant name")
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package orm
+
+import (
+	"fmt"
+
+	"feralcc/internal/iconfluence"
+	"feralcc/internal/storage"
+)
+
+// This file implements the constructive proposal of the paper's Section 7.2:
+// "domesticating" feral mechanisms. Given a registry of models with
+// declared (feral) validations, Domesticate classifies every invariant with
+// the invariant-confluence analysis and pays for coordination only where it
+// is actually required:
+//
+//   - I-confluent validations (formats, lengths, bounds, plain presence)
+//     are left purely feral — they are correct without coordination;
+//   - uniqueness validations get an in-database unique index;
+//   - association-presence and validates_associated get an in-database
+//     foreign key;
+//   - user-defined validations that read database state cannot be
+//     classified automatically and are flagged for serializable execution.
+//
+// This realizes the paper's three design goals: invariants stay declared in
+// the domain model (the ORM), coordination is paid only when necessary, and
+// the mechanism is portable (it emits ordinary migrations).
+
+// DomesticationAction says how one invariant is enforced after
+// domestication.
+type DomesticationAction uint8
+
+const (
+	// KeepFeral: the invariant is I-confluent; the feral check is correct.
+	KeepFeral DomesticationAction = iota
+	// AddedUniqueIndex: an in-database unique index now backs the check.
+	AddedUniqueIndex
+	// AddedForeignKey: an in-database foreign key now backs the check.
+	AddedForeignKey
+	// NeedsSerializable: the invariant cannot be compiled to a constraint;
+	// saves touching it must run at SERIALIZABLE to be correct.
+	NeedsSerializable
+)
+
+func (a DomesticationAction) String() string {
+	switch a {
+	case KeepFeral:
+		return "keep feral (I-confluent)"
+	case AddedUniqueIndex:
+		return "added unique index"
+	case AddedForeignKey:
+		return "added foreign key"
+	case NeedsSerializable:
+		return "requires serializable execution"
+	default:
+		return fmt.Sprintf("DomesticationAction(%d)", uint8(a))
+	}
+}
+
+// DomesticationDecision records the treatment of one declared validation.
+type DomesticationDecision struct {
+	Model     string
+	Validator string
+	Field     string
+	Verdict   iconfluence.Verdict
+	Action    DomesticationAction
+	// Note carries details (e.g. why a validation could not be compiled).
+	Note string
+}
+
+// DomesticateOptions configures Domesticate.
+type DomesticateOptions struct {
+	// OnDelete is the referential action for generated foreign keys.
+	// Cascade matches Rails's :dependent => :destroy intent; NoAction
+	// (RESTRICT) is the conservative default.
+	OnDelete storage.ReferentialAction
+	// DryRun computes decisions without applying migrations.
+	DryRun bool
+}
+
+// Domesticate analyzes every validation declared in the session's registry
+// and applies the in-database migrations required for the invariants that
+// are not invariant confluent. It is idempotent: re-running it re-applies
+// no-op migrations.
+func Domesticate(s *Session, opts DomesticateOptions) ([]DomesticationDecision, error) {
+	var out []DomesticationDecision
+	for _, m := range s.registry.Models() {
+		for _, v := range m.Validations {
+			d, err := domesticateOne(s, m, v, opts)
+			if err != nil {
+				return out, err
+			}
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+func domesticateOne(s *Session, m *Model, v Validation, opts DomesticateOptions) (DomesticationDecision, error) {
+	d := DomesticationDecision{Model: m.Name, Validator: v.Name(), Field: v.Field()}
+	switch t := v.(type) {
+	case *Uniqueness:
+		d.Verdict = iconfluence.Unsafe
+		if t.Scope != "" {
+			d.Action = NeedsSerializable
+			d.Note = "scoped uniqueness needs a composite index, which the engine does not support"
+			return d, nil
+		}
+		if t.CaseInsensitive {
+			d.Action = NeedsSerializable
+			d.Note = "case-insensitive uniqueness needs an expression index, which the engine does not support"
+			return d, nil
+		}
+		d.Action = AddedUniqueIndex
+		if !opts.DryRun {
+			if err := s.AddUniqueIndex(m.Name, t.Attr); err != nil {
+				return d, fmt.Errorf("orm: domesticate %s.%s: %w", m.Name, t.Attr, err)
+			}
+		}
+		return d, nil
+	case *Presence:
+		if t.Association == "" {
+			d.Verdict = iconfluence.Safe
+			d.Action = KeepFeral
+			return d, nil
+		}
+		d.Field = t.Association
+		d.Verdict = iconfluence.Depends
+		d.Action = AddedForeignKey
+		if !opts.DryRun {
+			if err := s.AddForeignKey(m.Name, t.Association, opts.OnDelete); err != nil {
+				return d, fmt.Errorf("orm: domesticate %s.%s: %w", m.Name, t.Association, err)
+			}
+		}
+		return d, nil
+	case *Associated:
+		a := m.association(t.AssociationName)
+		if a == nil || a.Kind != BelongsTo {
+			d.Verdict = iconfluence.Safe
+			d.Action = KeepFeral
+			d.Note = "has_many side; children enforce their own validity"
+			return d, nil
+		}
+		d.Verdict = iconfluence.Depends
+		d.Action = AddedForeignKey
+		if !opts.DryRun {
+			if err := s.AddForeignKey(m.Name, t.AssociationName, opts.OnDelete); err != nil {
+				return d, fmt.Errorf("orm: domesticate %s.%s: %w", m.Name, t.AssociationName, err)
+			}
+		}
+		return d, nil
+	case *Custom:
+		d.Verdict = iconfluence.Depends
+		d.Action = NeedsSerializable
+		d.Note = "user-defined predicate cannot be compiled to a constraint; classify manually or run at SERIALIZABLE"
+		return d, nil
+	default:
+		// The value-local family: length, inclusion, numericality, email,
+		// attachments, confirmation.
+		d.Verdict = iconfluence.Safe
+		d.Action = KeepFeral
+		return d, nil
+	}
+}

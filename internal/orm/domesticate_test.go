@@ -1,0 +1,188 @@
+package orm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"feralcc/internal/iconfluence"
+	"feralcc/internal/storage"
+)
+
+func domesticatableModels() []*Model {
+	dept := &Model{
+		Name:  "Department",
+		Attrs: []Attr{{Name: "name", Kind: storage.KindString}},
+		Associations: []Association{
+			{Kind: HasMany, Name: "users", Target: "User", Dependent: DependentDestroy},
+		},
+	}
+	user := &Model{
+		Name: "User",
+		Attrs: []Attr{
+			{Name: "email", Kind: storage.KindString},
+			{Name: "name", Kind: storage.KindString},
+		},
+		Associations: []Association{
+			{Kind: BelongsTo, Name: "department", Target: "Department"},
+		},
+		Validations: []Validation{
+			&Uniqueness{Attr: "email"},
+			&Presence{Attr: "name"},
+			&Length{Attr: "name", Max: 40},
+			&Presence{Association: "department"},
+		},
+	}
+	return []*Model{dept, user}
+}
+
+func TestDomesticateDecisions(t *testing.T) {
+	_, _, s := testStack(t, domesticatableModels()...)
+	decisions, err := Domesticate(s, DomesticateOptions{OnDelete: storage.Cascade})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byValidator := map[string]DomesticationDecision{}
+	for _, d := range decisions {
+		byValidator[d.Validator+"/"+d.Field] = d
+	}
+	if d := byValidator["validates_uniqueness_of/email"]; d.Action != AddedUniqueIndex || d.Verdict != iconfluence.Unsafe {
+		t.Errorf("uniqueness decision: %+v", d)
+	}
+	if d := byValidator["validates_presence_of/name"]; d.Action != KeepFeral || d.Verdict != iconfluence.Safe {
+		t.Errorf("plain presence decision: %+v", d)
+	}
+	if d := byValidator["validates_length_of/name"]; d.Action != KeepFeral {
+		t.Errorf("length decision: %+v", d)
+	}
+	if d := byValidator["validates_presence_of/department"]; d.Action != AddedForeignKey {
+		t.Errorf("association presence decision: %+v", d)
+	}
+}
+
+func TestDomesticateEnforcesUniqueness(t *testing.T) {
+	d, r, s := testStack(t, domesticatableModels()...)
+	if _, err := Domesticate(s, DomesticateOptions{OnDelete: storage.Cascade}); err != nil {
+		t.Fatal(err)
+	}
+	dept, err := s.Create("Department", attrs("name", "eng"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The feral uniqueness race from session_test, post-domestication: the
+	// database now rejects the loser.
+	var barrier, done sync.WaitGroup
+	barrier.Add(2)
+	done.Add(2)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			defer done.Done()
+			sess := NewSession(r, d.Connect())
+			defer sess.Conn().Close()
+			errs[i] = sess.Transaction(func() error {
+				rec, _ := sess.New("User", attrs(
+					"email", "dup@example.com", "name", "x", "department_id", dept.ID()))
+				if err := sess.runValidations(rec, false); err != nil {
+					barrier.Done()
+					barrier.Wait()
+					return err
+				}
+				barrier.Done()
+				barrier.Wait()
+				return sess.performInsert(rec)
+			})
+		}(i)
+	}
+	done.Wait()
+	unique := 0
+	for _, err := range errs {
+		if errors.Is(err, storage.ErrUniqueViolation) {
+			unique++
+		}
+	}
+	if unique != 1 {
+		t.Fatalf("domesticated uniqueness race: errs = %v", errs)
+	}
+	if n, _ := s.Count("User"); n != 1 {
+		t.Fatalf("rows = %d", n)
+	}
+}
+
+func TestDomesticateEnforcesForeignKey(t *testing.T) {
+	_, _, s := testStack(t, domesticatableModels()...)
+	if _, err := Domesticate(s, DomesticateOptions{OnDelete: storage.Cascade}); err != nil {
+		t.Fatal(err)
+	}
+	// A dangling insert now fails in the database even when the feral
+	// validation is raced/bypassed.
+	_, err := s.Conn().Exec(
+		"INSERT INTO users (email, name, department_id) VALUES ('a@b.co', 'x', 999)")
+	if !errors.Is(err, storage.ErrForeignKeyViolation) {
+		t.Fatalf("bypassed insert: %v", err)
+	}
+}
+
+func TestDomesticateDryRun(t *testing.T) {
+	_, _, s := testStack(t, domesticatableModels()...)
+	decisions, err := Domesticate(s, DomesticateOptions{DryRun: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decisions) != 4 {
+		t.Fatalf("decisions = %d", len(decisions))
+	}
+	// No constraint applied: a duplicate bypassing the validation succeeds.
+	if _, err := s.Conn().Exec("INSERT INTO users (email) VALUES ('x')"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Conn().Exec("INSERT INTO users (email) VALUES ('x')"); err != nil {
+		t.Fatalf("dry run must not add constraints: %v", err)
+	}
+}
+
+func TestDomesticateIdempotent(t *testing.T) {
+	_, _, s := testStack(t, domesticatableModels()...)
+	if _, err := Domesticate(s, DomesticateOptions{OnDelete: storage.Cascade}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Domesticate(s, DomesticateOptions{OnDelete: storage.Cascade}); err != nil {
+		t.Fatalf("second domestication failed: %v", err)
+	}
+}
+
+func TestDomesticateUncompilableValidations(t *testing.T) {
+	m := &Model{
+		Name: "Widget",
+		Attrs: []Attr{
+			{Name: "code", Kind: storage.KindString},
+			{Name: "tenant", Kind: storage.KindString},
+		},
+		Validations: []Validation{
+			&Uniqueness{Attr: "code", Scope: "tenant"},
+			&Custom{ValidatorName: "stock_check", Attr: "code",
+				Fn: func(*ValidationContext) (string, error) { return "", nil }},
+		},
+	}
+	_, _, s := testStack(t, m)
+	decisions, err := Domesticate(s, DomesticateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range decisions {
+		if d.Action != NeedsSerializable {
+			t.Errorf("%s should need serializable, got %v", d.Validator, d.Action)
+		}
+		if d.Note == "" {
+			t.Errorf("%s: missing explanatory note", d.Validator)
+		}
+	}
+}
+
+func TestDomesticationActionStrings(t *testing.T) {
+	for _, a := range []DomesticationAction{KeepFeral, AddedUniqueIndex, AddedForeignKey, NeedsSerializable} {
+		if a.String() == "" {
+			t.Fatal("empty action string")
+		}
+	}
+}

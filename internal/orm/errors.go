@@ -1,0 +1,48 @@
+package orm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Sentinel errors for the ORM layer. Storage errors (unique violations,
+// serialization failures, ...) pass through wrapped so errors.Is still works.
+var (
+	// ErrRecordInvalid reports that one or more validations failed; the
+	// Rails analogue raises ActiveRecord::RecordInvalid from save!.
+	ErrRecordInvalid = errors.New("orm: record invalid")
+	// ErrStaleObject reports an optimistic-lock conflict: the row's
+	// lock_version advanced since this record was loaded
+	// (ActiveRecord::StaleObjectError).
+	ErrStaleObject = errors.New("orm: stale object (optimistic lock conflict)")
+	// ErrRecordNotFound reports a Find miss (ActiveRecord::RecordNotFound).
+	ErrRecordNotFound = errors.New("orm: record not found")
+	// ErrUnknownModel reports use of an unregistered model name.
+	ErrUnknownModel = errors.New("orm: unknown model")
+	// ErrUnknownAttr reports access to an undeclared attribute.
+	ErrUnknownAttr = errors.New("orm: unknown attribute")
+	// ErrNotPersisted reports an operation requiring a saved record.
+	ErrNotPersisted = errors.New("orm: record not persisted")
+	// ErrBadDefinition reports an inconsistent model registry.
+	ErrBadDefinition = errors.New("orm: bad model definition")
+	// ErrNestedTransaction reports Transaction inside Transaction; Rails
+	// flattens these by default, but the deployments under study never
+	// relied on nesting, so the reproduction rejects it loudly.
+	ErrNestedTransaction = errors.New("orm: nested transaction")
+)
+
+// ValidationError carries the per-validation failure messages for a record,
+// wrapped around ErrRecordInvalid.
+type ValidationError struct {
+	Model    string
+	Messages []string
+}
+
+// Error implements error.
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("orm: validation failed for %s: %s", e.Model, strings.Join(e.Messages, "; "))
+}
+
+// Unwrap makes errors.Is(err, ErrRecordInvalid) true.
+func (e *ValidationError) Unwrap() error { return ErrRecordInvalid }

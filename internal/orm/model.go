@@ -1,0 +1,263 @@
+// Package orm implements FeralRecord, an ActiveRecord-style object-relational
+// mapper faithful to the concurrency-control surface the paper studies
+// (Section 3.1): application-level transactions, pessimistic and optimistic
+// per-record locking, declarative validations, and associations with feral
+// (application-tier) cascading deletes.
+//
+// The crucial property reproduced here is the validation protocol of
+// Appendix B: a model save opens a database transaction at the database's
+// *default* isolation level, runs each declared validation sequentially
+// (uniqueness and presence validations issue SELECT probes), and then writes
+// the row — so whether the declared invariants actually hold under
+// concurrency is entirely a function of the database's isolation level.
+package orm
+
+import (
+	"fmt"
+	"strings"
+
+	"feralcc/internal/storage"
+)
+
+// Attr declares one model attribute, mapped 1:1 onto a table column per the
+// Active Record pattern.
+type Attr struct {
+	Name    string
+	Kind    storage.Kind
+	Default storage.Value
+}
+
+// AssociationKind distinguishes the two ends of a one-to-many relation.
+type AssociationKind uint8
+
+const (
+	// BelongsTo marks the many side; the declaring model carries the
+	// foreign-key attribute (e.g. department_id).
+	BelongsTo AssociationKind = iota
+	// HasMany marks the one side.
+	HasMany
+	// HasOne is a one-to-one hasMany variant.
+	HasOne
+)
+
+func (k AssociationKind) String() string {
+	switch k {
+	case BelongsTo:
+		return "belongs_to"
+	case HasMany:
+		return "has_many"
+	case HasOne:
+		return "has_one"
+	default:
+		return fmt.Sprintf("AssociationKind(%d)", uint8(k))
+	}
+}
+
+// Dependent selects the feral cascade behavior of a HasMany/HasOne
+// association when the owner is destroyed, mirroring Rails's
+// :dependent option.
+type Dependent uint8
+
+const (
+	// DependentNone leaves children in place (Rails default).
+	DependentNone Dependent = iota
+	// DependentDestroy loads each child and destroys it through the ORM
+	// (running its callbacks and cascades) — `:dependent => :destroy`.
+	DependentDestroy
+	// DependentDelete issues a single SQL DELETE for the children without
+	// instantiating them — `:dependent => :delete_all`.
+	DependentDelete
+)
+
+// Association declares a relation between two models.
+type Association struct {
+	Kind AssociationKind
+	// Name is the association name, e.g. "department" or "users".
+	Name string
+	// Target is the other model's name, e.g. "Department".
+	Target string
+	// ForeignKey is the FK attribute on the BelongsTo side; derived from the
+	// target name ("department_id") when empty.
+	ForeignKey string
+	// Dependent applies to HasMany/HasOne.
+	Dependent Dependent
+}
+
+// Model declares one Active Record class: its attributes, validations,
+// associations, and locking configuration.
+type Model struct {
+	// Name is the class name, e.g. "User".
+	Name string
+	// TableName overrides the derived table name (lower Name + "s").
+	TableName string
+	// Attrs are the non-id attributes. An integer `id` primary key is
+	// implicit, per the Active Record pattern.
+	Attrs []Attr
+	// Validations run, in order, on every save.
+	Validations []Validation
+	// Associations declared on this model.
+	Associations []Association
+	// OptimisticLocking adds a lock_version column checked on update.
+	OptimisticLocking bool
+	// Timestamps adds created_at / updated_at columns maintained on save.
+	Timestamps bool
+}
+
+// Table returns the model's table name.
+func (m *Model) Table() string {
+	if m.TableName != "" {
+		return m.TableName
+	}
+	return strings.ToLower(m.Name) + "s"
+}
+
+// attr returns the declared attribute, or nil.
+func (m *Model) attr(name string) *Attr {
+	for i := range m.Attrs {
+		if strings.EqualFold(m.Attrs[i].Name, name) {
+			return &m.Attrs[i]
+		}
+	}
+	return nil
+}
+
+// association returns the named association, or nil.
+func (m *Model) association(name string) *Association {
+	for i := range m.Associations {
+		if strings.EqualFold(m.Associations[i].Name, name) {
+			return &m.Associations[i]
+		}
+	}
+	return nil
+}
+
+// fkFor returns the foreign-key column of a BelongsTo association.
+func (a *Association) fkFor() string {
+	if a.ForeignKey != "" {
+		return a.ForeignKey
+	}
+	return strings.ToLower(a.Target) + "_id"
+}
+
+// Registry holds a set of models that reference each other, the analogue of
+// a Rails application's app/models directory.
+type Registry struct {
+	models map[string]*Model // lower name -> model
+	order  []string
+}
+
+// NewRegistry builds a registry and validates cross-references.
+func NewRegistry(models ...*Model) (*Registry, error) {
+	r := &Registry{models: make(map[string]*Model, len(models))}
+	for _, m := range models {
+		if m.Name == "" {
+			return nil, fmt.Errorf("%w: model with empty name", ErrBadDefinition)
+		}
+		lower := strings.ToLower(m.Name)
+		if _, dup := r.models[lower]; dup {
+			return nil, fmt.Errorf("%w: duplicate model %s", ErrBadDefinition, m.Name)
+		}
+		r.models[lower] = m
+		r.order = append(r.order, lower)
+	}
+	for _, m := range models {
+		for i := range m.Associations {
+			a := &m.Associations[i]
+			target := r.models[strings.ToLower(a.Target)]
+			if target == nil {
+				return nil, fmt.Errorf("%w: %s association %s targets unknown model %s",
+					ErrBadDefinition, m.Name, a.Name, a.Target)
+			}
+			if a.Kind == BelongsTo {
+				if m.attr(a.fkFor()) == nil {
+					// Declaring belongs_to implicitly adds the FK attribute,
+					// as Rails does.
+					m.Attrs = append(m.Attrs, Attr{Name: a.fkFor(), Kind: storage.KindInt})
+				}
+			} else {
+				// has_many: the FK lives on the target.
+				fk := a.ForeignKey
+				if fk == "" {
+					fk = strings.ToLower(m.Name) + "_id"
+					a.ForeignKey = fk
+				}
+				if target.attr(fk) == nil {
+					target.Attrs = append(target.Attrs, Attr{Name: fk, Kind: storage.KindInt})
+				}
+			}
+		}
+		for _, v := range m.Validations {
+			if err := v.check(m); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return r, nil
+}
+
+// Model returns the model registered under name.
+func (r *Registry) Model(name string) (*Model, error) {
+	m := r.models[strings.ToLower(name)]
+	if m == nil {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownModel, name)
+	}
+	return m, nil
+}
+
+// Models returns models in registration order.
+func (r *Registry) Models() []*Model {
+	out := make([]*Model, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.models[name])
+	}
+	return out
+}
+
+// CreateTableSQL renders the CREATE TABLE statement for a model. Note what
+// is absent: declared validations and associations contribute NOTHING to the
+// schema — no unique indexes, no foreign keys. That asymmetry (invariants
+// declared ferally, schema left bare) is the paper's central observation.
+func (m *Model) CreateTableSQL() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CREATE TABLE %s (\n  id BIGINT PRIMARY KEY", m.Table())
+	for _, a := range m.Attrs {
+		fmt.Fprintf(&b, ",\n  %s %s", a.Name, sqlType(a.Kind))
+		if !a.Default.IsNull() {
+			fmt.Fprintf(&b, " DEFAULT %s", sqlLiteral(a.Default))
+		}
+	}
+	if m.OptimisticLocking {
+		b.WriteString(",\n  lock_version BIGINT DEFAULT 0")
+	}
+	if m.Timestamps {
+		b.WriteString(",\n  created_at TIMESTAMP,\n  updated_at TIMESTAMP")
+	}
+	b.WriteString("\n)")
+	return b.String()
+}
+
+func sqlType(k storage.Kind) string {
+	switch k {
+	case storage.KindInt:
+		return "BIGINT"
+	case storage.KindFloat:
+		return "DOUBLE"
+	case storage.KindString:
+		return "TEXT"
+	case storage.KindBool:
+		return "BOOLEAN"
+	case storage.KindTime:
+		return "TIMESTAMP"
+	default:
+		return "TEXT"
+	}
+}
+
+func sqlLiteral(v storage.Value) string {
+	switch v.Kind {
+	case storage.KindString:
+		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'"
+	default:
+		return v.Format()
+	}
+}

@@ -1,0 +1,136 @@
+package orm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"feralcc/internal/storage"
+)
+
+func userDeptModels() (*Model, *Model) {
+	dept := &Model{
+		Name:  "Department",
+		Attrs: []Attr{{Name: "name", Kind: storage.KindString}},
+		Associations: []Association{
+			{Kind: HasMany, Name: "users", Target: "User", Dependent: DependentDestroy},
+		},
+	}
+	user := &Model{
+		Name:  "User",
+		Attrs: []Attr{{Name: "name", Kind: storage.KindString}},
+		Associations: []Association{
+			{Kind: BelongsTo, Name: "department", Target: "Department"},
+		},
+		Validations: []Validation{
+			&Presence{Association: "department"},
+		},
+	}
+	return dept, user
+}
+
+func TestRegistryResolvesAssociations(t *testing.T) {
+	dept, user := userDeptModels()
+	r, err := NewRegistry(dept, user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// belongs_to implies the FK attribute.
+	if user.attr("department_id") == nil {
+		t.Fatal("belongs_to did not add department_id")
+	}
+	// has_many derives the FK on the target.
+	if dept.Associations[0].ForeignKey != "department_id" {
+		t.Fatalf("has_many fk = %q", dept.Associations[0].ForeignKey)
+	}
+	if _, err := r.Model("user"); err != nil {
+		t.Fatal("case-insensitive model lookup failed")
+	}
+	if _, err := r.Model("ghost"); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("unknown model: %v", err)
+	}
+	if got := len(r.Models()); got != 2 {
+		t.Fatalf("Models() = %d", got)
+	}
+}
+
+func TestRegistryRejectsBadDefinitions(t *testing.T) {
+	cases := []struct {
+		name   string
+		models []*Model
+	}{
+		{"empty name", []*Model{{Name: ""}}},
+		{"duplicate", []*Model{{Name: "A"}, {Name: "a"}}},
+		{"dangling association", []*Model{{
+			Name:         "A",
+			Associations: []Association{{Kind: BelongsTo, Name: "b", Target: "B"}},
+		}}},
+		{"validator on unknown attr", []*Model{{
+			Name:        "A",
+			Validations: []Validation{&Presence{Attr: "ghost"}},
+		}}},
+		{"presence of unknown association", []*Model{{
+			Name:        "A",
+			Validations: []Validation{&Presence{Association: "ghost"}},
+		}}},
+		{"custom without fn", []*Model{{
+			Name:        "A",
+			Validations: []Validation{&Custom{ValidatorName: "x"}},
+		}}},
+		{"confirmation without shadow attr", []*Model{{
+			Name:        "A",
+			Attrs:       []Attr{{Name: "password", Kind: storage.KindString}},
+			Validations: []Validation{&Confirmation{Attr: "password"}},
+		}}},
+	}
+	for _, c := range cases {
+		if _, err := NewRegistry(c.models...); !errors.Is(err, ErrBadDefinition) {
+			t.Errorf("%s: got %v, want ErrBadDefinition", c.name, err)
+		}
+	}
+}
+
+func TestTableNameDerivation(t *testing.T) {
+	m := &Model{Name: "User"}
+	if m.Table() != "users" {
+		t.Errorf("Table() = %q", m.Table())
+	}
+	m.TableName = "people"
+	if m.Table() != "people" {
+		t.Errorf("override ignored: %q", m.Table())
+	}
+}
+
+func TestCreateTableSQLShape(t *testing.T) {
+	m := &Model{
+		Name: "Widget",
+		Attrs: []Attr{
+			{Name: "key", Kind: storage.KindString},
+			{Name: "count", Kind: storage.KindInt, Default: storage.Int(0)},
+		},
+		OptimisticLocking: true,
+		Timestamps:        true,
+		Validations:       []Validation{&Uniqueness{Attr: "key"}},
+	}
+	sql := m.CreateTableSQL()
+	for _, want := range []string{
+		"CREATE TABLE widgets", "id BIGINT PRIMARY KEY", "key TEXT",
+		"count BIGINT DEFAULT 0", "lock_version BIGINT DEFAULT 0",
+		"created_at TIMESTAMP", "updated_at TIMESTAMP",
+	} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("CreateTableSQL missing %q:\n%s", want, sql)
+		}
+	}
+	// The feral property: a uniqueness VALIDATION must not create a
+	// uniqueness CONSTRAINT.
+	if strings.Contains(strings.ToUpper(sql), "UNIQUE") {
+		t.Error("validation leaked into the schema as a constraint")
+	}
+}
+
+func TestAssociationKindStrings(t *testing.T) {
+	if BelongsTo.String() != "belongs_to" || HasMany.String() != "has_many" || HasOne.String() != "has_one" {
+		t.Error("association kind names wrong")
+	}
+}

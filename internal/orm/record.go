@@ -1,0 +1,121 @@
+package orm
+
+import (
+	"fmt"
+	"strings"
+
+	"feralcc/internal/storage"
+)
+
+// Record is one model instance — the analogue of an Active Record object
+// wrapping a row.
+type Record struct {
+	model     *Model
+	attrs     map[string]storage.Value // lower attr name -> value
+	persisted bool
+	id        int64
+	// lockVersion mirrors the row's lock_version when optimistic locking is
+	// enabled.
+	lockVersion int64
+	// errs holds validation failure messages from the last save attempt.
+	errs []string
+}
+
+// Model returns the record's model definition.
+func (r *Record) Model() *Model { return r.model }
+
+// ID returns the primary key (0 before the first save).
+func (r *Record) ID() int64 { return r.id }
+
+// Persisted reports whether the record is backed by a database row.
+func (r *Record) Persisted() bool { return r.persisted }
+
+// LockVersion returns the optimistic lock counter loaded with the record.
+func (r *Record) LockVersion() int64 { return r.lockVersion }
+
+// Errors returns validation messages from the last failed save.
+func (r *Record) Errors() []string {
+	return append([]string(nil), r.errs...)
+}
+
+// Get returns the value of a declared attribute.
+func (r *Record) Get(name string) (storage.Value, error) {
+	lower := strings.ToLower(name)
+	if lower == "id" {
+		return storage.Int(r.id), nil
+	}
+	if r.model.attr(name) == nil {
+		return storage.Value{}, fmt.Errorf("%w: %s.%s", ErrUnknownAttr, r.model.Name, name)
+	}
+	v, ok := r.attrs[lower]
+	if !ok {
+		return storage.Null(), nil
+	}
+	return v, nil
+}
+
+// MustGet is Get for attributes known to exist; it panics otherwise (use in
+// examples and tests).
+func (r *Record) MustGet(name string) storage.Value {
+	v, err := r.Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Set assigns a declared attribute. Setting "id" on an unsaved record
+// requests an explicit primary key (as Rails permits).
+func (r *Record) Set(name string, v storage.Value) error {
+	if strings.EqualFold(name, "id") {
+		cv, ok := v.CoerceTo(storage.KindInt)
+		if !ok {
+			return fmt.Errorf("%w: id must be an integer", storage.ErrTypeMismatch)
+		}
+		if r.persisted {
+			return fmt.Errorf("orm: cannot reassign the id of a persisted %s", r.model.Name)
+		}
+		r.id = cv.I
+		return nil
+	}
+	a := r.model.attr(name)
+	if a == nil {
+		return fmt.Errorf("%w: %s.%s", ErrUnknownAttr, r.model.Name, name)
+	}
+	cv, ok := v.CoerceTo(a.Kind)
+	if !ok {
+		return fmt.Errorf("%w: %s.%s is %s, got %s",
+			storage.ErrTypeMismatch, r.model.Name, name, a.Kind, v.Kind)
+	}
+	r.attrs[strings.ToLower(name)] = cv
+	return nil
+}
+
+// SetAll assigns multiple attributes, failing on the first bad one.
+func (r *Record) SetAll(attrs map[string]storage.Value) error {
+	for k, v := range attrs {
+		if err := r.Set(k, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GetString / GetInt are typed conveniences.
+func (r *Record) GetString(name string) string {
+	return r.MustGet(name).S
+}
+
+// GetInt returns an integer attribute's value.
+func (r *Record) GetInt(name string) int64 {
+	return r.MustGet(name).I
+}
+
+// snapshotAttrs copies the attribute map (for building SQL writes).
+func (r *Record) snapshotAttrs() map[string]storage.Value {
+	out := make(map[string]storage.Value, len(r.attrs))
+	for k, v := range r.attrs {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+// Package sqlfront provides the lexer, AST, and parser for the SQL dialect
+// used throughout the reproduction. The dialect covers everything the
+// ActiveRecord-style ORM emits (Appendix B of the paper) and everything the
+// experiment harness needs to measure anomalies (Appendix C), including
+// LEFT OUTER JOIN, GROUP BY/HAVING, and SELECT ... FOR UPDATE.
+package sqlfront
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind uint8
+
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokSymbol
+	TokPlaceholder
+)
+
+// Token is one lexical token with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased; identifiers keep original case
+	Pos  int
+}
+
+// keywords recognized by the lexer. Identifiers matching these (case
+// insensitively) lex as TokKeyword with upper-cased text.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "UPDATE": true, "SET": true, "DELETE": true, "CREATE": true,
+	"TABLE": true, "DROP": true, "INDEX": true, "UNIQUE": true, "ON": true,
+	"PRIMARY": true, "KEY": true, "NOT": true, "NULL": true, "DEFAULT": true,
+	"REFERENCES": true, "CASCADE": true, "RESTRICT": true, "AND": true,
+	"OR": true, "IS": true, "IN": true, "LIKE": true, "BETWEEN": true,
+	"ORDER": true, "BY": true, "GROUP": true, "HAVING": true, "LIMIT": true,
+	"OFFSET": true, "ASC": true, "DESC": true, "JOIN": true, "LEFT": true,
+	"RIGHT": true, "INNER": true, "OUTER": true, "AS": true, "FOR": true,
+	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "TRANSACTION": true,
+	"ISOLATION": true, "LEVEL": true, "READ": true, "COMMITTED": true,
+	"REPEATABLE": true, "SERIALIZABLE": true, "SNAPSHOT": true,
+	"TRUE": true, "FALSE": true, "COUNT": true, "SUM": true, "MIN": true,
+	"MAX": true, "AVG": true, "DISTINCT": true, "BIGINT": true, "INTEGER": true,
+	"INT": true, "TEXT": true, "VARCHAR": true, "STRING": true, "DOUBLE": true,
+	"FLOAT": true, "REAL": true, "BOOLEAN": true, "BOOL": true,
+	"TIMESTAMP": true, "DATETIME": true, "ACTION": true, "NO": true,
+	"SHOW": true, "TABLES": true, "ALTER": true, "ADD": true, "FOREIGN": true,
+}
+
+// Lexer tokenizes a SQL string.
+type Lexer struct {
+	src string
+	pos int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+
+// Lex returns all tokens including the trailing TokEOF, or a syntax error.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var out []Token
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+		if tok.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	lx.skipSpaceAndComments()
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: lx.pos}, nil
+	}
+	start := lx.pos
+	c := lx.src[lx.pos]
+	switch {
+	case c == '?':
+		lx.pos++
+		return Token{Kind: TokPlaceholder, Text: "?", Pos: start}, nil
+	case c == '\'':
+		return lx.lexString(start)
+	case c == '"':
+		return lx.lexQuotedIdent(start)
+	case isDigit(c) || (c == '.' && lx.pos+1 < len(lx.src) && isDigit(lx.src[lx.pos+1])):
+		return lx.lexNumber(start)
+	case isIdentStart(c):
+		return lx.lexWord(start)
+	default:
+		return lx.lexSymbol(start)
+	}
+}
+
+func (lx *Lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			lx.pos++
+		case c == '-' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '-':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			lx.pos += 2
+			for lx.pos+1 < len(lx.src) && !(lx.src[lx.pos] == '*' && lx.src[lx.pos+1] == '/') {
+				lx.pos++
+			}
+			lx.pos += 2
+			if lx.pos > len(lx.src) {
+				lx.pos = len(lx.src)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (lx *Lexer) lexString(start int) (Token, error) {
+	lx.pos++ // opening quote
+	var sb strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == '\'' {
+			if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '\'' { // escaped ''
+				sb.WriteByte('\'')
+				lx.pos += 2
+				continue
+			}
+			lx.pos++
+			return Token{Kind: TokString, Text: sb.String(), Pos: start}, nil
+		}
+		sb.WriteByte(c)
+		lx.pos++
+	}
+	return Token{}, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+}
+
+func (lx *Lexer) lexQuotedIdent(start int) (Token, error) {
+	lx.pos++
+	var sb strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == '"' {
+			lx.pos++
+			return Token{Kind: TokIdent, Text: sb.String(), Pos: start}, nil
+		}
+		sb.WriteByte(c)
+		lx.pos++
+	}
+	return Token{}, fmt.Errorf("sql: unterminated quoted identifier at offset %d", start)
+}
+
+func (lx *Lexer) lexNumber(start int) (Token, error) {
+	seenDot, seenExp := false, false
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case isDigit(c):
+			lx.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			lx.pos++
+		case (c == 'e' || c == 'E') && !seenExp && lx.pos > start:
+			seenExp = true
+			lx.pos++
+			if lx.pos < len(lx.src) && (lx.src[lx.pos] == '+' || lx.src[lx.pos] == '-') {
+				lx.pos++
+			}
+		default:
+			return Token{Kind: TokNumber, Text: lx.src[start:lx.pos], Pos: start}, nil
+		}
+	}
+	return Token{Kind: TokNumber, Text: lx.src[start:lx.pos], Pos: start}, nil
+}
+
+func (lx *Lexer) lexWord(start int) (Token, error) {
+	for lx.pos < len(lx.src) && isIdentCont(lx.src[lx.pos]) {
+		lx.pos++
+	}
+	word := lx.src[start:lx.pos]
+	upper := strings.ToUpper(word)
+	if keywords[upper] {
+		return Token{Kind: TokKeyword, Text: upper, Pos: start}, nil
+	}
+	return Token{Kind: TokIdent, Text: word, Pos: start}, nil
+}
+
+func (lx *Lexer) lexSymbol(start int) (Token, error) {
+	two := ""
+	if lx.pos+1 < len(lx.src) {
+		two = lx.src[lx.pos : lx.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=", "||":
+		lx.pos += 2
+		return Token{Kind: TokSymbol, Text: two, Pos: start}, nil
+	}
+	c := lx.src[lx.pos]
+	switch c {
+	case '(', ')', ',', '*', '=', '<', '>', '+', '-', '/', '.', ';', '%':
+		lx.pos++
+		return Token{Kind: TokSymbol, Text: string(c), Pos: start}, nil
+	}
+	return Token{}, fmt.Errorf("sql: unexpected character %q at offset %d", c, start)
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentCont(c byte) bool {
+	return c == '_' || c == '$' || unicode.IsLetter(rune(c)) || isDigit(c)
+}

@@ -1,0 +1,963 @@
+package sqlfront
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"feralcc/internal/storage"
+)
+
+// Parser is a recursive-descent parser over a token stream.
+type Parser struct {
+	toks            []Token
+	pos             int
+	nextPlaceholder int
+}
+
+// Parse parses a single SQL statement (an optional trailing semicolon is
+// allowed).
+func Parse(src string) (Statement, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TokSymbol, ";")
+	if !p.at(TokEOF, "") {
+		return nil, p.errorf("unexpected trailing input %q", p.cur().Text)
+	}
+	return stmt, nil
+}
+
+// ParseAll parses a semicolon-separated script.
+func ParseAll(src string) ([]Statement, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	var out []Statement
+	for {
+		for p.accept(TokSymbol, ";") {
+		}
+		if p.at(TokEOF, "") {
+			return out, nil
+		}
+		stmt, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, stmt)
+	}
+}
+
+func (p *Parser) cur() Token { return p.toks[p.pos] }
+
+func (p *Parser) at(kind TokenKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *Parser) accept(kind TokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(kind TokenKind, text string) (Token, error) {
+	if p.at(kind, text) {
+		t := p.cur()
+		p.pos++
+		return t, nil
+	}
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", kind)
+	}
+	return Token{}, p.errorf("expected %s, found %q", want, p.cur().Text)
+}
+
+func (p *Parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sql: parse error at offset %d: %s", p.cur().Pos, fmt.Sprintf(format, args...))
+}
+
+// ident accepts an identifier or a non-reserved keyword used as a name
+// (column names like "key" or "value" are common in the paper's schemas).
+func (p *Parser) ident() (string, error) {
+	t := p.cur()
+	if t.Kind == TokIdent {
+		p.pos++
+		return t.Text, nil
+	}
+	if t.Kind == TokKeyword {
+		switch t.Text {
+		case "KEY", "VALUES", "LEVEL", "ACTION", "NO", "INDEX", "COUNT",
+			"SUM", "MIN", "MAX", "AVG", "TEXT", "TIMESTAMP", "READ":
+			p.pos++
+			return strings.ToLower(t.Text), nil
+		}
+	}
+	return "", p.errorf("expected identifier, found %q", t.Text)
+}
+
+func (p *Parser) parseStatement() (Statement, error) {
+	switch {
+	case p.at(TokKeyword, "SELECT"):
+		return p.parseSelect()
+	case p.at(TokKeyword, "INSERT"):
+		return p.parseInsert()
+	case p.at(TokKeyword, "UPDATE"):
+		return p.parseUpdate()
+	case p.at(TokKeyword, "DELETE"):
+		return p.parseDelete()
+	case p.at(TokKeyword, "CREATE"):
+		return p.parseCreate()
+	case p.at(TokKeyword, "DROP"):
+		return p.parseDrop()
+	case p.at(TokKeyword, "ALTER"):
+		return p.parseAlter()
+	case p.at(TokKeyword, "BEGIN"):
+		return p.parseBegin()
+	case p.accept(TokKeyword, "COMMIT"):
+		return &CommitStmt{}, nil
+	case p.accept(TokKeyword, "ROLLBACK"):
+		return &RollbackStmt{}, nil
+	case p.at(TokKeyword, "SHOW"):
+		p.pos++
+		if _, err := p.expect(TokKeyword, "TABLES"); err != nil {
+			return nil, err
+		}
+		return &ShowTablesStmt{}, nil
+	default:
+		return nil, p.errorf("expected a statement, found %q", p.cur().Text)
+	}
+}
+
+func (p *Parser) parseBegin() (Statement, error) {
+	p.pos++ // BEGIN
+	p.accept(TokKeyword, "TRANSACTION")
+	stmt := &BeginStmt{}
+	if p.accept(TokKeyword, "ISOLATION") {
+		if _, err := p.expect(TokKeyword, "LEVEL"); err != nil {
+			return nil, err
+		}
+		stmt.HasLevel = true
+		switch {
+		case p.accept(TokKeyword, "READ"):
+			if _, err := p.expect(TokKeyword, "COMMITTED"); err != nil {
+				return nil, err
+			}
+			stmt.Level = storage.ReadCommitted
+		case p.accept(TokKeyword, "REPEATABLE"):
+			if _, err := p.expect(TokKeyword, "READ"); err != nil {
+				return nil, err
+			}
+			stmt.Level = storage.RepeatableRead
+		case p.accept(TokKeyword, "SNAPSHOT"):
+			p.accept(TokKeyword, "ISOLATION")
+			stmt.Level = storage.SnapshotIsolation
+		case p.accept(TokKeyword, "SERIALIZABLE"):
+			stmt.Level = storage.Serializable
+			// "SERIALIZABLE 2PL" lexes as SERIALIZABLE, number 2, ident PL.
+			if p.at(TokNumber, "2") && p.pos+1 < len(p.toks) &&
+				p.toks[p.pos+1].Kind == TokIdent && strings.EqualFold(p.toks[p.pos+1].Text, "pl") {
+				p.pos += 2
+				stmt.Level = storage.Serializable2PL
+			}
+		default:
+			return nil, p.errorf("unknown isolation level %q", p.cur().Text)
+		}
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseSelect() (Statement, error) {
+	p.pos++ // SELECT
+	stmt := &SelectStmt{}
+	for {
+		item := SelectItem{}
+		if p.accept(TokSymbol, "*") {
+			item.Expr = &Star{}
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item.Expr = e
+			if p.accept(TokKeyword, "AS") {
+				name, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = name
+			} else if p.at(TokIdent, "") {
+				name, _ := p.ident()
+				item.Alias = name
+			}
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(TokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = from
+	for {
+		kind := InnerJoin
+		switch {
+		case p.accept(TokKeyword, "LEFT"):
+			p.accept(TokKeyword, "OUTER")
+			kind = LeftOuterJoin
+		case p.accept(TokKeyword, "INNER"):
+		case p.at(TokKeyword, "JOIN"):
+		default:
+			goto afterJoins
+		}
+		if _, err := p.expect(TokKeyword, "JOIN"); err != nil {
+			return nil, err
+		}
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Joins = append(stmt.Joins, Join{Kind: kind, Table: tr, On: cond})
+	}
+afterJoins:
+	if p.accept(TokKeyword, "WHERE") {
+		if stmt.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(TokKeyword, "GROUP") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TokKeyword, "HAVING") {
+		if stmt.Having, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(TokKeyword, "ORDER") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			it := OrderItem{Expr: e}
+			if p.accept(TokKeyword, "DESC") {
+				it.Desc = true
+			} else {
+				p.accept(TokKeyword, "ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, it)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TokKeyword, "LIMIT") {
+		if stmt.Limit, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(TokKeyword, "OFFSET") {
+		if stmt.Offset, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(TokKeyword, "FOR") {
+		if _, err := p.expect(TokKeyword, "UPDATE"); err != nil {
+			return nil, err
+		}
+		stmt.ForUpdate = true
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseTableRef() (TableRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr := TableRef{Name: name}
+	if p.accept(TokKeyword, "AS") {
+		if tr.Alias, err = p.ident(); err != nil {
+			return TableRef{}, err
+		}
+	} else if p.at(TokIdent, "") {
+		tr.Alias, _ = p.ident()
+	}
+	return tr, nil
+}
+
+func (p *Parser) parseInsert() (Statement, error) {
+	p.pos++ // INSERT
+	if _, err := p.expect(TokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &InsertStmt{Table: table}
+	if _, err := p.expect(TokSymbol, "("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Columns = append(stmt.Columns, col)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(TokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		if len(row) != len(stmt.Columns) {
+			return nil, p.errorf("INSERT row has %d values for %d columns", len(row), len(stmt.Columns))
+		}
+		stmt.Rows = append(stmt.Rows, row)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseUpdate() (Statement, error) {
+	p.pos++ // UPDATE
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &UpdateStmt{Table: table}
+	if _, err := p.expect(TokKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, "="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Set = append(stmt.Set, SetClause{Column: col, Value: val})
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(TokKeyword, "WHERE") {
+		if stmt.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseDelete() (Statement, error) {
+	p.pos++ // DELETE
+	if _, err := p.expect(TokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &DeleteStmt{Table: table}
+	if p.accept(TokKeyword, "WHERE") {
+		if stmt.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseCreate() (Statement, error) {
+	p.pos++ // CREATE
+	unique := p.accept(TokKeyword, "UNIQUE")
+	switch {
+	case p.accept(TokKeyword, "TABLE"):
+		if unique {
+			return nil, p.errorf("CREATE UNIQUE TABLE is not a statement")
+		}
+		return p.parseCreateTable()
+	case p.accept(TokKeyword, "INDEX"):
+		return p.parseCreateIndex(unique)
+	default:
+		return nil, p.errorf("expected TABLE or INDEX after CREATE")
+	}
+}
+
+func (p *Parser) parseCreateTable() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &CreateTableStmt{Name: name}
+	if _, err := p.expect(TokSymbol, "("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.parseColumnDef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Columns = append(stmt.Columns, col)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(TokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseColumnDef() (ColumnDef, error) {
+	var def ColumnDef
+	name, err := p.ident()
+	if err != nil {
+		return def, err
+	}
+	def.Name = name
+	kindTok := p.cur()
+	if kindTok.Kind != TokKeyword {
+		return def, p.errorf("expected a column type, found %q", kindTok.Text)
+	}
+	switch kindTok.Text {
+	case "BIGINT", "INTEGER", "INT":
+		def.Kind = storage.KindInt
+	case "TEXT", "VARCHAR", "STRING":
+		def.Kind = storage.KindString
+	case "DOUBLE", "FLOAT", "REAL":
+		def.Kind = storage.KindFloat
+	case "BOOLEAN", "BOOL":
+		def.Kind = storage.KindBool
+	case "TIMESTAMP", "DATETIME":
+		def.Kind = storage.KindTime
+	default:
+		return def, p.errorf("unknown column type %q", kindTok.Text)
+	}
+	p.pos++
+	if kindTok.Text == "VARCHAR" && p.accept(TokSymbol, "(") {
+		if _, err := p.expect(TokNumber, ""); err != nil {
+			return def, err
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return def, err
+		}
+	}
+	for {
+		switch {
+		case p.accept(TokKeyword, "PRIMARY"):
+			if _, err := p.expect(TokKeyword, "KEY"); err != nil {
+				return def, err
+			}
+			def.PrimaryKey = true
+		case p.accept(TokKeyword, "NOT"):
+			if _, err := p.expect(TokKeyword, "NULL"); err != nil {
+				return def, err
+			}
+			def.NotNull = true
+		case p.accept(TokKeyword, "UNIQUE"):
+			def.Unique = true
+		case p.accept(TokKeyword, "DEFAULT"):
+			lit, err := p.parseLiteral()
+			if err != nil {
+				return def, err
+			}
+			def.Default = lit
+		case p.accept(TokKeyword, "REFERENCES"):
+			parent, err := p.ident()
+			if err != nil {
+				return def, err
+			}
+			fk := &ForeignKeyClause{ParentTable: parent, OnDelete: storage.NoAction}
+			if p.accept(TokSymbol, "(") { // optional (id) — only PK refs supported
+				if _, err := p.ident(); err != nil {
+					return def, err
+				}
+				if _, err := p.expect(TokSymbol, ")"); err != nil {
+					return def, err
+				}
+			}
+			if p.accept(TokKeyword, "ON") {
+				if _, err := p.expect(TokKeyword, "DELETE"); err != nil {
+					return def, err
+				}
+				switch {
+				case p.accept(TokKeyword, "CASCADE"):
+					fk.OnDelete = storage.Cascade
+				case p.accept(TokKeyword, "RESTRICT"):
+					fk.OnDelete = storage.NoAction
+				case p.accept(TokKeyword, "NO"):
+					if _, err := p.expect(TokKeyword, "ACTION"); err != nil {
+						return def, err
+					}
+					fk.OnDelete = storage.NoAction
+				case p.accept(TokKeyword, "SET"):
+					if _, err := p.expect(TokKeyword, "NULL"); err != nil {
+						return def, err
+					}
+					fk.OnDelete = storage.SetNull
+				default:
+					return def, p.errorf("unknown ON DELETE action %q", p.cur().Text)
+				}
+			}
+			def.References = fk
+		default:
+			return def, nil
+		}
+	}
+}
+
+func (p *Parser) parseCreateIndex(unique bool) (Statement, error) {
+	stmt := &CreateIndexStmt{Unique: unique}
+	if !p.at(TokKeyword, "ON") {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Name = name
+	}
+	if _, err := p.expect(TokKeyword, "ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Table = table
+	if _, err := p.expect(TokSymbol, "("); err != nil {
+		return nil, err
+	}
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Column = col
+	if _, err := p.expect(TokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseAlter() (Statement, error) {
+	p.pos++ // ALTER
+	if _, err := p.expect(TokKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "ADD"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "FOREIGN"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "KEY"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSymbol, "("); err != nil {
+		return nil, err
+	}
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "REFERENCES"); err != nil {
+		return nil, err
+	}
+	parent, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &AlterTableAddFKStmt{Table: table, Column: col, ParentTable: parent,
+		OnDelete: storage.NoAction}
+	if p.accept(TokSymbol, "(") { // optional (id)
+		if _, err := p.ident(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(TokKeyword, "ON") {
+		if _, err := p.expect(TokKeyword, "DELETE"); err != nil {
+			return nil, err
+		}
+		switch {
+		case p.accept(TokKeyword, "CASCADE"):
+			stmt.OnDelete = storage.Cascade
+		case p.accept(TokKeyword, "RESTRICT"):
+			stmt.OnDelete = storage.NoAction
+		case p.accept(TokKeyword, "NO"):
+			if _, err := p.expect(TokKeyword, "ACTION"); err != nil {
+				return nil, err
+			}
+			stmt.OnDelete = storage.NoAction
+		case p.accept(TokKeyword, "SET"):
+			if _, err := p.expect(TokKeyword, "NULL"); err != nil {
+				return nil, err
+			}
+			stmt.OnDelete = storage.SetNull
+		default:
+			return nil, p.errorf("unknown ON DELETE action %q", p.cur().Text)
+		}
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseDrop() (Statement, error) {
+	p.pos++ // DROP
+	if _, err := p.expect(TokKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &DropTableStmt{Name: name}, nil
+}
+
+// --- Expressions (precedence climbing) ---------------------------------------
+
+// parseExpr parses OR-expressions (lowest precedence).
+func (p *Parser) parseExpr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.accept(TokKeyword, "NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", Operand: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *Parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(TokKeyword, "IS") {
+		neg := p.accept(TokKeyword, "NOT")
+		if _, err := p.expect(TokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{Operand: left, Negate: neg}, nil
+	}
+	neg := false
+	if p.at(TokKeyword, "NOT") && p.pos+1 < len(p.toks) &&
+		(p.toks[p.pos+1].Text == "IN" || p.toks[p.pos+1].Text == "LIKE") {
+		p.pos++
+		neg = true
+	}
+	if p.accept(TokKeyword, "IN") {
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		in := &InExpr{Operand: left, Negate: neg}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			in.List = append(in.List, e)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return in, nil
+	}
+	if p.accept(TokKeyword, "LIKE") {
+		pat, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &LikeExpr{Operand: left, Pattern: pat, Negate: neg}, nil
+	}
+	for _, op := range []string{"<=", ">=", "<>", "!=", "=", "<", ">"} {
+		if p.accept(TokSymbol, op) {
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			if op == "!=" {
+				op = "<>"
+			}
+			return &BinaryExpr{Op: op, Left: left, Right: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(TokSymbol, "+"):
+			op = "+"
+		case p.accept(TokSymbol, "-"):
+			op = "-"
+		case p.accept(TokSymbol, "||"):
+			op = "||"
+		default:
+			return left, nil
+		}
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *Parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(TokSymbol, "*"):
+			op = "*"
+		case p.accept(TokSymbol, "/"):
+			op = "/"
+		case p.accept(TokSymbol, "%"):
+			op = "%"
+		default:
+			return left, nil
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.accept(TokSymbol, "-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := e.(*Literal); ok {
+			switch lit.Value.Kind {
+			case storage.KindInt:
+				return &Literal{Value: storage.Int(-lit.Value.I)}, nil
+			case storage.KindFloat:
+				return &Literal{Value: storage.Float(-lit.Value.F)}, nil
+			}
+		}
+		return &UnaryExpr{Op: "-", Operand: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokNumber || t.Kind == TokString ||
+		(t.Kind == TokKeyword && (t.Text == "NULL" || t.Text == "TRUE" || t.Text == "FALSE")):
+		return p.parseLiteral()
+	case t.Kind == TokPlaceholder:
+		p.pos++
+		ph := &Placeholder{Index: p.nextPlaceholder}
+		p.nextPlaceholder++
+		return ph, nil
+	case p.accept(TokSymbol, "("):
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.Kind == TokKeyword && isAggregate(t.Text) &&
+		p.pos+1 < len(p.toks) && p.toks[p.pos+1].Kind == TokSymbol && p.toks[p.pos+1].Text == "(":
+		p.pos++
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		fe := &FuncExpr{Name: t.Text}
+		fe.Distinct = p.accept(TokKeyword, "DISTINCT")
+		if p.accept(TokSymbol, "*") {
+			fe.Arg = &Star{}
+		} else {
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			fe.Arg = arg
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return fe, nil
+	default:
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ref := &ColumnRef{Column: name}
+		if p.accept(TokSymbol, ".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ref.Table = name
+			ref.Column = col
+		}
+		return ref, nil
+	}
+}
+
+func isAggregate(name string) bool {
+	switch name {
+	case "COUNT", "SUM", "MIN", "MAX", "AVG":
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseLiteral() (*Literal, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokNumber:
+		p.pos++
+		if strings.ContainsAny(t.Text, ".eE") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errorf("bad number %q: %v", t.Text, err)
+			}
+			return &Literal{Value: storage.Float(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer %q: %v", t.Text, err)
+		}
+		return &Literal{Value: storage.Int(i)}, nil
+	case t.Kind == TokString:
+		p.pos++
+		return &Literal{Value: storage.Str(t.Text)}, nil
+	case t.Kind == TokKeyword && t.Text == "NULL":
+		p.pos++
+		return &Literal{Value: storage.Null()}, nil
+	case t.Kind == TokKeyword && t.Text == "TRUE":
+		p.pos++
+		return &Literal{Value: storage.Bool(true)}, nil
+	case t.Kind == TokKeyword && t.Text == "FALSE":
+		p.pos++
+		return &Literal{Value: storage.Bool(false)}, nil
+	default:
+		return nil, p.errorf("expected a literal, found %q", t.Text)
+	}
+}

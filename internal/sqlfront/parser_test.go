@@ -1,0 +1,336 @@
+package sqlfront
+
+import (
+	"strings"
+	"testing"
+
+	"feralcc/internal/storage"
+)
+
+func mustParse(t *testing.T, src string) Statement {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return stmt
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT 'it''s', 42, 3.5, ?, foo.bar -- comment\nFROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokenKind{TokKeyword, TokString, TokSymbol, TokNumber, TokSymbol,
+		TokNumber, TokSymbol, TokPlaceholder, TokSymbol, TokIdent, TokSymbol,
+		TokIdent, TokKeyword, TokIdent, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("token count = %d, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: kind %d, want %d (%q)", i, toks[i].Kind, k, toks[i].Text)
+		}
+	}
+	if toks[1].Text != "it's" {
+		t.Errorf("escaped string = %q", toks[1].Text)
+	}
+}
+
+func TestLexBlockCommentAndQuotedIdent(t *testing.T) {
+	toks, err := Lex(`/* hi */ "Weird Name" <= >= <> !=`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokIdent || toks[0].Text != "Weird Name" {
+		t.Errorf("quoted ident: %+v", toks[0])
+	}
+	for i, want := range []string{"<=", ">=", "<>", "!="} {
+		if toks[1+i].Text != want {
+			t.Errorf("symbol %d = %q, want %q", i, toks[1+i].Text, want)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", `"unterminated`, "sel @ect"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseSelectUniquenessValidatorQuery(t *testing.T) {
+	// The exact probe from Appendix B.1.
+	stmt := mustParse(t, "SELECT 1 FROM validated_key_values WHERE key = ? LIMIT 1")
+	sel := stmt.(*SelectStmt)
+	if sel.From.Name != "validated_key_values" {
+		t.Errorf("table = %q", sel.From.Name)
+	}
+	be := sel.Where.(*BinaryExpr)
+	if be.Op != "=" || be.Left.(*ColumnRef).Column != "key" {
+		t.Errorf("where = %+v", be)
+	}
+	if _, ok := be.Right.(*Placeholder); !ok {
+		t.Errorf("rhs should be placeholder: %T", be.Right)
+	}
+	if sel.Limit == nil || sel.Limit.(*Literal).Value.I != 1 {
+		t.Error("limit missing")
+	}
+}
+
+func TestParseSelectForUpdate(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM stock_items WHERE id = 5 FOR UPDATE").(*SelectStmt)
+	if !sel.ForUpdate {
+		t.Error("FOR UPDATE not parsed")
+	}
+	if _, ok := sel.Items[0].Expr.(*Star); !ok {
+		t.Error("* projection not parsed")
+	}
+}
+
+func TestParseOrphanCountQuery(t *testing.T) {
+	// The orphan-counting query from Appendix C.5.
+	src := `SELECT U.department_id, COUNT(*) FROM users AS U
+	        LEFT OUTER JOIN departments AS D ON U.department_id = D.id
+	        WHERE D.id IS NULL
+	        GROUP BY U.department_id
+	        HAVING COUNT(*) > 0`
+	sel := mustParse(t, src).(*SelectStmt)
+	if len(sel.Joins) != 1 || sel.Joins[0].Kind != LeftOuterJoin {
+		t.Fatalf("joins = %+v", sel.Joins)
+	}
+	if sel.Joins[0].Table.Alias != "D" {
+		t.Errorf("join alias = %q", sel.Joins[0].Table.Alias)
+	}
+	isNull := sel.Where.(*IsNullExpr)
+	if isNull.Negate {
+		t.Error("IS NULL parsed as IS NOT NULL")
+	}
+	if len(sel.GroupBy) != 1 || sel.Having == nil {
+		t.Error("GROUP BY / HAVING missing")
+	}
+}
+
+func TestParseDuplicateCountQuery(t *testing.T) {
+	// Appendix C.2's duplicate counter.
+	src := "SELECT key, COUNT(key)-1 FROM kv GROUP BY key HAVING COUNT(key) > 1"
+	sel := mustParse(t, src).(*SelectStmt)
+	if len(sel.Items) != 2 {
+		t.Fatalf("items = %d", len(sel.Items))
+	}
+	diff := sel.Items[1].Expr.(*BinaryExpr)
+	if diff.Op != "-" {
+		t.Errorf("expected COUNT(key)-1, got op %q", diff.Op)
+	}
+	if diff.Left.(*FuncExpr).Name != "COUNT" {
+		t.Error("COUNT not parsed")
+	}
+}
+
+func TestParseInsertMultiRow(t *testing.T) {
+	ins := mustParse(t, "INSERT INTO kv (key, value) VALUES ('a', '1'), ('b', ?)").(*InsertStmt)
+	if len(ins.Rows) != 2 || len(ins.Columns) != 2 {
+		t.Fatalf("%+v", ins)
+	}
+	if ins.Rows[1][1].(*Placeholder).Index != 0 {
+		t.Error("placeholder index wrong")
+	}
+	if _, err := Parse("INSERT INTO kv (a, b) VALUES (1)"); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+}
+
+func TestParseUpdateDelete(t *testing.T) {
+	up := mustParse(t, "UPDATE kv SET value = 'x', key = ? WHERE id = 3").(*UpdateStmt)
+	if len(up.Set) != 2 || up.Where == nil {
+		t.Fatalf("%+v", up)
+	}
+	del := mustParse(t, "DELETE FROM kv WHERE key = 'a' AND value IS NOT NULL").(*DeleteStmt)
+	and := del.Where.(*BinaryExpr)
+	if and.Op != "AND" {
+		t.Fatalf("where = %+v", del.Where)
+	}
+	if !and.Right.(*IsNullExpr).Negate {
+		t.Error("IS NOT NULL lost its negation")
+	}
+}
+
+func TestParseCreateTableFull(t *testing.T) {
+	src := `CREATE TABLE users (
+		id BIGINT PRIMARY KEY,
+		email TEXT NOT NULL UNIQUE,
+		age INTEGER DEFAULT 18,
+		department_id BIGINT REFERENCES departments ON DELETE CASCADE,
+		manager_id BIGINT REFERENCES users(id) ON DELETE SET NULL,
+		bio VARCHAR(255)
+	)`
+	ct := mustParse(t, src).(*CreateTableStmt)
+	if len(ct.Columns) != 6 {
+		t.Fatalf("columns = %d", len(ct.Columns))
+	}
+	if !ct.Columns[0].PrimaryKey || ct.Columns[0].Kind != storage.KindInt {
+		t.Error("pk column wrong")
+	}
+	if !ct.Columns[1].NotNull || !ct.Columns[1].Unique {
+		t.Error("email constraints wrong")
+	}
+	if ct.Columns[2].Default == nil || ct.Columns[2].Default.Value.I != 18 {
+		t.Error("default wrong")
+	}
+	if fk := ct.Columns[3].References; fk == nil || fk.OnDelete != storage.Cascade {
+		t.Error("cascade FK wrong")
+	}
+	if fk := ct.Columns[4].References; fk == nil || fk.OnDelete != storage.SetNull {
+		t.Error("set-null FK wrong")
+	}
+}
+
+func TestParseCreateIndex(t *testing.T) {
+	ci := mustParse(t, "CREATE UNIQUE INDEX kv_key ON kv (key)").(*CreateIndexStmt)
+	if !ci.Unique || ci.Table != "kv" || ci.Column != "key" || ci.Name != "kv_key" {
+		t.Fatalf("%+v", ci)
+	}
+	ci = mustParse(t, "CREATE INDEX ON users (department_id)").(*CreateIndexStmt)
+	if ci.Unique || ci.Name != "" {
+		t.Fatalf("%+v", ci)
+	}
+}
+
+func TestParseBeginVariants(t *testing.T) {
+	cases := map[string]struct {
+		hasLevel bool
+		level    storage.IsolationLevel
+	}{
+		"BEGIN":                                      {false, 0},
+		"BEGIN TRANSACTION":                          {false, 0},
+		"BEGIN ISOLATION LEVEL READ COMMITTED":       {true, storage.ReadCommitted},
+		"BEGIN ISOLATION LEVEL REPEATABLE READ":      {true, storage.RepeatableRead},
+		"BEGIN ISOLATION LEVEL SNAPSHOT ISOLATION":   {true, storage.SnapshotIsolation},
+		"BEGIN ISOLATION LEVEL SERIALIZABLE":         {true, storage.Serializable},
+		"BEGIN ISOLATION LEVEL SERIALIZABLE 2PL":     {true, storage.Serializable2PL},
+		"begin transaction isolation level snapshot": {true, storage.SnapshotIsolation},
+	}
+	for src, want := range cases {
+		b := mustParse(t, src).(*BeginStmt)
+		if b.HasLevel != want.hasLevel || (want.hasLevel && b.Level != want.level) {
+			t.Errorf("%q: %+v", src, b)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	sel := mustParse(t, "SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3").(*SelectStmt)
+	or := sel.Where.(*BinaryExpr)
+	if or.Op != "OR" {
+		t.Fatalf("top op = %q, want OR (AND binds tighter)", or.Op)
+	}
+	if or.Right.(*BinaryExpr).Op != "AND" {
+		t.Error("AND should be under OR")
+	}
+	sel = mustParse(t, "SELECT a FROM t WHERE a + b * c = 7").(*SelectStmt)
+	eq := sel.Where.(*BinaryExpr)
+	plus := eq.Left.(*BinaryExpr)
+	if plus.Op != "+" || plus.Right.(*BinaryExpr).Op != "*" {
+		t.Error("arithmetic precedence wrong")
+	}
+}
+
+func TestParseInAndLike(t *testing.T) {
+	sel := mustParse(t, "SELECT a FROM t WHERE a IN (1, 2, 3) AND b NOT LIKE 'x%'").(*SelectStmt)
+	and := sel.Where.(*BinaryExpr)
+	in := and.Left.(*InExpr)
+	if len(in.List) != 3 || in.Negate {
+		t.Errorf("IN: %+v", in)
+	}
+	like := and.Right.(*LikeExpr)
+	if !like.Negate {
+		t.Error("NOT LIKE lost negation")
+	}
+	sel = mustParse(t, "SELECT a FROM t WHERE a NOT IN (1)").(*SelectStmt)
+	if !sel.Where.(*InExpr).Negate {
+		t.Error("NOT IN lost negation")
+	}
+}
+
+func TestParseOrderLimitOffset(t *testing.T) {
+	sel := mustParse(t, "SELECT a FROM t ORDER BY a DESC, b LIMIT 10 OFFSET 5").(*SelectStmt)
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Fatalf("order = %+v", sel.OrderBy)
+	}
+	if sel.Limit.(*Literal).Value.I != 10 || sel.Offset.(*Literal).Value.I != 5 {
+		t.Error("limit/offset wrong")
+	}
+}
+
+func TestParseNegativeNumbersFold(t *testing.T) {
+	sel := mustParse(t, "SELECT a FROM t WHERE a = -5 AND b = -2.5").(*SelectStmt)
+	and := sel.Where.(*BinaryExpr)
+	if and.Left.(*BinaryExpr).Right.(*Literal).Value.I != -5 {
+		t.Error("negative int literal not folded")
+	}
+	if and.Right.(*BinaryExpr).Right.(*Literal).Value.F != -2.5 {
+		t.Error("negative float literal not folded")
+	}
+}
+
+func TestParseAllScript(t *testing.T) {
+	stmts, err := ParseAll("BEGIN; INSERT INTO t (a) VALUES (1); COMMIT;")
+	if err != nil || len(stmts) != 3 {
+		t.Fatalf("%d stmts, %v", len(stmts), err)
+	}
+	if _, err := ParseAll(";;;"); err != nil {
+		t.Errorf("empty script: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT * FROM",
+		"FROB the database",
+		"SELECT * FROM t WHERE",
+		"INSERT INTO t VALUES (1)", // column list required in this dialect
+		"CREATE UNIQUE TABLE t (a INT)",
+		"CREATE TABLE t (a FANCYTYPE)",
+		"BEGIN ISOLATION LEVEL CHAOS",
+		"SELECT * FROM t extra garbage ,",
+		"DELETE t WHERE a = 1",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestCountPlaceholders(t *testing.T) {
+	stmt := mustParse(t, "UPDATE kv SET value = ? WHERE key = ? AND id IN (?, ?)")
+	if n := CountPlaceholders(stmt); n != 4 {
+		t.Errorf("placeholders = %d, want 4", n)
+	}
+	if n := CountPlaceholders(mustParse(t, "SELECT 1 FROM t")); n != 0 {
+		t.Errorf("placeholders = %d, want 0", n)
+	}
+}
+
+func TestKeywordsAsColumnNames(t *testing.T) {
+	// "key" and "value" are the paper's own schema column names.
+	for _, src := range []string{
+		"SELECT key, value FROM kv WHERE key = 'a'",
+		"INSERT INTO kv (key, value) VALUES ('a', 'b')",
+		"UPDATE kv SET key = 'x' WHERE key = 'y'",
+	} {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+		}
+	}
+}
+
+func TestParseCaseInsensitivity(t *testing.T) {
+	lower := strings.ToLower("SELECT KEY FROM KV WHERE KEY = 'A' ORDER BY KEY LIMIT 1")
+	if _, err := Parse(lower); err != nil {
+		t.Errorf("lower-case SQL rejected: %v", err)
+	}
+}

@@ -1,0 +1,425 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func uniqueKVSchema() *Schema {
+	s := kvSchema("kv")
+	s.Indexes = []IndexSpec{{Column: "key", Unique: true}}
+	return s
+}
+
+func deptUserSchemas(action ReferentialAction) (*Schema, *Schema) {
+	depts := &Schema{Name: "departments", Columns: []Column{
+		{Name: "id", Kind: KindInt, PrimaryKey: true},
+		{Name: "name", Kind: KindString},
+	}}
+	users := &Schema{Name: "users", Columns: []Column{
+		{Name: "id", Kind: KindInt, PrimaryKey: true},
+		{Name: "department_id", Kind: KindInt},
+		{Name: "name", Kind: KindString},
+	},
+		Indexes:     []IndexSpec{{Column: "department_id"}},
+		ForeignKeys: []ForeignKey{{Column: "department_id", ParentTable: "departments", OnDelete: action}},
+	}
+	return depts, users
+}
+
+func TestUniqueIndexRejectsDuplicates(t *testing.T) {
+	db := testDB(t, Options{})
+	mustCreate(t, db, uniqueKVSchema())
+	insertKV(t, db, "kv", "a", "1")
+	tx := db.BeginDefault()
+	_, _, err := tx.Insert("kv", map[string]Value{"key": Str("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrUniqueViolation) {
+		t.Fatalf("duplicate insert should fail at commit: %v", err)
+	}
+	if got := countRows(t, db, "kv", nil); got != 1 {
+		t.Fatalf("rows = %d, want 1", got)
+	}
+}
+
+func TestUniqueIndexIntraTransactionDuplicate(t *testing.T) {
+	db := testDB(t, Options{})
+	mustCreate(t, db, uniqueKVSchema())
+	tx := db.BeginDefault()
+	_, _, _ = tx.Insert("kv", map[string]Value{"key": Str("a")})
+	_, _, _ = tx.Insert("kv", map[string]Value{"key": Str("a")})
+	if err := tx.Commit(); !errors.Is(err, ErrUniqueViolation) {
+		t.Fatalf("intra-tx duplicate should fail: %v", err)
+	}
+}
+
+func TestUniqueIndexAllowsMultipleNulls(t *testing.T) {
+	db := testDB(t, Options{})
+	mustCreate(t, db, uniqueKVSchema())
+	for i := 0; i < 3; i++ {
+		tx := db.BeginDefault()
+		_, _, err := tx.Insert("kv", map[string]Value{"value": Str("v")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("NULL keys must not violate uniqueness: %v", err)
+		}
+	}
+}
+
+func TestUniqueIndexUpdateAndReuse(t *testing.T) {
+	db := testDB(t, Options{})
+	mustCreate(t, db, uniqueKVSchema())
+	idA := insertKV(t, db, "kv", "a", "1")
+	insertKV(t, db, "kv", "b", "2")
+
+	// Updating a row to keep its own key is fine.
+	tx := db.BeginDefault()
+	if err := tx.Update("kv", idA, map[string]Value{"value": Str("9")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("same-key update must not self-conflict: %v", err)
+	}
+
+	// Updating onto an existing key conflicts.
+	tx = db.BeginDefault()
+	_ = tx.Update("kv", idA, map[string]Value{"key": Str("b")})
+	if err := tx.Commit(); !errors.Is(err, ErrUniqueViolation) {
+		t.Fatalf("update onto taken key: %v", err)
+	}
+
+	// Delete + reinsert of the same key in one transaction succeeds.
+	tx = db.BeginDefault()
+	if err := tx.Delete("kv", idA); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tx.Insert("kv", map[string]Value{"key": Str("a")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("delete+reinsert: %v", err)
+	}
+}
+
+func TestUniqueIndexStopsConcurrentRace(t *testing.T) {
+	// The paper's remedy: with an in-database unique index, the same race
+	// that produces feral duplicates yields zero duplicates at ANY isolation
+	// level — the loser gets ErrUniqueViolation.
+	for _, level := range []IsolationLevel{ReadCommitted, RepeatableRead, SnapshotIsolation} {
+		t.Run(level.String(), func(t *testing.T) {
+			db := testDB(t, Options{})
+			mustCreate(t, db, uniqueKVSchema())
+			const workers = 16
+			var wg sync.WaitGroup
+			var uniqueErrs, commits int64
+			var mu sync.Mutex
+			wg.Add(workers)
+			for i := 0; i < workers; i++ {
+				go func() {
+					defer wg.Done()
+					_, err := feralUniqueInsert(db, level, "contended", nil)
+					mu.Lock()
+					defer mu.Unlock()
+					if errors.Is(err, ErrUniqueViolation) {
+						uniqueErrs++
+					} else if err == nil {
+						commits++
+					}
+				}()
+			}
+			wg.Wait()
+			if got := countRows(t, db, "kv", &EqFilter{Column: "key", Value: Str("contended")}); got != 1 {
+				t.Fatalf("duplicates survived the unique index: %d rows", got)
+			}
+		})
+	}
+}
+
+func TestAddUniqueIndexToExistingTable(t *testing.T) {
+	db := testDB(t, Options{})
+	mustCreate(t, db, kvSchema("kv"))
+	insertKV(t, db, "kv", "a", "1")
+	insertKV(t, db, "kv", "b", "2")
+	if err := db.AddUniqueIndex("kv", "key"); err != nil {
+		t.Fatalf("migration: %v", err)
+	}
+	tx := db.BeginDefault()
+	_, _, _ = tx.Insert("kv", map[string]Value{"key": Str("a")})
+	if err := tx.Commit(); !errors.Is(err, ErrUniqueViolation) {
+		t.Fatalf("index added by migration not enforced: %v", err)
+	}
+}
+
+func TestAddUniqueIndexRejectsExistingDuplicates(t *testing.T) {
+	db := testDB(t, Options{})
+	mustCreate(t, db, kvSchema("kv"))
+	insertKV(t, db, "kv", "dup", "1")
+	insertKV(t, db, "kv", "dup", "2")
+	if err := db.AddUniqueIndex("kv", "key"); !errors.Is(err, ErrUniqueViolation) {
+		t.Fatalf("migration over duplicates should fail: %v", err)
+	}
+	if err := db.AddUniqueIndex("kv", "ghost"); !errors.Is(err, ErrNoSuchColumn) {
+		t.Fatalf("unknown column: %v", err)
+	}
+	if err := db.AddUniqueIndex("ghost", "key"); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("unknown table: %v", err)
+	}
+}
+
+func TestForeignKeyInsertValidation(t *testing.T) {
+	db := testDB(t, Options{})
+	depts, users := deptUserSchemas(NoAction)
+	mustCreate(t, db, depts)
+	mustCreate(t, db, users)
+
+	tx := db.BeginDefault()
+	_, _, err := tx.Insert("users", map[string]Value{"department_id": Int(42), "name": Str("orphan")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrForeignKeyViolation) {
+		t.Fatalf("insert with missing parent: %v", err)
+	}
+
+	// Parent created in the same transaction satisfies the constraint.
+	tx = db.BeginDefault()
+	_, deptPK, _ := tx.Insert("departments", map[string]Value{"name": Str("eng")})
+	_, _, _ = tx.Insert("users", map[string]Value{"department_id": Int(deptPK), "name": Str("alice")})
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("same-tx parent+child: %v", err)
+	}
+
+	// NULL FK is always allowed.
+	tx = db.BeginDefault()
+	_, _, _ = tx.Insert("users", map[string]Value{"name": Str("freelancer")})
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("NULL FK: %v", err)
+	}
+}
+
+func TestForeignKeyRestrictDelete(t *testing.T) {
+	db := testDB(t, Options{})
+	depts, users := deptUserSchemas(NoAction)
+	mustCreate(t, db, depts)
+	mustCreate(t, db, users)
+	tx := db.BeginDefault()
+	deptRow, deptPK, _ := tx.Insert("departments", map[string]Value{"name": Str("eng")})
+	_, _, _ = tx.Insert("users", map[string]Value{"department_id": Int(deptPK)})
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx = db.BeginDefault()
+	if err := tx.Delete("departments", deptRow); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrForeignKeyViolation) {
+		t.Fatalf("NO ACTION delete with children: %v", err)
+	}
+
+	// Deleting child then parent in one transaction is allowed.
+	tx = db.BeginDefault()
+	var userRow RowID
+	_ = tx.Scan("users", ScanOptions{}, func(id RowID, _ []Value) bool { userRow = id; return false })
+	if err := tx.Delete("users", userRow); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Delete("departments", deptRow); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("child-then-parent delete: %v", err)
+	}
+}
+
+func TestForeignKeyCascadeDelete(t *testing.T) {
+	db := testDB(t, Options{})
+	depts, users := deptUserSchemas(Cascade)
+	mustCreate(t, db, depts)
+	mustCreate(t, db, users)
+	tx := db.BeginDefault()
+	deptRow, deptPK, _ := tx.Insert("departments", map[string]Value{"name": Str("eng")})
+	for i := 0; i < 5; i++ {
+		_, _, _ = tx.Insert("users", map[string]Value{"department_id": Int(deptPK)})
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx = db.BeginDefault()
+	if err := tx.Delete("departments", deptRow); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("cascade delete: %v", err)
+	}
+	if got := countRows(t, db, "users", nil); got != 0 {
+		t.Fatalf("cascade left %d users", got)
+	}
+}
+
+func TestForeignKeyCascadeChains(t *testing.T) {
+	// grandparent -> parent -> child cascades transitively.
+	db := testDB(t, Options{})
+	a := &Schema{Name: "a", Columns: []Column{{Name: "id", Kind: KindInt, PrimaryKey: true}}}
+	b := &Schema{Name: "b", Columns: []Column{
+		{Name: "id", Kind: KindInt, PrimaryKey: true},
+		{Name: "a_id", Kind: KindInt},
+	}, ForeignKeys: []ForeignKey{{Column: "a_id", ParentTable: "a", OnDelete: Cascade}}}
+	c := &Schema{Name: "c", Columns: []Column{
+		{Name: "id", Kind: KindInt, PrimaryKey: true},
+		{Name: "b_id", Kind: KindInt},
+	}, ForeignKeys: []ForeignKey{{Column: "b_id", ParentTable: "b", OnDelete: Cascade}}}
+	mustCreate(t, db, a)
+	mustCreate(t, db, b)
+	mustCreate(t, db, c)
+
+	tx := db.BeginDefault()
+	aRow, aPK, _ := tx.Insert("a", nil)
+	_, bPK, _ := tx.Insert("b", map[string]Value{"a_id": Int(aPK)})
+	_, _, _ = tx.Insert("c", map[string]Value{"b_id": Int(bPK)})
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx = db.BeginDefault()
+	if err := tx.Delete("a", aRow); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("chained cascade: %v", err)
+	}
+	if countRows(t, db, "b", nil)+countRows(t, db, "c", nil) != 0 {
+		t.Fatal("chained cascade incomplete")
+	}
+}
+
+func TestForeignKeySetNull(t *testing.T) {
+	db := testDB(t, Options{})
+	depts, users := deptUserSchemas(SetNull)
+	mustCreate(t, db, depts)
+	mustCreate(t, db, users)
+	tx := db.BeginDefault()
+	deptRow, deptPK, _ := tx.Insert("departments", map[string]Value{"name": Str("eng")})
+	_, _, _ = tx.Insert("users", map[string]Value{"department_id": Int(deptPK), "name": Str("alice")})
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx = db.BeginDefault()
+	_ = tx.Delete("departments", deptRow)
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("SET NULL delete: %v", err)
+	}
+	tx = db.BeginDefault()
+	defer tx.Rollback()
+	_ = tx.Scan("users", ScanOptions{}, func(_ RowID, vals []Value) bool {
+		if !vals[1].IsNull() {
+			t.Errorf("FK not nulled: %v", vals[1])
+		}
+		return true
+	})
+}
+
+func TestForeignKeySetNullIntoNotNullFails(t *testing.T) {
+	db := testDB(t, Options{})
+	depts := &Schema{Name: "departments", Columns: []Column{{Name: "id", Kind: KindInt, PrimaryKey: true}}}
+	users := &Schema{Name: "users", Columns: []Column{
+		{Name: "id", Kind: KindInt, PrimaryKey: true},
+		{Name: "department_id", Kind: KindInt, NotNull: true},
+	}, ForeignKeys: []ForeignKey{{Column: "department_id", ParentTable: "departments", OnDelete: SetNull}}}
+	mustCreate(t, db, depts)
+	mustCreate(t, db, users)
+	tx := db.BeginDefault()
+	deptRow, deptPK, _ := tx.Insert("departments", nil)
+	_, _, _ = tx.Insert("users", map[string]Value{"department_id": Int(deptPK)})
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx = db.BeginDefault()
+	_ = tx.Delete("departments", deptRow)
+	if err := tx.Commit(); !errors.Is(err, ErrForeignKeyViolation) {
+		t.Fatalf("SET NULL into NOT NULL: %v", err)
+	}
+}
+
+func TestForeignKeyConcurrentInsertVsCascadeDeleteNoOrphans(t *testing.T) {
+	// The association experiment's remedy (Figure 4, "with FK constraint"):
+	// concurrent child inserts racing a cascading parent delete never leave
+	// orphans — each child either commits before the delete (and is
+	// cascaded) or fails its FK check after it.
+	db := testDB(t, Options{LockTimeout: time.Second})
+	depts, users := deptUserSchemas(Cascade)
+	mustCreate(t, db, depts)
+	mustCreate(t, db, users)
+
+	for round := 0; round < 20; round++ {
+		tx := db.BeginDefault()
+		deptRow, deptPK, _ := tx.Insert("departments", map[string]Value{"name": Str(fmt.Sprintf("d%d", round))})
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(9)
+		for w := 0; w < 8; w++ {
+			go func() {
+				defer wg.Done()
+				tx := db.BeginDefault()
+				_, _, err := tx.Insert("users", map[string]Value{"department_id": Int(deptPK)})
+				if err == nil {
+					_ = tx.Commit() // FK violation is the expected loss mode
+				} else {
+					tx.Rollback()
+				}
+			}()
+		}
+		go func() {
+			defer wg.Done()
+			tx := db.BeginDefault()
+			if err := tx.Delete("departments", deptRow); err == nil {
+				_ = tx.Commit()
+			} else {
+				tx.Rollback()
+			}
+		}()
+		wg.Wait()
+	}
+	// Count orphans: users whose department no longer exists.
+	orphans := 0
+	tx := db.BeginDefault()
+	defer tx.Rollback()
+	_ = tx.Scan("users", ScanOptions{}, func(_ RowID, vals []Value) bool {
+		deptID := vals[1]
+		found := false
+		_ = tx.Scan("departments", ScanOptions{Filter: &EqFilter{Column: "id", Value: deptID}},
+			func(RowID, []Value) bool { found = true; return false })
+		if !found {
+			orphans++
+		}
+		return true
+	})
+	if orphans != 0 {
+		t.Fatalf("in-database FK admitted %d orphans", orphans)
+	}
+}
+
+func TestCreateTableForeignKeyValidation(t *testing.T) {
+	db := testDB(t, Options{})
+	users := &Schema{Name: "users", Columns: []Column{
+		{Name: "id", Kind: KindInt, PrimaryKey: true},
+		{Name: "department_id", Kind: KindInt},
+	}, ForeignKeys: []ForeignKey{{Column: "department_id", ParentTable: "departments"}}}
+	if err := db.CreateTable(users); !errors.Is(err, ErrInvalidSchema) {
+		t.Fatalf("FK to unknown table: %v", err)
+	}
+	noPK := &Schema{Name: "departments", Columns: []Column{{Name: "name", Kind: KindString}}}
+	mustCreate(t, db, noPK)
+	if err := db.CreateTable(users); !errors.Is(err, ErrInvalidSchema) {
+		t.Fatalf("FK to table without PK: %v", err)
+	}
+}

@@ -1,0 +1,397 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Database is an in-memory multi-version relational store. It is safe for
+// concurrent use by any number of transactions.
+//
+// Commits serialize through a single validation/install critical section, so
+// in-database constraints (unique indexes, foreign keys) are enforced
+// race-free — which is precisely why the paper recommends them over feral
+// application-level checks.
+type Database struct {
+	opts Options
+
+	catalogMu sync.RWMutex
+	tables    map[string]*table   // lower-cased name -> table
+	childFKs  map[string][]fkEdge // lower-cased parent name -> referencing FKs
+
+	clock uint64 // atomic: timestamp of the newest published commit
+	txSeq uint64 // atomic: transaction id allocator
+
+	commitMu sync.Mutex // serializes commit validation + install
+
+	activeMu  sync.Mutex
+	active    map[uint64]uint64 // tx id -> start timestamp
+	committed []*txSummary      // recent commits, for read certification
+
+	locks *lockManager
+
+	statCommits  uint64 // atomic
+	statAborts   uint64 // atomic
+	statConflict uint64 // atomic: serialization failures
+}
+
+// fkEdge records that childTable.fk.Column references a parent table.
+type fkEdge struct {
+	childTable string
+	fk         ForeignKey
+}
+
+// txSummary is the footprint of a committed transaction retained for
+// serializable read certification.
+type txSummary struct {
+	commitTS uint64
+	rowKeys  map[string]struct{}
+	predKeys map[string]struct{}
+}
+
+// Open creates an empty database.
+func Open(opts Options) *Database {
+	o := opts.withDefaults()
+	return &Database{
+		opts:     o,
+		tables:   make(map[string]*table),
+		childFKs: make(map[string][]fkEdge),
+		active:   make(map[uint64]uint64),
+		locks:    newLockManager(o.LockTimeout),
+	}
+}
+
+// Options returns the options the database was opened with.
+func (db *Database) Options() Options { return db.opts }
+
+// CreateTable registers a new table. A unique index on the primary key
+// column is added implicitly. Foreign keys must reference existing tables
+// with primary keys.
+func (db *Database) CreateTable(schema *Schema) error {
+	s := schema.Clone()
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	db.catalogMu.Lock()
+	defer db.catalogMu.Unlock()
+	lower := strings.ToLower(s.Name)
+	if _, ok := db.tables[lower]; ok {
+		return fmt.Errorf("%w: %s", ErrTableExists, s.Name)
+	}
+	if pk := s.PrimaryKey(); pk != "" {
+		found := false
+		for _, ix := range s.Indexes {
+			if strings.EqualFold(ix.Column, pk) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			s.Indexes = append(s.Indexes, IndexSpec{Column: pk, Unique: true, Name: s.Name + "_pkey"})
+		}
+	}
+	for _, fk := range s.ForeignKeys {
+		parent, ok := db.tables[strings.ToLower(fk.ParentTable)]
+		if !ok {
+			return fmt.Errorf("%w: foreign key %s.%s references unknown table %s",
+				ErrInvalidSchema, s.Name, fk.Column, fk.ParentTable)
+		}
+		if parent.schema.PrimaryKey() == "" {
+			return fmt.Errorf("%w: foreign key %s.%s references table %s without a primary key",
+				ErrInvalidSchema, s.Name, fk.Column, fk.ParentTable)
+		}
+	}
+	db.tables[lower] = newTable(s)
+	for _, fk := range s.ForeignKeys {
+		parentLower := strings.ToLower(fk.ParentTable)
+		db.childFKs[parentLower] = append(db.childFKs[parentLower], fkEdge{childTable: lower, fk: fk})
+	}
+	return nil
+}
+
+// DropTable removes a table and any foreign-key edges touching it.
+func (db *Database) DropTable(name string) error {
+	db.catalogMu.Lock()
+	defer db.catalogMu.Unlock()
+	lower := strings.ToLower(name)
+	if _, ok := db.tables[lower]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchTable, name)
+	}
+	delete(db.tables, lower)
+	delete(db.childFKs, lower)
+	for parent, edges := range db.childFKs {
+		kept := edges[:0]
+		for _, e := range edges {
+			if e.childTable != lower {
+				kept = append(kept, e)
+			}
+		}
+		db.childFKs[parent] = kept
+	}
+	return nil
+}
+
+// AddUniqueIndex adds a unique index to an existing table, failing with
+// ErrUniqueViolation if current live rows already contain duplicates. This
+// models the schema-migration remedy the paper applied (`unique: true`).
+func (db *Database) AddUniqueIndex(tableName, column string) error {
+	return db.AddIndex(tableName, column, true)
+}
+
+// AddIndex adds a secondary index to an existing table. When unique is set,
+// existing live rows are verified duplicate-free first.
+func (db *Database) AddIndex(tableName, column string, unique bool) error {
+	db.catalogMu.Lock()
+	defer db.catalogMu.Unlock()
+	t, ok := db.tables[strings.ToLower(tableName)]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchTable, tableName)
+	}
+	pos := t.schema.ColumnIndex(column)
+	if pos < 0 {
+		return fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, tableName, column)
+	}
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if existing := t.indexOn(column); existing != nil {
+		if unique {
+			existing.spec.Unique = true
+			for i := range t.schema.Indexes {
+				if strings.EqualFold(t.schema.Indexes[i].Column, column) {
+					t.schema.Indexes[i].Unique = true
+				}
+			}
+			return db.checkExistingUniqueLocked(t, pos)
+		}
+		return nil
+	}
+	spec := IndexSpec{Column: t.schema.Columns[pos].Name, Unique: unique,
+		Name: tableName + "_" + column + "_idx"}
+	ix := newIndex(spec)
+	for id, chain := range t.rows {
+		for _, v := range chain.versions {
+			ix.add(v.vals[pos].Key(), id)
+		}
+	}
+	t.indexes[strings.ToLower(column)] = ix
+	t.schema.Indexes = append(t.schema.Indexes, spec)
+	if unique {
+		return db.checkExistingUniqueLocked(t, pos)
+	}
+	return nil
+}
+
+// checkExistingUniqueLocked verifies live rows have no duplicate values in
+// column pos. Caller holds commitMu and t.mu.
+func (db *Database) checkExistingUniqueLocked(t *table, pos int) error {
+	seen := make(map[string]RowID)
+	for id, chain := range t.rows {
+		v := chain.latest()
+		if v == nil || v.endTS != 0 {
+			continue
+		}
+		val := v.vals[pos]
+		if val.IsNull() {
+			continue
+		}
+		key := val.Key()
+		if other, dup := seen[key]; dup && other != id {
+			return fmt.Errorf("%w: column %s has existing duplicate value %s",
+				ErrUniqueViolation, t.schema.Columns[pos].Name, val.Format())
+		}
+		seen[key] = id
+	}
+	return nil
+}
+
+// AddForeignKey adds an in-database referential constraint to an existing
+// table — the migration remedy of the paper's footnote 13. Existing rows are
+// verified: every non-NULL value in column must reference a live parent row.
+func (db *Database) AddForeignKey(tableName, column, parentTable string, onDelete ReferentialAction) error {
+	db.catalogMu.Lock()
+	defer db.catalogMu.Unlock()
+	child, ok := db.tables[strings.ToLower(tableName)]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchTable, tableName)
+	}
+	pos := child.schema.ColumnIndex(column)
+	if pos < 0 {
+		return fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, tableName, column)
+	}
+	parent, ok := db.tables[strings.ToLower(parentTable)]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchTable, parentTable)
+	}
+	pkCol := parent.schema.PrimaryKey()
+	if pkCol == "" {
+		return fmt.Errorf("%w: foreign key references table %s without a primary key",
+			ErrInvalidSchema, parentTable)
+	}
+	pkPos := parent.schema.ColumnIndex(pkCol)
+
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	// Validate existing rows against the live parent set.
+	parentKeys := make(map[string]struct{})
+	parent.mu.RLock()
+	for _, chain := range parent.rows {
+		if v := chain.latest(); v != nil && v.endTS == 0 {
+			parentKeys[v.vals[pkPos].Key()] = struct{}{}
+		}
+	}
+	parent.mu.RUnlock()
+	child.mu.RLock()
+	for _, chain := range child.rows {
+		v := chain.latest()
+		if v == nil || v.endTS != 0 || v.vals[pos].IsNull() {
+			continue
+		}
+		if _, ok := parentKeys[v.vals[pos].Key()]; !ok {
+			child.mu.RUnlock()
+			return fmt.Errorf("%w: existing %s.%s = %s has no parent in %s",
+				ErrForeignKeyViolation, tableName, column, v.vals[pos].Format(), parentTable)
+		}
+	}
+	child.mu.RUnlock()
+
+	fk := ForeignKey{
+		Column:      child.schema.Columns[pos].Name,
+		ParentTable: parent.schema.Name,
+		OnDelete:    onDelete,
+		Name:        tableName + "_" + column + "_fkey",
+	}
+	child.schema.ForeignKeys = append(child.schema.ForeignKeys, fk)
+	parentLower := strings.ToLower(parent.schema.Name)
+	db.childFKs[parentLower] = append(db.childFKs[parentLower],
+		fkEdge{childTable: strings.ToLower(child.schema.Name), fk: fk})
+	return nil
+}
+
+// lookupTable resolves a table by name.
+func (db *Database) lookupTable(name string) (*table, error) {
+	db.catalogMu.RLock()
+	defer db.catalogMu.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, name)
+	}
+	return t, nil
+}
+
+// Table returns a copy of the schema for name, or an error.
+func (db *Database) Table(name string) (*Schema, error) {
+	t, err := db.lookupTable(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.schema.Clone(), nil
+}
+
+// Tables lists the current table schemas, sorted by name.
+func (db *Database) Tables() []*Schema {
+	db.catalogMu.RLock()
+	defer db.catalogMu.RUnlock()
+	out := make([]*Schema, 0, len(db.tables))
+	for _, t := range db.tables {
+		out = append(out, t.schema.Clone())
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Name < out[j-1].Name; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Begin starts a transaction at the given isolation level.
+func (db *Database) Begin(level IsolationLevel) *Tx {
+	id := atomic.AddUint64(&db.txSeq, 1)
+	start := atomic.LoadUint64(&db.clock)
+	db.activeMu.Lock()
+	db.active[id] = start
+	db.activeMu.Unlock()
+	return &Tx{
+		db:      db,
+		id:      id,
+		level:   level,
+		startTS: start,
+		writes:  make(map[string]map[RowID]*txWrite),
+	}
+}
+
+// BeginDefault starts a transaction at the database default isolation level.
+func (db *Database) BeginDefault() *Tx { return db.Begin(db.opts.DefaultIsolation) }
+
+// Stats reports cumulative transaction outcomes.
+type Stats struct {
+	Commits               uint64
+	Aborts                uint64
+	SerializationFailures uint64
+}
+
+// Stats returns cumulative counters.
+func (db *Database) Stats() Stats {
+	return Stats{
+		Commits:               atomic.LoadUint64(&db.statCommits),
+		Aborts:                atomic.LoadUint64(&db.statAborts),
+		SerializationFailures: atomic.LoadUint64(&db.statConflict),
+	}
+}
+
+// finish removes tx from the active set and releases its locks.
+func (db *Database) finish(tx *Tx) {
+	db.activeMu.Lock()
+	delete(db.active, tx.id)
+	db.activeMu.Unlock()
+	if tx.tookLocks {
+		db.locks.ReleaseAll(tx.id)
+	}
+}
+
+// minActiveStart returns the smallest start timestamp among active
+// transactions, or the current clock when none are active. Caller holds
+// activeMu.
+func (db *Database) minActiveStartLocked() uint64 {
+	min := atomic.LoadUint64(&db.clock)
+	for _, start := range db.active {
+		if start < min {
+			min = start
+		}
+	}
+	return min
+}
+
+// recordCommit appends a certification summary and prunes entries no active
+// transaction can conflict with.
+func (db *Database) recordCommit(s *txSummary) {
+	db.activeMu.Lock()
+	defer db.activeMu.Unlock()
+	db.committed = append(db.committed, s)
+	if len(db.committed) > 512 {
+		min := db.minActiveStartLocked()
+		kept := db.committed[:0]
+		for _, c := range db.committed {
+			if c.commitTS > min {
+				kept = append(kept, c)
+			}
+		}
+		db.committed = append([]*txSummary(nil), kept...)
+	}
+}
+
+// conflictingSummaries returns the commit summaries with commitTS > since.
+func (db *Database) conflictingSummaries(since uint64) []*txSummary {
+	db.activeMu.Lock()
+	defer db.activeMu.Unlock()
+	out := make([]*txSummary, 0, 4)
+	for _, c := range db.committed {
+		if c.commitTS > since {
+			out = append(out, c)
+		}
+	}
+	return out
+}

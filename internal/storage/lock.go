@@ -1,0 +1,268 @@
+package storage
+
+import (
+	"sync"
+	"time"
+)
+
+// LockMode is the mode of a row or predicate lock. The manager implements
+// standard multi-granularity locking: intent modes (IS, IX) are taken on
+// coarse resources (whole tables) to announce fine-grained locks beneath
+// them, so that a full-table shared lock conflicts with any writer while
+// disjoint writers do not conflict with each other.
+type LockMode uint8
+
+const (
+	// LockIS is an intent-shared lock (fine-grained shared locks below).
+	LockIS LockMode = iota
+	// LockIX is an intent-exclusive lock (fine-grained exclusive locks below).
+	LockIX
+	// LockS is a shared lock.
+	LockS
+	// LockX is an exclusive lock.
+	LockX
+)
+
+// String returns the conventional name of the mode.
+func (m LockMode) String() string {
+	switch m {
+	case LockIS:
+		return "IS"
+	case LockIX:
+		return "IX"
+	case LockS:
+		return "S"
+	case LockX:
+		return "X"
+	default:
+		return "?"
+	}
+}
+
+// lockCompatible is the classic multi-granularity compatibility matrix.
+var lockCompatible = [4][4]bool{
+	//            IS     IX     S      X
+	LockIS: {true, true, true, false},
+	LockIX: {true, true, false, false},
+	LockS:  {true, false, true, false},
+	LockX:  {false, false, false, false},
+}
+
+// stronger reports whether holding a subsumes a request for b.
+var lockSubsumes = [4][4]bool{
+	//            IS     IX     S      X
+	LockIS: {true, false, false, false},
+	LockIX: {true, true, false, false},
+	LockS:  {true, false, true, false},
+	LockX:  {true, true, true, true},
+}
+
+// combine returns the weakest mode subsuming both a and b (the upgrade
+// target when a holder re-requests in a new mode).
+func combineLockModes(a, b LockMode) LockMode {
+	if lockSubsumes[a][b] {
+		return a
+	}
+	if lockSubsumes[b][a] {
+		return b
+	}
+	// IS+IX -> IX, S+IX -> X (SIX approximated by X), S+IS -> S.
+	if (a == LockS && b == LockIX) || (a == LockIX && b == LockS) {
+		return LockX
+	}
+	if (a == LockIS && b == LockIX) || (a == LockIX && b == LockIS) {
+		return LockIX
+	}
+	return LockX
+}
+
+// lockWaiter is one queued lock request.
+type lockWaiter struct {
+	owner   uint64
+	mode    LockMode
+	granted chan struct{}
+	done    bool // set once granted or abandoned
+}
+
+// lockEntry is the state of one lockable resource.
+type lockEntry struct {
+	holders map[uint64]LockMode
+	queue   []*lockWaiter
+}
+
+// lockManager provides blocking row and predicate locks with FIFO queuing
+// and timeout-based deadlock resolution. Resources are identified by opaque
+// string keys; the storage layer derives them from (table, row id) for row
+// locks and (table, column, value) or (table) for predicate locks.
+type lockManager struct {
+	mu      sync.Mutex
+	entries map[string]*lockEntry
+	timeout time.Duration
+}
+
+func newLockManager(timeout time.Duration) *lockManager {
+	return &lockManager{entries: make(map[string]*lockEntry), timeout: timeout}
+}
+
+// Acquire takes (or upgrades to) the given mode on key for owner, blocking
+// until compatible or until the timeout elapses, in which case it returns
+// ErrLockTimeout. Re-acquiring an already-subsumed mode is a no-op.
+func (lm *lockManager) Acquire(owner uint64, key string, mode LockMode) error {
+	lm.mu.Lock()
+	e := lm.entries[key]
+	if e == nil {
+		e = &lockEntry{holders: make(map[uint64]LockMode, 1)}
+		lm.entries[key] = e
+	}
+	if held, ok := e.holders[owner]; ok {
+		if lockSubsumes[held][mode] {
+			lm.mu.Unlock()
+			return nil
+		}
+		mode = combineLockModes(held, mode)
+	}
+	if e.grantable(owner, mode) && !e.hasBlockedStrangers(owner) {
+		e.holders[owner] = mode
+		lm.mu.Unlock()
+		return nil
+	}
+	w := &lockWaiter{owner: owner, mode: mode, granted: make(chan struct{})}
+	// Upgrades jump the queue: a holder waiting behind strangers who in turn
+	// wait on it is an instant deadlock; granting upgrades first is the
+	// standard mitigation (true upgrade deadlocks still resolve by timeout).
+	if _, holding := e.holders[owner]; holding {
+		e.queue = append([]*lockWaiter{w}, e.queue...)
+	} else {
+		e.queue = append(e.queue, w)
+	}
+	lm.mu.Unlock()
+
+	timer := time.NewTimer(lm.timeout)
+	defer timer.Stop()
+	select {
+	case <-w.granted:
+		return nil
+	case <-timer.C:
+		lm.mu.Lock()
+		defer lm.mu.Unlock()
+		if w.done { // granted while the timer fired
+			return nil
+		}
+		w.done = true
+		for i, q := range e.queue {
+			if q == w {
+				e.queue = append(e.queue[:i], e.queue[i+1:]...)
+				break
+			}
+		}
+		lm.promoteLocked(key, e)
+		return ErrLockTimeout
+	}
+}
+
+// ReleaseAll drops every lock held or requested by owner and wakes any
+// newly-grantable waiters.
+func (lm *lockManager) ReleaseAll(owner uint64) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for key, e := range lm.entries {
+		changed := false
+		if _, ok := e.holders[owner]; ok {
+			delete(e.holders, owner)
+			changed = true
+		}
+		for i := 0; i < len(e.queue); {
+			if e.queue[i].owner == owner && !e.queue[i].done {
+				e.queue[i].done = true
+				e.queue = append(e.queue[:i], e.queue[i+1:]...)
+				changed = true
+				continue
+			}
+			i++
+		}
+		if changed {
+			lm.promoteLocked(key, e)
+		}
+		if len(e.holders) == 0 && len(e.queue) == 0 {
+			delete(lm.entries, key)
+		}
+	}
+}
+
+// Holds reports whether owner holds a lock subsuming mode on key.
+func (lm *lockManager) Holds(owner uint64, key string, mode LockMode) bool {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	e := lm.entries[key]
+	if e == nil {
+		return false
+	}
+	held, ok := e.holders[owner]
+	return ok && lockSubsumes[held][mode]
+}
+
+// grantable reports whether owner may take mode given current holders.
+func (e *lockEntry) grantable(owner uint64, mode LockMode) bool {
+	for h, m := range e.holders {
+		if h == owner {
+			continue
+		}
+		if !lockCompatible[m][mode] {
+			return false
+		}
+	}
+	return true
+}
+
+// hasBlockedStrangers reports whether another transaction is already queued,
+// in which case new requests queue behind it (FIFO fairness, no starvation).
+func (e *lockEntry) hasBlockedStrangers(owner uint64) bool {
+	for _, w := range e.queue {
+		if w.owner != owner && !w.done {
+			return true
+		}
+	}
+	return false
+}
+
+// promoteLocked grants queued requests that have become compatible, in FIFO
+// order, stopping at the first ungrantable waiter to preserve fairness.
+func (lm *lockManager) promoteLocked(key string, e *lockEntry) {
+	for len(e.queue) > 0 {
+		w := e.queue[0]
+		if w.done {
+			e.queue = e.queue[1:]
+			continue
+		}
+		mode := w.mode
+		if held, ok := e.holders[w.owner]; ok {
+			mode = combineLockModes(held, mode)
+		}
+		if !e.grantable(w.owner, mode) {
+			return
+		}
+		e.holders[w.owner] = mode
+		w.done = true
+		close(w.granted)
+		e.queue = e.queue[1:]
+	}
+	_ = key
+}
+
+// lock key construction ------------------------------------------------------
+
+// rowLockKey names the row-level lock resource for (table, row).
+func rowLockKey(table string, id RowID) string {
+	return "r\x00" + table + "\x00" + formatRowID(id)
+}
+
+// predLockKey names the value-level predicate lock for (table, col, value).
+func predLockKey(table, col, valueKey string) string {
+	return "p\x00" + table + "\x00" + col + "\x00" + valueKey
+}
+
+// tableLockKey names the whole-table resource used for intent locks and for
+// full-scan predicate locks.
+func tableLockKey(table string) string {
+	return "t\x00" + table
+}

@@ -1,0 +1,369 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestQuickSnapshotReadersSeeStableCounts: a snapshot transaction must
+// observe the same row count no matter how many commits land after its
+// snapshot.
+func TestQuickSnapshotReadersSeeStableCounts(t *testing.T) {
+	f := func(preload uint8, extra uint8) bool {
+		db := Open(Options{})
+		if err := db.CreateTable(kvSchema("kv")); err != nil {
+			return false
+		}
+		pre := int(preload % 32)
+		for i := 0; i < pre; i++ {
+			tx := db.BeginDefault()
+			_, _, _ = tx.Insert("kv", map[string]Value{"key": Str(fmt.Sprint(i))})
+			if tx.Commit() != nil {
+				return false
+			}
+		}
+		reader := db.Begin(SnapshotIsolation)
+		first := scanCount(reader, "kv", nil)
+		for i := 0; i < int(extra%16); i++ {
+			tx := db.BeginDefault()
+			_, _, _ = tx.Insert("kv", map[string]Value{"key": Str(fmt.Sprintf("x%d", i))})
+			if tx.Commit() != nil {
+				return false
+			}
+		}
+		second := scanCount(reader, "kv", nil)
+		reader.Rollback()
+		return first == pre && second == pre
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAbortedWritesInvisible: any mix of committed and aborted
+// transactions leaves exactly the committed rows.
+func TestQuickAbortedWritesInvisible(t *testing.T) {
+	f := func(choices []bool) bool {
+		if len(choices) > 24 {
+			choices = choices[:24]
+		}
+		db := Open(Options{})
+		if err := db.CreateTable(kvSchema("kv")); err != nil {
+			return false
+		}
+		committed := 0
+		for i, commit := range choices {
+			tx := db.BeginDefault()
+			_, _, _ = tx.Insert("kv", map[string]Value{"key": Str(fmt.Sprint(i))})
+			if commit {
+				if tx.Commit() != nil {
+					return false
+				}
+				committed++
+			} else {
+				tx.Rollback()
+			}
+		}
+		check := db.BeginDefault()
+		defer check.Rollback()
+		return scanCount(check, "kv", nil) == committed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickUniqueIndexHoldsUnderRandomOps: random interleavings of inserts,
+// deletes, and re-inserts never leave two live rows with the same key when a
+// unique index is declared.
+func TestQuickUniqueIndexHoldsUnderRandomOps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := Open(Options{})
+		if err := db.CreateTable(uniqueKVSchema()); err != nil {
+			return false
+		}
+		live := map[string]RowID{}
+		for op := 0; op < 60; op++ {
+			key := fmt.Sprintf("k%d", rng.Intn(6))
+			tx := db.BeginDefault()
+			if rng.Intn(3) == 0 && len(live) > 0 {
+				// delete a random live key
+				for k, id := range live {
+					if err := tx.Delete("kv", id); err != nil {
+						tx.Rollback()
+						return false
+					}
+					if tx.Commit() != nil {
+						return false
+					}
+					delete(live, k)
+					break
+				}
+				continue
+			}
+			id, _, err := tx.Insert("kv", map[string]Value{"key": Str(key)})
+			if err != nil {
+				tx.Rollback()
+				return false
+			}
+			err = tx.Commit()
+			_, taken := live[key]
+			switch {
+			case taken && !errors.Is(err, ErrUniqueViolation):
+				return false // duplicate admitted
+			case !taken && err != nil:
+				return false // spurious rejection
+			case !taken:
+				live[key] = id
+			}
+		}
+		// Verify via scan: every key at most once.
+		check := db.BeginDefault()
+		defer check.Rollback()
+		seen := map[string]bool{}
+		ok := true
+		_ = check.Scan("kv", ScanOptions{}, func(_ RowID, vals []Value) bool {
+			k := vals[1].S
+			if seen[k] {
+				ok = false
+				return false
+			}
+			seen[k] = true
+			return true
+		})
+		return ok && len(seen) == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentMixedWorkloadInvariants runs a chaotic concurrent workload
+// and verifies global invariants afterwards: no duplicate unique keys, no
+// orphaned children, counters consistent with successful commits.
+func TestConcurrentMixedWorkloadInvariants(t *testing.T) {
+	db := Open(Options{LockTimeout: time.Second})
+	mustCreate(t, db, &Schema{
+		Name: "parents",
+		Columns: []Column{
+			{Name: "id", Kind: KindInt, PrimaryKey: true},
+			{Name: "code", Kind: KindString},
+		},
+		Indexes: []IndexSpec{{Column: "code", Unique: true}},
+	})
+	mustCreate(t, db, &Schema{
+		Name: "children",
+		Columns: []Column{
+			{Name: "id", Kind: KindInt, PrimaryKey: true},
+			{Name: "parent_id", Kind: KindInt},
+		},
+		Indexes:     []IndexSpec{{Column: "parent_id"}},
+		ForeignKeys: []ForeignKey{{Column: "parent_id", ParentTable: "parents", OnDelete: Cascade}},
+	})
+
+	const workers = 12
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) * 977))
+			for op := 0; op < 150; op++ {
+				tx := db.BeginDefault()
+				switch rng.Intn(4) {
+				case 0: // insert parent with contended code
+					_, _, err := tx.Insert("parents", map[string]Value{
+						"code": Str(fmt.Sprintf("c%d", rng.Intn(10)))})
+					if err != nil {
+						tx.Rollback()
+						continue
+					}
+				case 1: // insert child under a random (maybe missing) parent
+					_, _, err := tx.Insert("children", map[string]Value{
+						"parent_id": Int(int64(rng.Intn(30) + 1))})
+					if err != nil {
+						tx.Rollback()
+						continue
+					}
+				case 2: // delete a random parent (cascades)
+					if err := tx.Delete("parents", RowID(rng.Intn(30)+1)); err != nil {
+						tx.Rollback()
+						continue
+					}
+				case 3: // read
+					_ = scanCount(tx, "children", nil)
+				}
+				_ = tx.Commit() // violations/conflicts are legitimate outcomes
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	check := db.BeginDefault()
+	defer check.Rollback()
+	// Invariant 1: unique codes.
+	codes := map[string]bool{}
+	_ = check.Scan("parents", ScanOptions{}, func(_ RowID, vals []Value) bool {
+		c := vals[1].S
+		if codes[c] {
+			t.Errorf("duplicate parent code %q survived", c)
+		}
+		codes[c] = true
+		return true
+	})
+	// Invariant 2: no orphans.
+	parentPKs := map[int64]bool{}
+	_ = check.Scan("parents", ScanOptions{}, func(_ RowID, vals []Value) bool {
+		parentPKs[vals[0].I] = true
+		return true
+	})
+	orphans := 0
+	_ = check.Scan("children", ScanOptions{}, func(_ RowID, vals []Value) bool {
+		if !vals[1].IsNull() && !parentPKs[vals[1].I] {
+			orphans++
+		}
+		return true
+	})
+	if orphans != 0 {
+		t.Fatalf("%d orphaned children despite in-database FK", orphans)
+	}
+}
+
+// TestLockTimeoutSurfacesCleanly: a blocked FOR UPDATE times out with
+// ErrLockTimeout and the waiter can retry after the holder finishes.
+func TestLockTimeoutSurfacesCleanly(t *testing.T) {
+	db := Open(Options{LockTimeout: 80 * time.Millisecond})
+	mustCreate(t, db, kvSchema("kv"))
+	id := insertKV(t, db, "kv", "a", "1")
+
+	holder := db.BeginDefault()
+	err := holder.Scan("kv", ScanOptions{Filter: &EqFilter{Column: "id", Value: Int(int64(id))}, ForUpdate: true},
+		func(RowID, []Value) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	waiter := db.BeginDefault()
+	err = waiter.Scan("kv", ScanOptions{Filter: &EqFilter{Column: "id", Value: Int(int64(id))}, ForUpdate: true},
+		func(RowID, []Value) bool { return false })
+	if !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("waiter error = %v", err)
+	}
+	waiter.Rollback()
+	holder.Rollback()
+
+	retry := db.BeginDefault()
+	defer retry.Rollback()
+	err = retry.Scan("kv", ScanOptions{Filter: &EqFilter{Column: "id", Value: Int(int64(id))}, ForUpdate: true},
+		func(RowID, []Value) bool { return false })
+	if err != nil {
+		t.Fatalf("retry after release failed: %v", err)
+	}
+}
+
+// TestVersionChainGrowthAndVisibility: repeated updates leave a chain whose
+// versions are each visible exactly in their timestamp window.
+func TestVersionChainGrowthAndVisibility(t *testing.T) {
+	db := Open(Options{})
+	mustCreate(t, db, kvSchema("kv"))
+	id := insertKV(t, db, "kv", "k", "v0")
+
+	var readers []*Tx
+	for i := 1; i <= 5; i++ {
+		readers = append(readers, db.Begin(SnapshotIsolation))
+		tx := db.BeginDefault()
+		if err := tx.Update("kv", id, map[string]Value{"value": Str(fmt.Sprintf("v%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reader i (snapshotted before update i+1) must see value v<i>.
+	for i, r := range readers {
+		vals, err := r.Get("kv", id)
+		if err != nil || vals == nil {
+			t.Fatalf("reader %d: %v %v", i, vals, err)
+		}
+		want := fmt.Sprintf("v%d", i)
+		if vals[2].S != want {
+			t.Errorf("reader %d sees %q, want %q", i, vals[2].S, want)
+		}
+		r.Rollback()
+	}
+	final := db.BeginDefault()
+	defer final.Rollback()
+	vals, _ := final.Get("kv", id)
+	if vals[2].S != "v5" {
+		t.Errorf("final value %q", vals[2].S)
+	}
+}
+
+// TestSerializationFailureIsRetryable: the standard retry loop always
+// converges for the feral-unique workload at Serializable.
+func TestSerializationFailureIsRetryable(t *testing.T) {
+	db := Open(Options{})
+	mustCreate(t, db, kvSchema("kv"))
+	const workers = 8
+	var wg sync.WaitGroup
+	inserted := make([]bool, workers)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for attempt := 0; attempt < 50; attempt++ {
+				ok, err := feralUniqueInsert(db, Serializable, "one-key", nil)
+				if err == nil {
+					inserted[w] = ok
+					return
+				}
+				if !errors.Is(err, ErrSerialization) {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+			t.Errorf("worker %d: never converged", w)
+		}(w)
+	}
+	wg.Wait()
+	winners := 0
+	for _, ok := range inserted {
+		if ok {
+			winners++
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("winners = %d, want exactly 1", winners)
+	}
+	db2 := db.BeginDefault()
+	defer db2.Rollback()
+	if n := scanCount(db2, "kv", &EqFilter{Column: "key", Value: Str("one-key")}); n != 1 {
+		t.Fatalf("rows = %d", n)
+	}
+}
+
+// TestStatsConflictCounter: serialization failures are counted.
+func TestStatsConflictCounter(t *testing.T) {
+	db := Open(Options{})
+	mustCreate(t, db, kvSchema("kv"))
+	id := insertKV(t, db, "kv", "a", "1")
+	t1 := db.Begin(SnapshotIsolation)
+	t2 := db.Begin(SnapshotIsolation)
+	_ = t1.Update("kv", id, map[string]Value{"value": Str("x")})
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	_ = t2.Update("kv", id, map[string]Value{"value": Str("y")})
+	if err := t2.Commit(); !errors.Is(err, ErrSerialization) {
+		t.Fatalf("expected conflict, got %v", err)
+	}
+	if db.Stats().SerializationFailures == 0 {
+		t.Fatal("conflict not counted")
+	}
+}

@@ -1,0 +1,160 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one column of a table.
+type Column struct {
+	Name    string
+	Kind    Kind
+	NotNull bool
+	// PrimaryKey marks the integer surrogate key column. At most one column
+	// per table may set it; it is auto-assigned on insert when NULL.
+	PrimaryKey bool
+	// Default, when non-NULL, is stored for inserts that omit the column.
+	Default Value
+}
+
+// ReferentialAction says what an in-database foreign key does when the
+// referenced parent row is deleted.
+type ReferentialAction uint8
+
+const (
+	// NoAction foreign keys reject parent deletion if children exist
+	// (checked at commit time).
+	NoAction ReferentialAction = iota
+	// Cascade deletes child rows atomically with the parent.
+	Cascade
+	// SetNull nulls the referencing column.
+	SetNull
+)
+
+func (a ReferentialAction) String() string {
+	switch a {
+	case NoAction:
+		return "NO ACTION"
+	case Cascade:
+		return "CASCADE"
+	case SetNull:
+		return "SET NULL"
+	default:
+		return fmt.Sprintf("ReferentialAction(%d)", uint8(a))
+	}
+}
+
+// ForeignKey is an in-database referential constraint: Column of the child
+// table must match the parent table's primary key (or be NULL).
+type ForeignKey struct {
+	Column      string
+	ParentTable string
+	OnDelete    ReferentialAction
+	Name        string
+}
+
+// IndexSpec declares a secondary index over one column. Unique indexes
+// additionally enforce an in-database uniqueness constraint at commit time —
+// the remedy the paper recommends over feral uniqueness validations.
+type IndexSpec struct {
+	Column string
+	Unique bool
+	Name   string
+}
+
+// Schema describes a table: its columns, indexes, and constraints.
+type Schema struct {
+	Name        string
+	Columns     []Column
+	Indexes     []IndexSpec
+	ForeignKeys []ForeignKey
+}
+
+// Validate checks internal consistency of the schema (without reference to
+// the database catalog; cross-table checks happen at CreateTable).
+func (s *Schema) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("%w: empty table name", ErrInvalidSchema)
+	}
+	if len(s.Columns) == 0 {
+		return fmt.Errorf("%w: table %q has no columns", ErrInvalidSchema, s.Name)
+	}
+	seen := make(map[string]bool, len(s.Columns))
+	pkCount := 0
+	for _, c := range s.Columns {
+		if c.Name == "" {
+			return fmt.Errorf("%w: table %q has a column with an empty name", ErrInvalidSchema, s.Name)
+		}
+		lower := strings.ToLower(c.Name)
+		if seen[lower] {
+			return fmt.Errorf("%w: table %q declares column %q twice", ErrInvalidSchema, s.Name, c.Name)
+		}
+		seen[lower] = true
+		if c.PrimaryKey {
+			pkCount++
+			if c.Kind != KindInt {
+				return fmt.Errorf("%w: primary key column %q.%q must be BIGINT", ErrInvalidSchema, s.Name, c.Name)
+			}
+		}
+		if c.Kind == KindNull {
+			return fmt.Errorf("%w: column %q.%q has NULL type", ErrInvalidSchema, s.Name, c.Name)
+		}
+	}
+	if pkCount > 1 {
+		return fmt.Errorf("%w: table %q declares %d primary key columns", ErrInvalidSchema, s.Name, pkCount)
+	}
+	for _, ix := range s.Indexes {
+		if !seen[strings.ToLower(ix.Column)] {
+			return fmt.Errorf("%w: index on unknown column %q.%q", ErrInvalidSchema, s.Name, ix.Column)
+		}
+	}
+	for _, fk := range s.ForeignKeys {
+		if !seen[strings.ToLower(fk.Column)] {
+			return fmt.Errorf("%w: foreign key on unknown column %q.%q", ErrInvalidSchema, s.Name, fk.Column)
+		}
+		if fk.ParentTable == "" {
+			return fmt.Errorf("%w: foreign key on %q.%q has no parent table", ErrInvalidSchema, s.Name, fk.Column)
+		}
+	}
+	return nil
+}
+
+// Column returns the column definition with the given (case-insensitive)
+// name, or nil.
+func (s *Schema) Column(name string) *Column {
+	for i := range s.Columns {
+		if strings.EqualFold(s.Columns[i].Name, name) {
+			return &s.Columns[i]
+		}
+	}
+	return nil
+}
+
+// ColumnIndex returns the positional index of the named column, or -1.
+func (s *Schema) ColumnIndex(name string) int {
+	for i := range s.Columns {
+		if strings.EqualFold(s.Columns[i].Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// PrimaryKey returns the name of the primary key column, or "".
+func (s *Schema) PrimaryKey() string {
+	for i := range s.Columns {
+		if s.Columns[i].PrimaryKey {
+			return s.Columns[i].Name
+		}
+	}
+	return ""
+}
+
+// Clone returns a deep copy of the schema.
+func (s *Schema) Clone() *Schema {
+	c := &Schema{Name: s.Name}
+	c.Columns = append([]Column(nil), s.Columns...)
+	c.Indexes = append([]IndexSpec(nil), s.Indexes...)
+	c.ForeignKeys = append([]ForeignKey(nil), s.ForeignKeys...)
+	return c
+}

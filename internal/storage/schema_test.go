@@ -1,0 +1,112 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+)
+
+func validUserSchema() *Schema {
+	return &Schema{
+		Name: "users",
+		Columns: []Column{
+			{Name: "id", Kind: KindInt, PrimaryKey: true},
+			{Name: "name", Kind: KindString, NotNull: true},
+			{Name: "age", Kind: KindInt},
+		},
+	}
+}
+
+func TestSchemaValidateOK(t *testing.T) {
+	if err := validUserSchema().Validate(); err != nil {
+		t.Fatalf("valid schema rejected: %v", err)
+	}
+}
+
+func TestSchemaValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*Schema)
+	}{
+		{"empty name", func(s *Schema) { s.Name = "" }},
+		{"no columns", func(s *Schema) { s.Columns = nil }},
+		{"dup column", func(s *Schema) { s.Columns = append(s.Columns, Column{Name: "NAME", Kind: KindString}) }},
+		{"two pks", func(s *Schema) { s.Columns[1].PrimaryKey = true; s.Columns[1].Kind = KindInt }},
+		{"string pk", func(s *Schema) { s.Columns[0].Kind = KindString }},
+		{"null-typed column", func(s *Schema) { s.Columns[2].Kind = KindNull }},
+		{"index on unknown column", func(s *Schema) { s.Indexes = []IndexSpec{{Column: "ghost"}} }},
+		{"fk on unknown column", func(s *Schema) { s.ForeignKeys = []ForeignKey{{Column: "ghost", ParentTable: "users"}} }},
+		{"fk without parent", func(s *Schema) { s.ForeignKeys = []ForeignKey{{Column: "age"}} }},
+		{"empty column name", func(s *Schema) { s.Columns[2].Name = "" }},
+	}
+	for _, c := range cases {
+		s := validUserSchema()
+		c.mod(s)
+		if err := s.Validate(); !errors.Is(err, ErrInvalidSchema) {
+			t.Errorf("%s: got %v, want ErrInvalidSchema", c.name, err)
+		}
+	}
+}
+
+func TestSchemaLookupsAreCaseInsensitive(t *testing.T) {
+	s := validUserSchema()
+	if s.Column("NAME") == nil || s.Column("Name").Name != "name" {
+		t.Error("Column lookup should be case-insensitive")
+	}
+	if s.ColumnIndex("AGE") != 2 {
+		t.Error("ColumnIndex lookup should be case-insensitive")
+	}
+	if s.ColumnIndex("nope") != -1 || s.Column("nope") != nil {
+		t.Error("missing column should return -1/nil")
+	}
+	if s.PrimaryKey() != "id" {
+		t.Errorf("PrimaryKey() = %q", s.PrimaryKey())
+	}
+}
+
+func TestSchemaCloneIsDeep(t *testing.T) {
+	s := validUserSchema()
+	s.Indexes = []IndexSpec{{Column: "name", Unique: true}}
+	c := s.Clone()
+	c.Columns[0].Name = "mutated"
+	c.Indexes[0].Unique = false
+	if s.Columns[0].Name != "id" || !s.Indexes[0].Unique {
+		t.Error("Clone shares backing arrays with the original")
+	}
+}
+
+func TestReferentialActionString(t *testing.T) {
+	if NoAction.String() != "NO ACTION" || Cascade.String() != "CASCADE" || SetNull.String() != "SET NULL" {
+		t.Error("ReferentialAction names wrong")
+	}
+}
+
+func TestIsolationLevelRoundTrip(t *testing.T) {
+	levels := []IsolationLevel{ReadCommitted, RepeatableRead, SnapshotIsolation, Serializable, Serializable2PL}
+	for _, l := range levels {
+		got, err := ParseIsolationLevel(l.String())
+		if err != nil || got != l {
+			t.Errorf("round trip of %v failed: %v, %v", l, got, err)
+		}
+	}
+	if _, err := ParseIsolationLevel("chaotic neutral"); err == nil {
+		t.Error("unknown level should fail to parse")
+	}
+	if got, err := ParseIsolationLevel("  read \n committed "); err != nil || got != ReadCommitted {
+		t.Errorf("whitespace-normalized parse failed: %v %v", got, err)
+	}
+}
+
+func TestIsolationPredicates(t *testing.T) {
+	if ReadCommitted.snapshotReads() || !SnapshotIsolation.snapshotReads() || !Serializable.snapshotReads() {
+		t.Error("snapshotReads misclassifies")
+	}
+	if ReadCommitted.firstCommitterWins() || RepeatableRead.firstCommitterWins() || !SnapshotIsolation.firstCommitterWins() {
+		t.Error("firstCommitterWins misclassifies")
+	}
+	if !Serializable.certifiesReads() || SnapshotIsolation.certifiesReads() {
+		t.Error("certifiesReads misclassifies")
+	}
+	if !Serializable2PL.locking() || Serializable.locking() {
+		t.Error("locking misclassifies")
+	}
+}

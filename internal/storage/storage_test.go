@@ -1,0 +1,411 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testDB(t *testing.T, opts Options) *Database {
+	t.Helper()
+	if opts.LockTimeout == 0 {
+		opts.LockTimeout = 250 * time.Millisecond
+	}
+	return Open(opts)
+}
+
+func kvSchema(name string) *Schema {
+	return &Schema{
+		Name: name,
+		Columns: []Column{
+			{Name: "id", Kind: KindInt, PrimaryKey: true},
+			{Name: "key", Kind: KindString},
+			{Name: "value", Kind: KindString},
+		},
+	}
+}
+
+func mustCreate(t *testing.T, db *Database, s *Schema) {
+	t.Helper()
+	if err := db.CreateTable(s); err != nil {
+		t.Fatalf("CreateTable(%s): %v", s.Name, err)
+	}
+}
+
+func insertKV(t *testing.T, db *Database, table, key, value string) RowID {
+	t.Helper()
+	tx := db.BeginDefault()
+	id, _, err := tx.Insert(table, map[string]Value{"key": Str(key), "value": Str(value)})
+	if err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	return id
+}
+
+func countRows(t *testing.T, db *Database, table string, filter *EqFilter) int {
+	t.Helper()
+	tx := db.Begin(ReadCommitted)
+	defer tx.Rollback()
+	n := 0
+	err := tx.Scan(table, ScanOptions{Filter: filter}, func(RowID, []Value) bool { n++; return true })
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	return n
+}
+
+func TestCreateTableCatalog(t *testing.T) {
+	db := testDB(t, Options{})
+	mustCreate(t, db, kvSchema("kv"))
+	if err := db.CreateTable(kvSchema("kv")); !errors.Is(err, ErrTableExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	s, err := db.Table("KV")
+	if err != nil || s.Name != "kv" {
+		t.Fatalf("lookup: %v %v", s, err)
+	}
+	// Implicit PK unique index.
+	found := false
+	for _, ix := range s.Indexes {
+		if ix.Column == "id" && ix.Unique {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("primary key index missing")
+	}
+	if len(db.Tables()) != 1 {
+		t.Fatal("Tables() wrong length")
+	}
+	if err := db.DropTable("kv"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Table("kv"); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("lookup after drop: %v", err)
+	}
+}
+
+func TestInsertAssignsSequentialPKs(t *testing.T) {
+	db := testDB(t, Options{})
+	mustCreate(t, db, kvSchema("kv"))
+	tx := db.BeginDefault()
+	_, pk1, err := tx.Insert("kv", map[string]Value{"key": Str("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pk2, _ := tx.Insert("kv", map[string]Value{"key": Str("b")})
+	if pk2 != pk1+1 {
+		t.Fatalf("pks not sequential: %d then %d", pk1, pk2)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Explicit id bumps the sequence.
+	tx = db.BeginDefault()
+	_, _, err = tx.Insert("kv", map[string]Value{"id": Int(100), "key": Str("c")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pk4, _ := tx.Insert("kv", map[string]Value{"key": Str("d")})
+	if pk4 != 101 {
+		t.Fatalf("sequence not bumped past explicit id: got %d", pk4)
+	}
+	tx.Rollback()
+}
+
+func TestInsertRejectsBadColumnsAndTypes(t *testing.T) {
+	db := testDB(t, Options{})
+	mustCreate(t, db, &Schema{Name: "t", Columns: []Column{
+		{Name: "id", Kind: KindInt, PrimaryKey: true},
+		{Name: "n", Kind: KindInt, NotNull: true},
+	}})
+	tx := db.BeginDefault()
+	defer tx.Rollback()
+	if _, _, err := tx.Insert("t", map[string]Value{"ghost": Int(1)}); !errors.Is(err, ErrNoSuchColumn) {
+		t.Errorf("unknown column: %v", err)
+	}
+	if _, _, err := tx.Insert("t", map[string]Value{"n": Str("x")}); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("type mismatch: %v", err)
+	}
+	if _, _, err := tx.Insert("t", map[string]Value{}); !errors.Is(err, ErrNotNull) {
+		t.Errorf("not null: %v", err)
+	}
+	if _, _, err := tx.Insert("nope", nil); !errors.Is(err, ErrNoSuchTable) {
+		t.Errorf("missing table: %v", err)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	db := testDB(t, Options{})
+	mustCreate(t, db, &Schema{Name: "t", Columns: []Column{
+		{Name: "id", Kind: KindInt, PrimaryKey: true},
+		{Name: "state", Kind: KindString, Default: Str("new")},
+	}})
+	tx := db.BeginDefault()
+	id, _, err := tx.Insert("t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := tx.Get("t", id)
+	if err != nil || vals[1].S != "new" {
+		t.Fatalf("default not applied: %v %v", vals, err)
+	}
+	// Explicit NULL overrides the default.
+	id2, _, _ := tx.Insert("t", map[string]Value{"state": Null()})
+	vals, _ = tx.Get("t", id2)
+	if !vals[1].IsNull() {
+		t.Fatalf("explicit NULL should beat default, got %v", vals[1])
+	}
+	tx.Rollback()
+}
+
+func TestReadYourOwnWrites(t *testing.T) {
+	db := testDB(t, Options{})
+	mustCreate(t, db, kvSchema("kv"))
+	tx := db.BeginDefault()
+	id, _, _ := tx.Insert("kv", map[string]Value{"key": Str("a"), "value": Str("1")})
+
+	n := 0
+	_ = tx.Scan("kv", ScanOptions{Filter: &EqFilter{Column: "key", Value: Str("a")}},
+		func(RowID, []Value) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("own insert invisible to scan: %d", n)
+	}
+	if err := tx.Update("kv", id, map[string]Value{"value": Str("2")}); err != nil {
+		t.Fatal(err)
+	}
+	vals, _ := tx.Get("kv", id)
+	if vals[2].S != "2" {
+		t.Fatalf("own update invisible: %v", vals)
+	}
+	if err := tx.Delete("kv", id); err != nil {
+		t.Fatal(err)
+	}
+	vals, _ = tx.Get("kv", id)
+	if vals != nil {
+		t.Fatal("own delete invisible")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if countRows(t, db, "kv", nil) != 0 {
+		t.Fatal("insert+delete should leave nothing")
+	}
+}
+
+func TestUncommittedInvisibleToOthers(t *testing.T) {
+	db := testDB(t, Options{})
+	mustCreate(t, db, kvSchema("kv"))
+	tx1 := db.BeginDefault()
+	_, _, _ = tx1.Insert("kv", map[string]Value{"key": Str("a")})
+	if countRows(t, db, "kv", nil) != 0 {
+		t.Fatal("dirty read: uncommitted insert visible")
+	}
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if countRows(t, db, "kv", nil) != 1 {
+		t.Fatal("committed insert invisible")
+	}
+}
+
+func TestUpdateAndDeleteErrors(t *testing.T) {
+	db := testDB(t, Options{})
+	mustCreate(t, db, kvSchema("kv"))
+	id := insertKV(t, db, "kv", "a", "1")
+	tx := db.BeginDefault()
+	defer tx.Rollback()
+	if err := tx.Update("kv", id+999, map[string]Value{"value": Str("x")}); !errors.Is(err, ErrNoSuchRow) {
+		t.Errorf("update of missing row: %v", err)
+	}
+	if err := tx.Delete("kv", id+999); !errors.Is(err, ErrNoSuchRow) {
+		t.Errorf("delete of missing row: %v", err)
+	}
+	if err := tx.Delete("kv", id); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Delete("kv", id); !errors.Is(err, ErrNoSuchRow) {
+		t.Errorf("double delete: %v", err)
+	}
+	if err := tx.Update("kv", id, map[string]Value{"value": Str("x")}); !errors.Is(err, ErrNoSuchRow) {
+		t.Errorf("update after own delete: %v", err)
+	}
+}
+
+func TestTxDoneSemantics(t *testing.T) {
+	db := testDB(t, Options{})
+	mustCreate(t, db, kvSchema("kv"))
+	tx := db.BeginDefault()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxDone) {
+		t.Errorf("double commit: %v", err)
+	}
+	if _, _, err := tx.Insert("kv", nil); !errors.Is(err, ErrTxDone) {
+		t.Errorf("insert after commit: %v", err)
+	}
+	tx.Rollback() // must be a no-op, not a panic
+}
+
+func TestRollbackDiscardsWrites(t *testing.T) {
+	db := testDB(t, Options{})
+	mustCreate(t, db, kvSchema("kv"))
+	before := db.Stats().Aborts
+	tx := db.BeginDefault()
+	_, _, _ = tx.Insert("kv", map[string]Value{"key": Str("a")})
+	tx.Rollback()
+	if got := db.Stats().Aborts; got != before+1 {
+		t.Fatalf("abort not counted: before=%d after=%d", before, got)
+	}
+	if countRows(t, db, "kv", nil) != 0 {
+		t.Fatal("rolled-back insert visible")
+	}
+}
+
+func TestScanEqFilterUsesIndexAndMatches(t *testing.T) {
+	db := testDB(t, Options{})
+	s := kvSchema("kv")
+	s.Indexes = []IndexSpec{{Column: "key"}}
+	mustCreate(t, db, s)
+	for i := 0; i < 10; i++ {
+		insertKV(t, db, "kv", fmt.Sprintf("k%d", i%3), fmt.Sprintf("v%d", i))
+	}
+	if n := countRows(t, db, "kv", &EqFilter{Column: "key", Value: Str("k0")}); n != 4 {
+		t.Fatalf("filtered count = %d, want 4", n)
+	}
+	if n := countRows(t, db, "kv", &EqFilter{Column: "key", Value: Str("zzz")}); n != 0 {
+		t.Fatalf("missing key count = %d", n)
+	}
+	// NULL never matches an equality filter.
+	tx := db.BeginDefault()
+	_, _, _ = tx.Insert("kv", map[string]Value{"value": Str("nullkey")})
+	_ = tx.Commit()
+	if n := countRows(t, db, "kv", &EqFilter{Column: "key", Value: Null()}); n != 0 {
+		t.Fatalf("NULL filter matched %d rows", n)
+	}
+}
+
+func TestScanAfterUpdateOldSnapshot(t *testing.T) {
+	db := testDB(t, Options{})
+	s := kvSchema("kv")
+	s.Indexes = []IndexSpec{{Column: "key"}}
+	mustCreate(t, db, s)
+	id := insertKV(t, db, "kv", "old", "1")
+
+	reader := db.Begin(SnapshotIsolation) // snapshot taken now
+	writer := db.BeginDefault()
+	if err := writer.Update("kv", id, map[string]Value{"key": Str("new")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot reader must still find the row under its OLD key even
+	// though the index bucket now also carries the new key.
+	n := 0
+	_ = reader.Scan("kv", ScanOptions{Filter: &EqFilter{Column: "key", Value: Str("old")}},
+		func(RowID, []Value) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("snapshot reader lost the old-key row: %d", n)
+	}
+	// And must NOT see it under the new key.
+	n = 0
+	_ = reader.Scan("kv", ScanOptions{Filter: &EqFilter{Column: "key", Value: Str("new")}},
+		func(RowID, []Value) bool { n++; return true })
+	if n != 0 {
+		t.Fatalf("snapshot reader saw future version: %d", n)
+	}
+	reader.Rollback()
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	db := testDB(t, Options{})
+	mustCreate(t, db, kvSchema("kv"))
+	for i := 0; i < 5; i++ {
+		insertKV(t, db, "kv", "k", "v")
+	}
+	tx := db.BeginDefault()
+	defer tx.Rollback()
+	n := 0
+	_ = tx.Scan("kv", ScanOptions{}, func(RowID, []Value) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop ignored: %d", n)
+	}
+}
+
+func TestGetByRowID(t *testing.T) {
+	db := testDB(t, Options{})
+	mustCreate(t, db, kvSchema("kv"))
+	id := insertKV(t, db, "kv", "a", "1")
+	tx := db.BeginDefault()
+	defer tx.Rollback()
+	vals, err := tx.Get("kv", id)
+	if err != nil || vals == nil || vals[1].S != "a" {
+		t.Fatalf("Get: %v %v", vals, err)
+	}
+	vals, err = tx.Get("kv", id+42)
+	if err != nil || vals != nil {
+		t.Fatalf("Get missing row: %v %v", vals, err)
+	}
+}
+
+func TestStatsCountCommits(t *testing.T) {
+	db := testDB(t, Options{})
+	mustCreate(t, db, kvSchema("kv"))
+	insertKV(t, db, "kv", "a", "1")
+	insertKV(t, db, "kv", "b", "2")
+	if st := db.Stats(); st.Commits != 2 {
+		t.Fatalf("commits = %d, want 2", st.Commits)
+	}
+}
+
+// Property: any batch of inserts then a full scan returns exactly the batch.
+func TestQuickInsertScanRoundTrip(t *testing.T) {
+	f := func(keys []string) bool {
+		if len(keys) > 64 {
+			keys = keys[:64]
+		}
+		db := Open(Options{})
+		if err := db.CreateTable(kvSchema("kv")); err != nil {
+			return false
+		}
+		tx := db.BeginDefault()
+		for _, k := range keys {
+			if _, _, err := tx.Insert("kv", map[string]Value{"key": Str(k)}); err != nil {
+				return false
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return false
+		}
+		got := map[string]int{}
+		rtx := db.BeginDefault()
+		defer rtx.Rollback()
+		_ = rtx.Scan("kv", ScanOptions{}, func(_ RowID, vals []Value) bool {
+			got[vals[1].S]++
+			return true
+		})
+		want := map[string]int{}
+		for _, k := range keys {
+			want[k]++
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, n := range want {
+			if got[k] != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,252 @@
+package storage
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// RowID identifies a row slot within a table for its entire lifetime,
+// across all versions.
+type RowID uint64
+
+func formatRowID(id RowID) string { return strconv.FormatUint(uint64(id), 10) }
+
+// version is one MVCC version of a row. beginTS is the commit timestamp of
+// the transaction that wrote it; endTS is the commit timestamp of the
+// transaction that superseded or deleted it (0 while current). Committed
+// versions are immutable except for endTS, which is written once under the
+// commit lock.
+type version struct {
+	beginTS uint64
+	endTS   uint64
+	vals    []Value
+}
+
+// visibleAt reports whether the version is visible to a reader at ts.
+func (v *version) visibleAt(ts uint64) bool {
+	return v.beginTS <= ts && (v.endTS == 0 || v.endTS > ts)
+}
+
+// versionChain is the full history of one row slot, oldest first.
+type versionChain struct {
+	versions []*version
+}
+
+// visible returns the version visible at ts, or nil.
+func (c *versionChain) visible(ts uint64) *version {
+	for i := len(c.versions) - 1; i >= 0; i-- {
+		if c.versions[i].visibleAt(ts) {
+			return c.versions[i]
+		}
+	}
+	return nil
+}
+
+// latest returns the most recent committed version (live or deleted), or nil.
+func (c *versionChain) latest() *version {
+	if len(c.versions) == 0 {
+		return nil
+	}
+	return c.versions[len(c.versions)-1]
+}
+
+// index is a secondary index bucket map: value key -> set of row ids whose
+// chain has ever carried that key. Buckets are supersets of the live rows —
+// readers re-check visibility and the actual column value against their
+// snapshot — which keeps old snapshots correct without index versioning.
+type index struct {
+	spec    IndexSpec
+	buckets map[string]map[RowID]struct{}
+}
+
+func newIndex(spec IndexSpec) *index {
+	return &index{spec: spec, buckets: make(map[string]map[RowID]struct{})}
+}
+
+func (ix *index) add(key string, id RowID) {
+	b := ix.buckets[key]
+	if b == nil {
+		b = make(map[RowID]struct{}, 1)
+		ix.buckets[key] = b
+	}
+	b[id] = struct{}{}
+}
+
+// table is the physical storage for one schema.
+type table struct {
+	schema *Schema
+
+	mu      sync.RWMutex
+	rows    map[RowID]*versionChain
+	indexes map[string]*index // lower-cased column name -> index
+
+	nextRow uint64 // atomic: row slot allocator
+	nextID  uint64 // atomic: primary-key sequence
+}
+
+func newTable(schema *Schema) *table {
+	t := &table{
+		schema:  schema,
+		rows:    make(map[RowID]*versionChain),
+		indexes: make(map[string]*index),
+	}
+	for _, spec := range schema.Indexes {
+		t.indexes[strings.ToLower(spec.Column)] = newIndex(spec)
+	}
+	return t
+}
+
+// allocRow reserves a fresh row slot id.
+func (t *table) allocRow() RowID {
+	return RowID(atomic.AddUint64(&t.nextRow, 1))
+}
+
+// allocID reserves the next primary-key value. Like database sequences, ids
+// consumed by aborted transactions are not reused.
+func (t *table) allocID() int64 {
+	return int64(atomic.AddUint64(&t.nextID, 1))
+}
+
+// bumpID raises the sequence to at least v, for explicit-id inserts.
+func (t *table) bumpID(v int64) {
+	if v <= 0 {
+		return
+	}
+	for {
+		cur := atomic.LoadUint64(&t.nextID)
+		if cur >= uint64(v) {
+			return
+		}
+		if atomic.CompareAndSwapUint64(&t.nextID, cur, uint64(v)) {
+			return
+		}
+	}
+}
+
+// indexOn returns the index over the named column, or nil.
+func (t *table) indexOn(col string) *index {
+	return t.indexes[strings.ToLower(col)]
+}
+
+// installInsert adds a committed version for a new row and registers all its
+// index keys. Caller holds the commit lock; takes the table write lock.
+func (t *table) installInsert(id RowID, vals []Value, commitTS uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows[id] = &versionChain{versions: []*version{{beginTS: commitTS, vals: vals}}}
+	t.indexVersion(id, vals)
+}
+
+// installUpdate supersedes the current version of id with vals.
+func (t *table) installUpdate(id RowID, vals []Value, commitTS uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := t.rows[id]
+	if c == nil {
+		return
+	}
+	if cur := c.latest(); cur != nil && cur.endTS == 0 {
+		cur.endTS = commitTS
+	}
+	c.versions = append(c.versions, &version{beginTS: commitTS, vals: vals})
+	t.indexVersion(id, vals)
+}
+
+// installDelete terminates the current version of id.
+func (t *table) installDelete(id RowID, commitTS uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := t.rows[id]
+	if c == nil {
+		return
+	}
+	if cur := c.latest(); cur != nil && cur.endTS == 0 {
+		cur.endTS = commitTS
+	}
+}
+
+// indexVersion registers vals under every declared index. Caller holds mu.
+func (t *table) indexVersion(id RowID, vals []Value) {
+	for col, ix := range t.indexes {
+		pos := t.schema.ColumnIndex(col)
+		if pos < 0 || pos >= len(vals) {
+			continue
+		}
+		ix.add(vals[pos].Key(), id)
+	}
+}
+
+// chain returns the version chain for id (nil if the slot was never
+// installed). Callers must hold mu for reads of the returned chain.
+func (t *table) chain(id RowID) *versionChain {
+	return t.rows[id]
+}
+
+// candidateRows returns the row ids to examine for an equality predicate on
+// col = key, using the index when one exists; the boolean reports whether an
+// index was used (false means the caller got every row id).
+func (t *table) candidateRows(col string, key string) ([]RowID, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if ix := t.indexOn(col); ix != nil {
+		b := ix.buckets[key]
+		out := make([]RowID, 0, len(b))
+		for id := range b {
+			out = append(out, id)
+		}
+		return out, true
+	}
+	return t.allRowsLocked(), false
+}
+
+// allRows returns every row slot id.
+func (t *table) allRows() []RowID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.allRowsLocked()
+}
+
+func (t *table) allRowsLocked() []RowID {
+	out := make([]RowID, 0, len(t.rows))
+	for id := range t.rows {
+		out = append(out, id)
+	}
+	return out
+}
+
+// readVisible returns a copy of the version of id visible at ts, or nil.
+func (t *table) readVisible(id RowID, ts uint64) []Value {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	c := t.rows[id]
+	if c == nil {
+		return nil
+	}
+	v := c.visible(ts)
+	if v == nil {
+		return nil
+	}
+	out := make([]Value, len(v.vals))
+	copy(out, v.vals)
+	return out
+}
+
+// latestCommitted returns a copy of the newest committed version of id and
+// whether that version is live (not deleted).
+func (t *table) latestCommitted(id RowID) ([]Value, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	c := t.rows[id]
+	if c == nil {
+		return nil, false
+	}
+	v := c.latest()
+	if v == nil {
+		return nil, false
+	}
+	out := make([]Value, len(v.vals))
+	copy(out, v.vals)
+	return out, v.endTS == 0
+}

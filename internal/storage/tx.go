@@ -1,0 +1,945 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// writeOp distinguishes buffered write kinds.
+type writeOp uint8
+
+const (
+	opInsert writeOp = iota
+	opUpdate
+	opDelete
+)
+
+// txWrite is one buffered row write. vals is the full new row image for
+// inserts and updates; baseTS is the begin timestamp of the committed
+// version the write was based on (0 when the row did not exist), used for
+// first-committer-wins validation.
+type txWrite struct {
+	op     writeOp
+	vals   []Value
+	old    []Value // prior committed image (update/delete); nil for insert
+	baseTS uint64
+	seq    int // execution order, to keep installs deterministic
+}
+
+// Tx is a transaction handle. A Tx must be used from one goroutine at a
+// time (connections in the layers above enforce this), but separate
+// transactions may run fully concurrently.
+type Tx struct {
+	db      *Database
+	id      uint64
+	level   IsolationLevel
+	startTS uint64
+	done    bool
+	seq     int
+
+	writes map[string]map[RowID]*txWrite // lower table name -> row writes
+
+	// Read footprint, tracked only when the level certifies reads.
+	readRows  map[string]struct{}
+	readPreds map[string]struct{}
+
+	tookLocks bool
+}
+
+// ID returns the transaction's unique id.
+func (tx *Tx) ID() uint64 { return tx.id }
+
+// Database returns the database this transaction belongs to.
+func (tx *Tx) Database() *Database { return tx.db }
+
+// Isolation returns the transaction's isolation level.
+func (tx *Tx) Isolation() IsolationLevel { return tx.level }
+
+// readTS returns the snapshot timestamp for a read starting now.
+func (tx *Tx) readTS() uint64 {
+	if tx.level.snapshotReads() {
+		return tx.startTS
+	}
+	return atomic.LoadUint64(&tx.db.clock)
+}
+
+func (tx *Tx) checkLive() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	return nil
+}
+
+// tableWrites returns the write buffer for a table, creating it on demand.
+func (tx *Tx) tableWrites(lower string) map[RowID]*txWrite {
+	m := tx.writes[lower]
+	if m == nil {
+		m = make(map[RowID]*txWrite)
+		tx.writes[lower] = m
+	}
+	return m
+}
+
+// noteRowRead records a row in the certification read set.
+func (tx *Tx) noteRowRead(lowerTable string, id RowID) {
+	if !tx.level.certifiesReads() {
+		return
+	}
+	if tx.readRows == nil {
+		tx.readRows = make(map[string]struct{})
+	}
+	tx.readRows[lowerTable+"\x00"+formatRowID(id)] = struct{}{}
+}
+
+// notePredRead records a predicate in the certification read set.
+func (tx *Tx) notePredRead(key string) {
+	if !tx.level.certifiesReads() {
+		return
+	}
+	if tx.readPreds == nil {
+		tx.readPreds = make(map[string]struct{})
+	}
+	tx.readPreds[key] = struct{}{}
+}
+
+// lock acquires a lock for this transaction, remembering that cleanup is
+// needed at finish.
+func (tx *Tx) lock(key string, mode LockMode) error {
+	tx.tookLocks = true
+	return tx.db.locks.Acquire(tx.id, key, mode)
+}
+
+// buildRow materializes a full row image from a column-value map, applying
+// defaults, auto-assigning the primary key, and checking types and NOT NULL.
+func buildRow(t *table, cols map[string]Value) ([]Value, error) {
+	s := t.schema
+	vals := make([]Value, len(s.Columns))
+	for name, v := range cols {
+		pos := s.ColumnIndex(name)
+		if pos < 0 {
+			return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, s.Name, name)
+		}
+		cv, ok := v.CoerceTo(s.Columns[pos].Kind)
+		if !ok {
+			return nil, fmt.Errorf("%w: column %s.%s is %s, got %s",
+				ErrTypeMismatch, s.Name, name, s.Columns[pos].Kind, v.Kind)
+		}
+		vals[pos] = cv
+	}
+	for i := range s.Columns {
+		c := &s.Columns[i]
+		if vals[i].IsNull() {
+			if _, provided := lookupCol(cols, c.Name); !provided && !c.Default.IsNull() {
+				vals[i] = c.Default
+			}
+		}
+		if vals[i].IsNull() && c.PrimaryKey {
+			vals[i] = Int(t.allocID())
+		} else if c.PrimaryKey && vals[i].Kind == KindInt {
+			t.bumpID(vals[i].I)
+		}
+		if vals[i].IsNull() && c.NotNull {
+			return nil, fmt.Errorf("%w: %s.%s", ErrNotNull, s.Name, c.Name)
+		}
+	}
+	return vals, nil
+}
+
+func lookupCol(cols map[string]Value, name string) (Value, bool) {
+	if v, ok := cols[name]; ok {
+		return v, true
+	}
+	for k, v := range cols {
+		if strings.EqualFold(k, name) {
+			return v, true
+		}
+	}
+	return Value{}, false
+}
+
+// Insert buffers a new row and returns its RowID and primary-key value
+// (0 when the table has no primary key column).
+func (tx *Tx) Insert(tableName string, cols map[string]Value) (RowID, int64, error) {
+	if err := tx.checkLive(); err != nil {
+		return 0, 0, err
+	}
+	t, err := tx.db.lookupTable(tableName)
+	if err != nil {
+		return 0, 0, err
+	}
+	vals, err := buildRow(t, cols)
+	if err != nil {
+		return 0, 0, err
+	}
+	id := t.allocRow()
+	lower := strings.ToLower(t.schema.Name)
+	if tx.level.locking() {
+		if err := tx.lockForWrite(t, lower, id, nil, vals); err != nil {
+			return 0, 0, err
+		}
+	}
+	tx.seq++
+	tx.tableWrites(lower)[id] = &txWrite{op: opInsert, vals: vals, seq: tx.seq}
+	var pk int64
+	if pkCol := t.schema.PrimaryKey(); pkCol != "" {
+		pk = vals[t.schema.ColumnIndex(pkCol)].I
+	}
+	return id, pk, nil
+}
+
+// Update buffers changes to an existing row. The row must be visible to the
+// transaction (via a prior Scan) or buffered by it.
+func (tx *Tx) Update(tableName string, id RowID, changes map[string]Value) error {
+	if err := tx.checkLive(); err != nil {
+		return err
+	}
+	t, err := tx.db.lookupTable(tableName)
+	if err != nil {
+		return err
+	}
+	s := t.schema
+	newImage := make([]Value, len(s.Columns))
+	applyChanges := func(base []Value) error {
+		copy(newImage, base)
+		for name, v := range changes {
+			pos := s.ColumnIndex(name)
+			if pos < 0 {
+				return fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, s.Name, name)
+			}
+			cv, ok := v.CoerceTo(s.Columns[pos].Kind)
+			if !ok {
+				return fmt.Errorf("%w: column %s.%s is %s, got %s",
+					ErrTypeMismatch, s.Name, name, s.Columns[pos].Kind, v.Kind)
+			}
+			if cv.IsNull() && s.Columns[pos].NotNull {
+				return fmt.Errorf("%w: %s.%s", ErrNotNull, s.Name, s.Columns[pos].Name)
+			}
+			newImage[pos] = cv
+		}
+		return nil
+	}
+
+	lower := strings.ToLower(s.Name)
+	if w, ok := tx.tableWrites(lower)[id]; ok {
+		switch w.op {
+		case opDelete:
+			return fmt.Errorf("%w: %s row %d (deleted in this transaction)", ErrNoSuchRow, s.Name, id)
+		default:
+			if err := applyChanges(w.vals); err != nil {
+				return err
+			}
+			if tx.level.locking() {
+				if err := tx.lockForWrite(t, lower, id, w.vals, newImage); err != nil {
+					return err
+				}
+			}
+			w.vals = newImage
+			return nil
+		}
+	}
+
+	// Writers serialize on the row lock at execute time, as real engines do;
+	// lost updates under RC/RR come from unlocked *reads*, not torn writes.
+	if err := tx.lock(rowLockKey(lower, id), LockX); err != nil {
+		return err
+	}
+	old, live := t.latestCommitted(id)
+	if old == nil || !live {
+		return fmt.Errorf("%w: %s row %d", ErrNoSuchRow, s.Name, id)
+	}
+	if err := applyChanges(old); err != nil {
+		return err
+	}
+	if tx.level.locking() {
+		if err := tx.lockForWrite(t, lower, id, old, newImage); err != nil {
+			return err
+		}
+	}
+	var baseTS uint64
+	t.mu.RLock()
+	if c := t.chain(id); c != nil {
+		if v := c.latest(); v != nil {
+			baseTS = v.beginTS
+		}
+	}
+	t.mu.RUnlock()
+	tx.seq++
+	tx.tableWrites(lower)[id] = &txWrite{op: opUpdate, vals: newImage, old: old, baseTS: baseTS, seq: tx.seq}
+	return nil
+}
+
+// Delete buffers removal of a row.
+func (tx *Tx) Delete(tableName string, id RowID) error {
+	if err := tx.checkLive(); err != nil {
+		return err
+	}
+	t, err := tx.db.lookupTable(tableName)
+	if err != nil {
+		return err
+	}
+	lower := strings.ToLower(t.schema.Name)
+	if w, ok := tx.tableWrites(lower)[id]; ok {
+		switch w.op {
+		case opInsert:
+			delete(tx.tableWrites(lower), id)
+			return nil
+		case opDelete:
+			return fmt.Errorf("%w: %s row %d (deleted in this transaction)", ErrNoSuchRow, t.schema.Name, id)
+		default:
+			if tx.level.locking() {
+				if err := tx.lockForWrite(t, lower, id, w.old, nil); err != nil {
+					return err
+				}
+			}
+			w.op = opDelete
+			w.vals = nil
+			return nil
+		}
+	}
+	if err := tx.lock(rowLockKey(lower, id), LockX); err != nil {
+		return err
+	}
+	old, live := t.latestCommitted(id)
+	if old == nil || !live {
+		return fmt.Errorf("%w: %s row %d", ErrNoSuchRow, t.schema.Name, id)
+	}
+	if tx.level.locking() {
+		if err := tx.lockForWrite(t, lower, id, old, nil); err != nil {
+			return err
+		}
+	}
+	var baseTS uint64
+	t.mu.RLock()
+	if c := t.chain(id); c != nil {
+		if v := c.latest(); v != nil {
+			baseTS = v.beginTS
+		}
+	}
+	t.mu.RUnlock()
+	tx.seq++
+	tx.tableWrites(lower)[id] = &txWrite{op: opDelete, old: old, baseTS: baseTS, seq: tx.seq}
+	return nil
+}
+
+// lockForWrite acquires the Serializable2PL locks protecting a row write:
+// an intent-exclusive table lock plus exclusive predicate locks covering
+// every (column, value) pair of the old and new images (value granularity),
+// or an exclusive table lock (table granularity).
+func (tx *Tx) lockForWrite(t *table, lower string, id RowID, old, new []Value) error {
+	if tx.db.opts.PredicateLocks == TableGranularity {
+		return tx.lock(tableLockKey(lower), LockX)
+	}
+	if err := tx.lock(tableLockKey(lower), LockIX); err != nil {
+		return err
+	}
+	if err := tx.lock(rowLockKey(lower, id), LockX); err != nil {
+		return err
+	}
+	for i := range t.schema.Columns {
+		col := strings.ToLower(t.schema.Columns[i].Name)
+		if old != nil {
+			if err := tx.lock(predLockKey(lower, col, old[i].Key()), LockX); err != nil {
+				return err
+			}
+		}
+		if new != nil {
+			if err := tx.lock(predLockKey(lower, col, new[i].Key()), LockX); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// EqFilter is an optional equality predicate pushed down into Scan so the
+// engine can use a secondary index. Residual predicates are the caller's
+// concern.
+type EqFilter struct {
+	Column string
+	Value  Value
+}
+
+// ScanOptions configures a Scan.
+type ScanOptions struct {
+	// Filter, when non-nil, restricts the scan to rows whose column equals
+	// the value (index-accelerated when an index exists).
+	Filter *EqFilter
+	// ForUpdate acquires exclusive row locks on matching rows and re-reads
+	// their latest committed images, as SELECT ... FOR UPDATE does.
+	ForUpdate bool
+}
+
+// Scan streams the rows visible to the transaction, merged with the
+// transaction's own writes. fn returns false to stop early. The slice passed
+// to fn is owned by the callee.
+func (tx *Tx) Scan(tableName string, opts ScanOptions, fn func(RowID, []Value) bool) error {
+	if err := tx.checkLive(); err != nil {
+		return err
+	}
+	t, err := tx.db.lookupTable(tableName)
+	if err != nil {
+		return err
+	}
+	s := t.schema
+	lower := strings.ToLower(s.Name)
+
+	filterPos := -1
+	var filterKey string
+	if opts.Filter != nil {
+		filterPos = s.ColumnIndex(opts.Filter.Column)
+		if filterPos < 0 {
+			return fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, s.Name, opts.Filter.Column)
+		}
+		filterKey = opts.Filter.Value.Key()
+	}
+
+	// Predicate footprint: record for certification, and lock under 2PL.
+	if filterPos >= 0 {
+		tx.notePredRead("p\x00" + lower + "\x00" + strings.ToLower(s.Columns[filterPos].Name) + "\x00" + filterKey)
+	} else {
+		tx.notePredRead("t\x00" + lower)
+	}
+	if tx.level.locking() {
+		if tx.db.opts.PredicateLocks == TableGranularity || filterPos < 0 {
+			if err := tx.lock(tableLockKey(lower), LockS); err != nil {
+				return err
+			}
+		} else {
+			if err := tx.lock(tableLockKey(lower), LockIS); err != nil {
+				return err
+			}
+			col := strings.ToLower(s.Columns[filterPos].Name)
+			if err := tx.lock(predLockKey(lower, col, filterKey), LockS); err != nil {
+				return err
+			}
+		}
+	}
+
+	var candidates []RowID
+	if filterPos >= 0 {
+		candidates, _ = t.candidateRows(s.Columns[filterPos].Name, filterKey)
+	} else {
+		candidates = t.allRows()
+	}
+
+	ts := tx.readTS()
+	writes := tx.writes[lower]
+	matches := func(vals []Value) bool {
+		if filterPos < 0 {
+			return true
+		}
+		v := vals[filterPos]
+		if v.IsNull() || opts.Filter.Value.IsNull() {
+			return false // SQL semantics: NULL = x is not true
+		}
+		return Equal(v, opts.Filter.Value)
+	}
+
+	emit := func(id RowID, vals []Value) (bool, error) {
+		if opts.ForUpdate {
+			if err := tx.lock(rowLockKey(lower, id), LockX); err != nil {
+				return false, err
+			}
+			// Re-read the latest committed image now that the row is locked:
+			// a concurrent writer may have committed while we waited. Rows
+			// written by this transaction keep their buffered image.
+			if _, ours := writes[id]; !ours {
+				latest, live := t.latestCommitted(id)
+				if latest == nil || !live || !matches(latest) {
+					return true, nil
+				}
+				vals = latest
+			}
+		}
+		tx.noteRowRead(lower, id)
+		if tx.level.locking() && !opts.ForUpdate {
+			if err := tx.lock(rowLockKey(lower, id), LockS); err != nil {
+				return false, err
+			}
+		}
+		cp := make([]Value, len(vals))
+		copy(cp, vals)
+		return fn(id, cp), nil
+	}
+
+	seen := make(map[RowID]struct{}, len(candidates))
+	for _, id := range candidates {
+		seen[id] = struct{}{}
+		var vals []Value
+		if w, ok := writes[id]; ok {
+			if w.op == opDelete {
+				continue
+			}
+			vals = w.vals
+		} else {
+			vals = t.readVisible(id, ts)
+			if vals == nil {
+				continue
+			}
+		}
+		if !matches(vals) {
+			continue
+		}
+		cont, err := emit(id, vals)
+		if err != nil {
+			return err
+		}
+		if !cont {
+			return nil
+		}
+	}
+	// Own inserts/updates the index-based candidate set cannot know about.
+	for id, w := range writes {
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		if w.op == opDelete || w.vals == nil || !matches(w.vals) {
+			continue
+		}
+		cont, err := emit(id, w.vals)
+		if err != nil {
+			return err
+		}
+		if !cont {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Get returns the row with the given RowID as visible to the transaction,
+// or nil when invisible or absent.
+func (tx *Tx) Get(tableName string, id RowID) ([]Value, error) {
+	if err := tx.checkLive(); err != nil {
+		return nil, err
+	}
+	t, err := tx.db.lookupTable(tableName)
+	if err != nil {
+		return nil, err
+	}
+	lower := strings.ToLower(t.schema.Name)
+	if w, ok := tx.writes[lower][id]; ok {
+		if w.op == opDelete {
+			return nil, nil
+		}
+		out := make([]Value, len(w.vals))
+		copy(out, w.vals)
+		tx.noteRowRead(lower, id)
+		return out, nil
+	}
+	vals := t.readVisible(id, tx.readTS())
+	if vals != nil {
+		tx.noteRowRead(lower, id)
+	}
+	return vals, nil
+}
+
+// Rollback abandons the transaction. Safe to call after Commit (no-op).
+func (tx *Tx) Rollback() {
+	if tx.done {
+		return
+	}
+	tx.done = true
+	atomic.AddUint64(&tx.db.statAborts, 1)
+	tx.db.finish(tx)
+}
+
+// Commit validates and atomically installs the transaction's writes.
+// On any validation error the transaction is rolled back and the error
+// returned; ErrSerialization and ErrUniqueViolation/-ForeignKeyViolation are
+// the interesting cases for the layers above.
+func (tx *Tx) Commit() error {
+	if err := tx.checkLive(); err != nil {
+		return err
+	}
+	db := tx.db
+	hasWrites := false
+	for _, m := range tx.writes {
+		if len(m) > 0 {
+			hasWrites = true
+			break
+		}
+	}
+	if !hasWrites {
+		tx.done = true
+		atomic.AddUint64(&db.statCommits, 1)
+		db.finish(tx)
+		return nil
+	}
+
+	db.commitMu.Lock()
+	err := tx.validateLocked()
+	if err != nil {
+		db.commitMu.Unlock()
+		tx.done = true
+		atomic.AddUint64(&db.statAborts, 1)
+		db.finish(tx)
+		return err
+	}
+	commitTS := atomic.LoadUint64(&db.clock) + 1
+	summary := tx.installLocked(commitTS)
+	atomic.StoreUint64(&db.clock, commitTS)
+	db.commitMu.Unlock()
+
+	db.recordCommit(summary)
+	tx.done = true
+	atomic.AddUint64(&db.statCommits, 1)
+	db.finish(tx)
+	return nil
+}
+
+// validateLocked runs commit-time validation under commitMu: write-write
+// conflicts, serializable read certification, in-database unique and foreign
+// key constraints (expanding cascades into the write set).
+func (tx *Tx) validateLocked() error {
+	db := tx.db
+
+	// First-committer-wins: abort if any written row has a committed version
+	// newer than our snapshot.
+	if tx.level.firstCommitterWins() {
+		for lower, rows := range tx.writes {
+			t, err := db.lookupTable(lower)
+			if err != nil {
+				return err
+			}
+			t.mu.RLock()
+			for id, w := range rows {
+				if w.op == opInsert {
+					continue
+				}
+				c := t.chain(id)
+				if c == nil {
+					t.mu.RUnlock()
+					return fmt.Errorf("%w: %s row %d vanished", ErrNoSuchRow, lower, id)
+				}
+				v := c.latest()
+				if v == nil || v.beginTS > tx.startTS || (v.endTS != 0 && v.endTS > tx.startTS) {
+					t.mu.RUnlock()
+					atomic.AddUint64(&db.statConflict, 1)
+					return fmt.Errorf("%w: concurrent update of %s row %d", ErrSerialization, lower, id)
+				}
+			}
+			t.mu.RUnlock()
+		}
+	}
+
+	// Serializable read certification: our reads must not overlap writes
+	// committed after our snapshot. With PhantomBug set, predicate reads are
+	// not certified — PostgreSQL bug #11732's observable behavior.
+	if tx.level.certifiesReads() {
+		for _, c := range db.conflictingSummaries(tx.startTS) {
+			for rk := range tx.readRows {
+				if _, hit := c.rowKeys[rk]; hit {
+					atomic.AddUint64(&db.statConflict, 1)
+					return fmt.Errorf("%w: read-write conflict on row", ErrSerialization)
+				}
+			}
+			if !db.opts.PhantomBug {
+				for pk := range tx.readPreds {
+					if _, hit := c.predKeys[pk]; hit {
+						atomic.AddUint64(&db.statConflict, 1)
+						return fmt.Errorf("%w: phantom conflict on predicate", ErrSerialization)
+					}
+				}
+			}
+		}
+	}
+
+	if err := tx.expandCascadesLocked(); err != nil {
+		return err
+	}
+	if err := tx.checkUniqueLocked(); err != nil {
+		return err
+	}
+	return tx.checkForeignKeysLocked()
+}
+
+// expandCascadesLocked applies in-database ON DELETE actions: for every
+// buffered delete of a row in a table referenced by foreign keys, child rows
+// are deleted (CASCADE), nulled (SET NULL), or cause an abort (NO ACTION).
+// Runs to a fixpoint so cascades chain across tables. Operates on the
+// latest committed state — under commitMu this is the authoritative state,
+// which is exactly why in-database cascades never orphan rows while feral
+// (application-level) cascades do.
+func (tx *Tx) expandCascadesLocked() error {
+	db := tx.db
+	work := make([]struct {
+		table string
+		id    RowID
+	}, 0, 8)
+	for lower, rows := range tx.writes {
+		for id, w := range rows {
+			if w.op == opDelete {
+				work = append(work, struct {
+					table string
+					id    RowID
+				}{lower, id})
+			}
+		}
+	}
+	for len(work) > 0 {
+		item := work[0]
+		work = work[1:]
+		db.catalogMu.RLock()
+		edges := append([]fkEdge(nil), db.childFKs[item.table]...)
+		db.catalogMu.RUnlock()
+		if len(edges) == 0 {
+			continue
+		}
+		parent, err := db.lookupTable(item.table)
+		if err != nil {
+			return err
+		}
+		pkCol := parent.schema.PrimaryKey()
+		if pkCol == "" {
+			continue
+		}
+		var pkVal Value
+		if w := tx.writes[item.table][item.id]; w != nil && w.old != nil {
+			pkVal = w.old[parent.schema.ColumnIndex(pkCol)]
+		} else if vals, _ := parent.latestCommitted(item.id); vals != nil {
+			pkVal = vals[parent.schema.ColumnIndex(pkCol)]
+		} else {
+			continue
+		}
+		for _, e := range edges {
+			child, err := db.lookupTable(e.childTable)
+			if err != nil {
+				return err
+			}
+			fkPos := child.schema.ColumnIndex(e.fk.Column)
+			if fkPos < 0 {
+				return fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, e.childTable, e.fk.Column)
+			}
+			candidates, _ := child.candidateRows(e.fk.Column, pkVal.Key())
+			childWrites := tx.tableWrites(e.childTable)
+			for _, cid := range candidates {
+				if w, ok := childWrites[cid]; ok {
+					// Rows this transaction already deleted need no action;
+					// rows it inserted/updated to reference the dying parent
+					// are handled by the FK existence check afterward.
+					_ = w
+					continue
+				}
+				vals, live := child.latestCommitted(cid)
+				if vals == nil || !live || !Equal(vals[fkPos], pkVal) {
+					continue
+				}
+				switch e.fk.OnDelete {
+				case Cascade:
+					var baseTS uint64
+					child.mu.RLock()
+					if c := child.chain(cid); c != nil {
+						if v := c.latest(); v != nil {
+							baseTS = v.beginTS
+						}
+					}
+					child.mu.RUnlock()
+					tx.seq++
+					childWrites[cid] = &txWrite{op: opDelete, old: vals, baseTS: baseTS, seq: tx.seq}
+					work = append(work, struct {
+						table string
+						id    RowID
+					}{e.childTable, cid})
+				case SetNull:
+					if child.schema.Columns[fkPos].NotNull {
+						return fmt.Errorf("%w: ON DELETE SET NULL into NOT NULL column %s.%s",
+							ErrForeignKeyViolation, e.childTable, e.fk.Column)
+					}
+					newVals := make([]Value, len(vals))
+					copy(newVals, vals)
+					newVals[fkPos] = Null()
+					var baseTS uint64
+					child.mu.RLock()
+					if c := child.chain(cid); c != nil {
+						if v := c.latest(); v != nil {
+							baseTS = v.beginTS
+						}
+					}
+					child.mu.RUnlock()
+					tx.seq++
+					childWrites[cid] = &txWrite{op: opUpdate, vals: newVals, old: vals, baseTS: baseTS, seq: tx.seq}
+				default: // NoAction
+					return fmt.Errorf("%w: %s row referenced by %s.%s",
+						ErrForeignKeyViolation, item.table, e.childTable, e.fk.Column)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkUniqueLocked enforces in-database unique indexes against the latest
+// committed state plus this transaction's own writes.
+func (tx *Tx) checkUniqueLocked() error {
+	db := tx.db
+	for lower, rows := range tx.writes {
+		t, err := db.lookupTable(lower)
+		if err != nil {
+			return err
+		}
+		s := t.schema
+		for _, spec := range s.Indexes {
+			if !spec.Unique {
+				continue
+			}
+			pos := s.ColumnIndex(spec.Column)
+			if pos < 0 {
+				continue
+			}
+			// Keys written by this transaction, for intra-transaction dups.
+			newKeys := make(map[string]RowID)
+			for id, w := range rows {
+				if w.op == opDelete || w.vals == nil {
+					continue
+				}
+				v := w.vals[pos]
+				if v.IsNull() {
+					continue // SQL unique indexes admit multiple NULLs
+				}
+				key := v.Key()
+				if other, dup := newKeys[key]; dup && other != id {
+					return fmt.Errorf("%w: duplicate %s.%s = %s within transaction",
+						ErrUniqueViolation, s.Name, spec.Column, v.Format())
+				}
+				newKeys[key] = id
+
+				candidates, _ := t.candidateRows(spec.Column, key)
+				for _, cid := range candidates {
+					if cid == id {
+						continue
+					}
+					if cw, ok := rows[cid]; ok {
+						if cw.op == opDelete {
+							continue // being deleted by us
+						}
+						continue // already counted via newKeys
+					}
+					vals, live := t.latestCommitted(cid)
+					if vals == nil || !live {
+						continue
+					}
+					if Equal(vals[pos], v) {
+						return fmt.Errorf("%w: %s.%s = %s already exists",
+							ErrUniqueViolation, s.Name, spec.Column, v.Format())
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkForeignKeysLocked verifies every inserted/updated child row's parent
+// exists (in committed state or in this transaction's writes) and is not
+// being deleted by this transaction.
+func (tx *Tx) checkForeignKeysLocked() error {
+	db := tx.db
+	for lower, rows := range tx.writes {
+		t, err := db.lookupTable(lower)
+		if err != nil {
+			return err
+		}
+		for _, fk := range t.schema.ForeignKeys {
+			fkPos := t.schema.ColumnIndex(fk.Column)
+			if fkPos < 0 {
+				continue
+			}
+			parent, err := db.lookupTable(fk.ParentTable)
+			if err != nil {
+				return err
+			}
+			pkCol := parent.schema.PrimaryKey()
+			pkPos := parent.schema.ColumnIndex(pkCol)
+			parentLower := strings.ToLower(parent.schema.Name)
+			for _, w := range rows {
+				if w.op == opDelete || w.vals == nil {
+					continue
+				}
+				ref := w.vals[fkPos]
+				if ref.IsNull() {
+					continue
+				}
+				if tx.parentExistsLocked(parent, parentLower, pkPos, ref) {
+					continue
+				}
+				return fmt.Errorf("%w: %s.%s = %s has no parent in %s",
+					ErrForeignKeyViolation, t.schema.Name, fk.Column, ref.Format(), fk.ParentTable)
+			}
+		}
+	}
+	return nil
+}
+
+// parentExistsLocked reports whether a live parent row with primary key ref
+// exists, accounting for this transaction's own inserts and deletes.
+func (tx *Tx) parentExistsLocked(parent *table, parentLower string, pkPos int, ref Value) bool {
+	parentWrites := tx.writes[parentLower]
+	candidates, _ := parent.candidateRows(parent.schema.Columns[pkPos].Name, ref.Key())
+	for _, pid := range candidates {
+		if w, ok := parentWrites[pid]; ok {
+			if w.op != opDelete && w.vals != nil && Equal(w.vals[pkPos], ref) {
+				return true
+			}
+			continue
+		}
+		vals, live := parent.latestCommitted(pid)
+		if vals != nil && live && Equal(vals[pkPos], ref) {
+			return true
+		}
+	}
+	// Own inserts may not be index-visible; scan the write buffer too.
+	for _, w := range parentWrites {
+		if w.op != opDelete && w.vals != nil && Equal(w.vals[pkPos], ref) {
+			return true
+		}
+	}
+	return false
+}
+
+// installLocked writes all buffered changes as committed versions with the
+// given timestamp and returns the certification summary. Caller holds
+// commitMu; the clock is published by the caller after install completes so
+// readers never observe a partially installed commit.
+func (tx *Tx) installLocked(commitTS uint64) *txSummary {
+	db := tx.db
+	summary := &txSummary{
+		commitTS: commitTS,
+		rowKeys:  make(map[string]struct{}),
+		predKeys: make(map[string]struct{}),
+	}
+	for lower, rows := range tx.writes {
+		t, err := db.lookupTable(lower)
+		if err != nil {
+			continue // table dropped mid-transaction; nothing to install
+		}
+		summary.predKeys["t\x00"+lower] = struct{}{}
+		for id, w := range rows {
+			summary.rowKeys[lower+"\x00"+formatRowID(id)] = struct{}{}
+			addPreds := func(vals []Value) {
+				for i := range t.schema.Columns {
+					col := strings.ToLower(t.schema.Columns[i].Name)
+					summary.predKeys["p\x00"+lower+"\x00"+col+"\x00"+vals[i].Key()] = struct{}{}
+				}
+			}
+			switch w.op {
+			case opInsert:
+				t.installInsert(id, w.vals, commitTS)
+				addPreds(w.vals)
+			case opUpdate:
+				t.installUpdate(id, w.vals, commitTS)
+				addPreds(w.vals)
+				if w.old != nil {
+					addPreds(w.old)
+				}
+			case opDelete:
+				t.installDelete(id, commitTS)
+				if w.old != nil {
+					addPreds(w.old)
+				}
+			}
+		}
+	}
+	return summary
+}

@@ -1,0 +1,144 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestVacuumPrunesDeadVersions(t *testing.T) {
+	db := testDB(t, Options{})
+	s := kvSchema("kv")
+	s.Indexes = []IndexSpec{{Column: "key"}}
+	mustCreate(t, db, s)
+	id := insertKV(t, db, "kv", "k", "v0")
+	for i := 1; i <= 10; i++ {
+		tx := db.BeginDefault()
+		if err := tx.Update("kv", id, map[string]Value{"value": Str(fmt.Sprintf("v%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := db.VersionCount(); got != 11 {
+		t.Fatalf("versions before vacuum = %d, want 11", got)
+	}
+	stats := db.Vacuum()
+	if stats.VersionsPruned != 10 {
+		t.Fatalf("pruned = %d, want 10", stats.VersionsPruned)
+	}
+	if got := db.VersionCount(); got != 1 {
+		t.Fatalf("versions after vacuum = %d, want 1", got)
+	}
+	// The surviving row still reads correctly.
+	tx := db.BeginDefault()
+	defer tx.Rollback()
+	vals, err := tx.Get("kv", id)
+	if err != nil || vals[2].S != "v10" {
+		t.Fatalf("post-vacuum read: %v %v", vals, err)
+	}
+}
+
+func TestVacuumRespectsActiveSnapshots(t *testing.T) {
+	db := testDB(t, Options{})
+	mustCreate(t, db, kvSchema("kv"))
+	id := insertKV(t, db, "kv", "k", "old")
+
+	reader := db.Begin(SnapshotIsolation) // holds the old snapshot
+	tx := db.BeginDefault()
+	_ = tx.Update("kv", id, map[string]Value{"value": Str("new")})
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	stats := db.Vacuum()
+	if stats.VersionsPruned != 0 {
+		t.Fatalf("vacuum pruned %d versions visible to an active snapshot", stats.VersionsPruned)
+	}
+	vals, err := reader.Get("kv", id)
+	if err != nil || vals[2].S != "old" {
+		t.Fatalf("snapshot read after vacuum: %v %v", vals, err)
+	}
+	reader.Rollback()
+
+	// With the snapshot gone, the old version is reclaimable.
+	if stats := db.Vacuum(); stats.VersionsPruned != 1 {
+		t.Fatalf("post-release vacuum pruned %d, want 1", stats.VersionsPruned)
+	}
+}
+
+func TestVacuumReclaimsDeletedRowsAndIndexEntries(t *testing.T) {
+	db := testDB(t, Options{})
+	s := kvSchema("kv")
+	s.Indexes = []IndexSpec{{Column: "key"}}
+	mustCreate(t, db, s)
+	var ids []RowID
+	for i := 0; i < 5; i++ {
+		ids = append(ids, insertKV(t, db, "kv", fmt.Sprintf("k%d", i), "v"))
+	}
+	for _, id := range ids[:3] {
+		tx := db.BeginDefault()
+		if err := tx.Delete("kv", id); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := db.Vacuum()
+	if stats.RowsReclaimed != 3 {
+		t.Fatalf("rows reclaimed = %d, want 3", stats.RowsReclaimed)
+	}
+	if stats.IndexEntriesPruned < 3 {
+		t.Fatalf("index entries pruned = %d, want >= 3", stats.IndexEntriesPruned)
+	}
+	// Scans still work against the rebuilt index.
+	if n := countRows(t, db, "kv", &EqFilter{Column: "key", Value: Str("k4")}); n != 1 {
+		t.Fatalf("post-vacuum indexed scan = %d", n)
+	}
+	if n := countRows(t, db, "kv", nil); n != 2 {
+		t.Fatalf("post-vacuum full scan = %d", n)
+	}
+}
+
+func TestVacuumKeyChangeKeepsUniqueSemantics(t *testing.T) {
+	db := testDB(t, Options{})
+	mustCreate(t, db, uniqueKVSchema())
+	id := insertKV(t, db, "kv", "a", "1")
+	tx := db.BeginDefault()
+	_ = tx.Update("kv", id, map[string]Value{"key": Str("b")})
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	db.Vacuum()
+	// "a" is free again; "b" is taken.
+	tx = db.BeginDefault()
+	_, _, _ = tx.Insert("kv", map[string]Value{"key": Str("a")})
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("freed key rejected after vacuum: %v", err)
+	}
+	tx = db.BeginDefault()
+	_, _, _ = tx.Insert("kv", map[string]Value{"key": Str("b")})
+	if err := tx.Commit(); err == nil {
+		t.Fatal("taken key accepted after vacuum")
+	}
+}
+
+func TestVacuumEmptyDatabase(t *testing.T) {
+	db := testDB(t, Options{})
+	mustCreate(t, db, kvSchema("kv"))
+	stats := db.Vacuum()
+	if stats.VersionsPruned != 0 || stats.RowsReclaimed != 0 {
+		t.Fatalf("vacuum of empty db: %+v", stats)
+	}
+}
+
+func TestClockAdvancesWithCommits(t *testing.T) {
+	db := testDB(t, Options{})
+	mustCreate(t, db, kvSchema("kv"))
+	before := db.Clock()
+	insertKV(t, db, "kv", "a", "1")
+	if db.Clock() != before+1 {
+		t.Fatalf("clock did not advance by 1: %d -> %d", before, db.Clock())
+	}
+}

@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+
+	"feralcc/internal/db"
+	"feralcc/internal/storage"
+)
+
+// Client is a database connection over the wire protocol. It implements
+// db.Conn, so any code written against the embedded database runs unchanged
+// against a remote server.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	r      *bufio.Reader
+	w      *bufio.Writer
+	closed bool
+}
+
+var _ db.Conn = (*Client)(nil)
+
+// Dial connects to a wire server.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 5*time.Second)
+}
+
+// DialTimeout connects with a bounded dial time.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Exec implements db.Conn.
+func (c *Client) Exec(sql string, args ...storage.Value) (*db.Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, net.ErrClosed
+	}
+	req := request{SQL: sql}
+	if len(args) > 0 {
+		req.Args = make([]wireValue, len(args))
+		for i, a := range args {
+			req.Args[i] = toWire(a)
+		}
+	}
+	if err := writeFrame(c.w, &req); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	var resp response
+	if err := readFrame(c.r, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Code != CodeOK {
+		return nil, errorFor(resp.Code, resp.Error)
+	}
+	res := &db.Result{
+		Columns:      resp.Columns,
+		RowsAffected: resp.RowsAffected,
+		LastInsertID: resp.LastInsertID,
+	}
+	if len(resp.Rows) > 0 {
+		res.Rows = make([][]storage.Value, len(resp.Rows))
+		for i, row := range resp.Rows {
+			vals := make([]storage.Value, len(row))
+			for j, w := range row {
+				vals[j] = fromWire(w)
+			}
+			res.Rows[i] = vals
+		}
+	}
+	return res, nil
+}
+
+// Close implements db.Conn. The server rolls back any open transaction when
+// the connection drops.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}

@@ -1,0 +1,168 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"feralcc/internal/sqlexec"
+	"feralcc/internal/storage"
+)
+
+// Server serves the wire protocol over TCP on behalf of one database. Each
+// accepted connection gets its own session (and therefore its own
+// transaction state), matching one PostgreSQL backend per client.
+type Server struct {
+	store *storage.Database
+	ln    net.Listener
+	logf  func(format string, args ...any)
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer creates a server for store. logf may be nil to silence logging.
+func NewServer(store *storage.Database, logf func(string, ...any)) *Server {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{store: store, logf: logf, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds addr (e.g. "127.0.0.1:5442"). Use Addr to recover the chosen
+// port when addr ends in ":0".
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr returns the bound address, or "" before Listen.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Serve accepts connections until Close. It returns nil after Close.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close stops accepting, closes live connections, and waits for handlers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+		s.wg.Done()
+	}()
+	session := sqlexec.NewSession(s.store)
+	defer session.Reset()
+
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		var req request
+		if err := readFrame(r, &req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !isConnReset(err) {
+				s.logf("wire: read: %v", err)
+			}
+			return
+		}
+		args := make([]storage.Value, len(req.Args))
+		for i, a := range req.Args {
+			args[i] = fromWire(a)
+		}
+		res, err := session.Exec(req.SQL, args...)
+		resp := response{Code: codeOf(err)}
+		if err != nil {
+			resp.Error = err.Error()
+		} else {
+			resp.Columns = res.Columns
+			resp.RowsAffected = res.RowsAffected
+			resp.LastInsertID = res.LastInsertID
+			if len(res.Rows) > 0 {
+				resp.Rows = make([][]wireValue, len(res.Rows))
+				for i, row := range res.Rows {
+					wr := make([]wireValue, len(row))
+					for j, v := range row {
+						wr[j] = toWire(v)
+					}
+					resp.Rows[i] = wr
+				}
+			}
+		}
+		if err := writeFrame(w, &resp); err != nil {
+			s.logf("wire: write: %v", err)
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func isConnReset(err error) bool {
+	var ne *net.OpError
+	return errors.As(err, &ne)
+}
+
+// ListenAndServe is a convenience for main functions: bind addr and serve
+// until the process exits.
+func ListenAndServe(store *storage.Database, addr string) error {
+	s := NewServer(store, log.Printf)
+	if err := s.Listen(addr); err != nil {
+		return err
+	}
+	log.Printf("feraldbd listening on %s", s.Addr())
+	return s.Serve()
+}

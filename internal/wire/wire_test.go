@@ -1,0 +1,274 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"feralcc/internal/storage"
+)
+
+// startServer runs a server on an ephemeral port and returns its address.
+func startServer(t *testing.T, store *storage.Database) string {
+	t.Helper()
+	srv := NewServer(store, nil)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(srv.Close)
+	return srv.Addr()
+}
+
+func dialT(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	store := storage.Open(storage.Options{})
+	addr := startServer(t, store)
+	c := dialT(t, addr)
+
+	if _, err := c.Exec("CREATE TABLE kv (id BIGINT PRIMARY KEY, key TEXT, value TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Exec("INSERT INTO kv (key, value) VALUES (?, ?)", storage.Str("a"), storage.Str("1"))
+	if err != nil || res.RowsAffected != 1 || res.LastInsertID != 1 {
+		t.Fatalf("insert: %+v %v", res, err)
+	}
+	res, err = c.Exec("SELECT key, value FROM kv WHERE key = ?", storage.Str("a"))
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][1].S != "1" {
+		t.Fatalf("select: %+v %v", res, err)
+	}
+	if res.Columns[0] != "key" {
+		t.Fatalf("columns: %v", res.Columns)
+	}
+}
+
+func TestWireValueKindsSurvive(t *testing.T) {
+	store := storage.Open(storage.Options{})
+	addr := startServer(t, store)
+	c := dialT(t, addr)
+	if _, err := c.Exec(`CREATE TABLE v (id BIGINT PRIMARY KEY, i BIGINT, f DOUBLE,
+		s TEXT, b BOOLEAN, ts TIMESTAMP)`); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1736000000, 123456789).UTC()
+	_, err := c.Exec("INSERT INTO v (i, f, s, b, ts) VALUES (?, ?, ?, ?, ?)",
+		storage.Int(-42), storage.Float(2.75), storage.Str("héllo"),
+		storage.Bool(true), storage.Time(now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Exec("SELECT i, f, s, b, ts FROM v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if row[0].I != -42 || row[1].F != 2.75 || row[2].S != "héllo" || !row[3].B {
+		t.Fatalf("row: %+v", row)
+	}
+	if !row[4].T.Equal(now) {
+		t.Fatalf("timestamp: %v != %v", row[4].T, now)
+	}
+}
+
+func TestWireErrorCodesRoundTrip(t *testing.T) {
+	store := storage.Open(storage.Options{})
+	addr := startServer(t, store)
+	c := dialT(t, addr)
+	_, _ = c.Exec("CREATE TABLE u (id BIGINT PRIMARY KEY, email TEXT UNIQUE)")
+	_, _ = c.Exec("INSERT INTO u (email) VALUES ('x')")
+	_, err := c.Exec("INSERT INTO u (email) VALUES ('x')")
+	if !errors.Is(err, storage.ErrUniqueViolation) {
+		t.Fatalf("unique violation not reconstructed: %v", err)
+	}
+	_, err = c.Exec("SELECT * FROM missing")
+	if !errors.Is(err, storage.ErrNoSuchTable) {
+		t.Fatalf("no-such-table not reconstructed: %v", err)
+	}
+	_, err = c.Exec("COMMIT")
+	if err == nil {
+		t.Fatal("commit without begin should error")
+	}
+}
+
+func TestWireTransactionsArePerConnection(t *testing.T) {
+	store := storage.Open(storage.Options{})
+	addr := startServer(t, store)
+	c1 := dialT(t, addr)
+	c2 := dialT(t, addr)
+	_, _ = c1.Exec("CREATE TABLE kv (id BIGINT PRIMARY KEY, key TEXT)")
+
+	if _, err := c1.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Exec("INSERT INTO kv (key) VALUES ('uncommitted')"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c2.Exec("SELECT COUNT(*) FROM kv")
+	if err != nil || res.Rows[0][0].I != 0 {
+		t.Fatalf("dirty read across connections: %+v %v", res, err)
+	}
+	if _, err := c1.Exec("COMMIT"); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = c2.Exec("SELECT COUNT(*) FROM kv")
+	if res.Rows[0][0].I != 1 {
+		t.Fatal("commit invisible across connections")
+	}
+}
+
+func TestWireDroppedConnectionRollsBack(t *testing.T) {
+	store := storage.Open(storage.Options{})
+	addr := startServer(t, store)
+	c1 := dialT(t, addr)
+	_, _ = c1.Exec("CREATE TABLE kv (id BIGINT PRIMARY KEY, key TEXT)")
+
+	c2 := dialT(t, addr)
+	_, _ = c2.Exec("BEGIN")
+	_, _ = c2.Exec("INSERT INTO kv (key) VALUES ('doomed')")
+	c2.Close()
+
+	// The server rolls back asynchronously; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		res, err := c1.Exec("SELECT COUNT(*) FROM kv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rows[0][0].I == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("uncommitted insert survived disconnect: %d rows", res.Rows[0][0].I)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestWireConcurrentClients(t *testing.T) {
+	store := storage.Open(storage.Options{})
+	addr := startServer(t, store)
+	setup := dialT(t, addr)
+	if _, err := setup.Exec("CREATE TABLE kv (id BIGINT PRIMARY KEY, key TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	const clients, each = 8, 25
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < each; j++ {
+				if _, err := c.Exec("INSERT INTO kv (key) VALUES (?)", storage.Str("k")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	res, err := setup.Exec("SELECT COUNT(*) FROM kv")
+	if err != nil || res.Rows[0][0].I != clients*each {
+		t.Fatalf("count = %+v, %v", res, err)
+	}
+}
+
+func TestFrameCodec(t *testing.T) {
+	var buf bytes.Buffer
+	in := request{SQL: "SELECT 1 FROM t", Args: []wireValue{toWire(storage.Int(7))}}
+	if err := writeFrame(&buf, &in); err != nil {
+		t.Fatal(err)
+	}
+	var out request
+	if err := readFrame(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.SQL != in.SQL || len(out.Args) != 1 || fromWire(out.Args[0]).I != 7 {
+		t.Fatalf("round trip: %+v", out)
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // absurd length prefix
+	var out request
+	if err := readFrame(&buf, &out); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestWireValueNullRoundTrip(t *testing.T) {
+	w := toWire(storage.Null())
+	if v := fromWire(w); !v.IsNull() {
+		t.Fatal("NULL did not survive the wire")
+	}
+}
+
+func TestServerSurvivesGarbageFrames(t *testing.T) {
+	store := storage.Open(storage.Options{})
+	addr := startServer(t, store)
+	// Raw TCP: send a plausible length prefix followed by non-JSON bytes.
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = raw.Write([]byte{0, 0, 0, 4, 'j', 'u', 'n', 'k'})
+	raw.Close()
+	// Also a huge length prefix.
+	raw2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = raw2.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	raw2.Close()
+	// The server must still answer well-formed clients.
+	c := dialT(t, addr)
+	if _, err := c.Exec("SHOW TABLES"); err != nil {
+		t.Fatalf("server wedged after garbage: %v", err)
+	}
+}
+
+func TestClientAfterCloseErrors(t *testing.T) {
+	store := storage.Open(storage.Options{})
+	addr := startServer(t, store)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := c.Exec("SHOW TABLES"); err == nil {
+		t.Fatal("closed client accepted a statement")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal("double close should be nil")
+	}
+}
+
+func TestDialTimeoutFailsFast(t *testing.T) {
+	// 192.0.2.0/24 is TEST-NET; connection should not succeed.
+	start := time.Now()
+	_, err := DialTimeout("192.0.2.1:1", 50*time.Millisecond)
+	if err == nil {
+		t.Skip("unexpected connectivity to TEST-NET")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("dial timeout not honored: %v", time.Since(start))
+	}
+}

@@ -1,0 +1,210 @@
+// Package workload implements the key-choice distributions of the paper's
+// Section 5 experiments: uniform, YCSB's Zipfian (workloada, θ = 0.99), and
+// the LinkBench insert/update access distributions used as "actual
+// production" workloads (Facebook's MySQL social-graph traffic).
+//
+// Substitution note: the YCSB and LinkBench drivers are Java programs; only
+// their key-popularity distributions matter to the duplicate-count
+// experiments, so those distributions are implemented directly. The Zipfian
+// generator follows Gray et al.'s rejection-free construction (the same one
+// YCSB uses); the LinkBench generators follow the shape of its published id
+// access CDF: a power-law with medium skew for inserts and heavier skew plus
+// a hot set for updates.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Distribution names.
+const (
+	Uniform         = "uniform"
+	YCSBZipfian     = "ycsb"
+	LinkBenchInsert = "linkbench-insert"
+	LinkBenchUpdate = "linkbench-update"
+)
+
+// Generator produces keys in [0, N) under some popularity distribution.
+type Generator interface {
+	// Next returns the next key.
+	Next() int64
+	// N returns the key-space size.
+	N() int64
+	// Name returns the distribution name.
+	Name() string
+}
+
+// New constructs a named generator over n keys.
+func New(name string, n int64, seed int64) (Generator, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: key space must be positive, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch name {
+	case Uniform:
+		return &uniform{n: n, rng: rng}, nil
+	case YCSBZipfian:
+		return NewZipfian(n, 0.99, rng), nil
+	case LinkBenchInsert:
+		// Medium skew: most inserts target recent/popular nodes but the
+		// tail is fat; anomalies decay quickly with key-space size.
+		return NewZipfian(n, 0.6, rng), nil
+	case LinkBenchUpdate:
+		// Updates concentrate on popular nodes: heavier skew plus a small
+		// hot set absorbing a fixed fraction of traffic.
+		return &hotSet{
+			hotFraction:  0.1,
+			hotSetSize:   maxI64(1, n/100),
+			hot:          &uniform{n: maxI64(1, n/100), rng: rng},
+			cold:         NewZipfian(n, 0.8, rng),
+			rng:          rng,
+			nTotal:       n,
+			distribution: LinkBenchUpdate,
+		}, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown distribution %q", name)
+	}
+}
+
+// Names lists the supported distributions in the order Figure 3 plots them.
+func Names() []string {
+	return []string{Uniform, YCSBZipfian, LinkBenchInsert, LinkBenchUpdate}
+}
+
+type uniform struct {
+	n   int64
+	rng *rand.Rand
+}
+
+func (u *uniform) Next() int64 { return u.rng.Int63n(u.n) }
+func (u *uniform) N() int64    { return u.n }
+func (u *uniform) Name() string {
+	return Uniform
+}
+
+// Zipfian generates Zipf-distributed keys with parameter theta over [0, n),
+// using the Gray et al. quantile construction as in YCSB's
+// ZipfianGenerator. Key 0 is the most popular.
+type Zipfian struct {
+	n     int64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	half  float64 // 1 + 0.5^theta
+	rng   *rand.Rand
+}
+
+// NewZipfian builds a Zipfian generator (theta in (0, 1); YCSB uses 0.99).
+func NewZipfian(n int64, theta float64, rng *rand.Rand) *Zipfian {
+	z := &Zipfian{n: n, theta: theta, rng: rng}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	z.half = 1.0 + math.Pow(0.5, theta)
+	return z
+}
+
+func zeta(n int64, theta float64) float64 {
+	sum := 0.0
+	for i := int64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next implements Generator.
+func (z *Zipfian) Next() int64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < z.half {
+		return 1
+	}
+	return int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// N implements Generator.
+func (z *Zipfian) N() int64 { return z.n }
+
+// Name implements Generator.
+func (z *Zipfian) Name() string { return YCSBZipfian }
+
+// Theta returns the skew parameter.
+func (z *Zipfian) Theta() float64 { return z.theta }
+
+// hotSet routes a fixed fraction of traffic to a small uniform hot set and
+// the rest to a skewed cold distribution — the LinkBench update shape.
+type hotSet struct {
+	hotFraction  float64
+	hotSetSize   int64
+	hot          Generator
+	cold         Generator
+	rng          *rand.Rand
+	nTotal       int64
+	distribution string
+}
+
+func (h *hotSet) Next() int64 {
+	if h.rng.Float64() < h.hotFraction {
+		return h.hot.Next() % h.nTotal
+	}
+	k := h.cold.Next()
+	if k >= h.nTotal {
+		k = h.nTotal - 1
+	}
+	return k
+}
+
+func (h *hotSet) N() int64     { return h.nTotal }
+func (h *hotSet) Name() string { return h.distribution }
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Histogram counts draws per key over `draws` samples — used by tests and by
+// the experiment harness to sanity-check skew.
+func Histogram(g Generator, draws int) map[int64]int {
+	h := make(map[int64]int)
+	for i := 0; i < draws; i++ {
+		h[g.Next()]++
+	}
+	return h
+}
+
+// TopShare returns the fraction of draws landing on the k most popular keys
+// in a histogram.
+func TopShare(h map[int64]int, k int) float64 {
+	counts := make([]int, 0, len(h))
+	total := 0
+	for _, c := range h {
+		counts = append(counts, c)
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	// Selection of the k largest by simple partial sort (k is small).
+	for i := 0; i < k && i < len(counts); i++ {
+		maxJ := i
+		for j := i + 1; j < len(counts); j++ {
+			if counts[j] > counts[maxJ] {
+				maxJ = j
+			}
+		}
+		counts[i], counts[maxJ] = counts[maxJ], counts[i]
+	}
+	top := 0
+	for i := 0; i < k && i < len(counts); i++ {
+		top += counts[i]
+	}
+	return float64(top) / float64(total)
+}

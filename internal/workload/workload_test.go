@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsBadInputs(t *testing.T) {
+	if _, err := New(Uniform, 0, 1); err == nil {
+		t.Error("zero key space accepted")
+	}
+	if _, err := New("pareto-deluxe", 10, 1); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+}
+
+func TestAllGeneratorsStayInRange(t *testing.T) {
+	for _, name := range Names() {
+		for _, n := range []int64{1, 2, 10, 1000} {
+			g, err := New(name, n, 42)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", name, n, err)
+			}
+			if g.N() != n {
+				t.Fatalf("%s: N() = %d", name, g.N())
+			}
+			for i := 0; i < 2000; i++ {
+				k := g.Next()
+				if k < 0 || k >= n {
+					t.Fatalf("%s/%d produced out-of-range key %d", name, n, k)
+				}
+			}
+		}
+	}
+}
+
+func TestUniformIsRoughlyUniform(t *testing.T) {
+	g, _ := New(Uniform, 10, 7)
+	h := Histogram(g, 100000)
+	for k, c := range h {
+		if c < 8500 || c > 11500 {
+			t.Errorf("key %d drawn %d times (expected ~10000)", k, c)
+		}
+	}
+}
+
+func TestYCSBZipfianIsHighlySkewed(t *testing.T) {
+	// With theta = 0.99, YCSB has "one very hot key" (Section 5.2): the top
+	// key should absorb a large share of traffic even over 1000 keys.
+	g, _ := New(YCSBZipfian, 1000, 7)
+	h := Histogram(g, 100000)
+	top1 := TopShare(h, 1)
+	if top1 < 0.10 {
+		t.Errorf("hottest key share = %.3f, expected >= 0.10", top1)
+	}
+	top10 := TopShare(h, 10)
+	if top10 < 0.35 {
+		t.Errorf("top-10 share = %.3f, expected >= 0.35", top10)
+	}
+}
+
+func TestSkewOrderingAcrossDistributions(t *testing.T) {
+	// The paper's Figure 3 narrative: YCSB is the most contended, LinkBench
+	// less so, uniform least. Verify top-10 shares order that way.
+	const n, draws = 1000, 50000
+	shares := map[string]float64{}
+	for _, name := range Names() {
+		g, _ := New(name, n, 99)
+		shares[name] = TopShare(Histogram(g, draws), 10)
+	}
+	if !(shares[YCSBZipfian] > shares[LinkBenchUpdate]) {
+		t.Errorf("YCSB (%.3f) should be more skewed than LinkBench-Update (%.3f)",
+			shares[YCSBZipfian], shares[LinkBenchUpdate])
+	}
+	if !(shares[LinkBenchUpdate] > shares[LinkBenchInsert]) {
+		t.Errorf("LinkBench-Update (%.3f) should be more skewed than -Insert (%.3f)",
+			shares[LinkBenchUpdate], shares[LinkBenchInsert])
+	}
+	if !(shares[LinkBenchInsert] > shares[Uniform]) {
+		t.Errorf("LinkBench-Insert (%.3f) should be more skewed than uniform (%.3f)",
+			shares[LinkBenchInsert], shares[Uniform])
+	}
+}
+
+func TestZipfianZeroIsMostPopular(t *testing.T) {
+	g, _ := New(YCSBZipfian, 100, 3)
+	h := Histogram(g, 30000)
+	for k, c := range h {
+		if k != 0 && c > h[0] {
+			t.Fatalf("key %d (%d draws) beats key 0 (%d draws)", k, c, h[0])
+		}
+	}
+}
+
+func TestZipfianThetaControlsSkew(t *testing.T) {
+	mk := func(theta float64) float64 {
+		g := NewZipfian(1000, theta, newRng(5))
+		return TopShare(Histogram(g, 30000), 1)
+	}
+	if !(mk(0.99) > mk(0.6)) {
+		t.Error("higher theta should be more skewed")
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	for _, name := range Names() {
+		a, _ := New(name, 100, 1234)
+		b, _ := New(name, 100, 1234)
+		for i := 0; i < 100; i++ {
+			if a.Next() != b.Next() {
+				t.Fatalf("%s not deterministic under fixed seed", name)
+			}
+		}
+	}
+}
+
+func TestSingleKeySpaceAlwaysZero(t *testing.T) {
+	// Figure 3's leftmost point: one possible key.
+	for _, name := range Names() {
+		g, _ := New(name, 1, 9)
+		for i := 0; i < 100; i++ {
+			if g.Next() != 0 {
+				t.Fatalf("%s with n=1 produced nonzero key", name)
+			}
+		}
+	}
+}
+
+func TestZeta(t *testing.T) {
+	if math.Abs(zeta(1, 0.99)-1.0) > 1e-12 {
+		t.Error("zeta(1) != 1")
+	}
+	if zeta(100, 0.5) <= zeta(10, 0.5) {
+		t.Error("zeta should be increasing in n")
+	}
+}
+
+func TestQuickHistogramMass(t *testing.T) {
+	f := func(seed int64) bool {
+		g, err := New(YCSBZipfian, 50, seed)
+		if err != nil {
+			return false
+		}
+		h := Histogram(g, 500)
+		total := 0
+		for _, c := range h {
+			total += c
+		}
+		return total == 500
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopShareEdgeCases(t *testing.T) {
+	if TopShare(map[int64]int{}, 3) != 0 {
+		t.Error("empty histogram share should be 0")
+	}
+	if s := TopShare(map[int64]int{1: 5}, 10); s != 1 {
+		t.Errorf("single-key share = %f", s)
+	}
+}
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

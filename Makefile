@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: check test bench clean
+
+# check is the full gate: compile, vet, and the whole test suite under the
+# race detector (the plan cache and wire server are concurrency-critical).
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+test:
+	$(GO) test ./...
+
+# bench records the benchmark suite as a test2json event stream; BENCH_1.json
+# is the committed snapshot referenced by DESIGN.md.
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' -json . > BENCH_1.json
+
+clean:
+	rm -f feralbench

@@ -17,6 +17,7 @@ import (
 	"feralcc/internal/frameworks"
 	"feralcc/internal/iconfluence"
 	"feralcc/internal/railsscan"
+	"feralcc/internal/sqlexec"
 	"feralcc/internal/sqlfront"
 	"feralcc/internal/storage"
 	"feralcc/internal/wire"
@@ -359,13 +360,28 @@ func BenchmarkAblationWire(b *testing.B) {
 			}
 		}
 	})
-	b.Run("tcp", func(b *testing.B) {
-		srv := wire.NewServer(store, nil)
-		if err := srv.Listen("127.0.0.1:0"); err != nil {
+	b.Run("embedded-prepared", func(b *testing.B) {
+		conn := db.Wrap(store).Connect()
+		defer conn.Close()
+		stmt, err := conn.Prepare("SELECT COUNT(*) FROM kv")
+		if err != nil {
 			b.Fatal(err)
 		}
-		go srv.Serve()
-		defer srv.Close()
+		defer stmt.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := stmt.Exec(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	srv := wire.NewServer(store, nil)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+	b.Run("tcp", func(b *testing.B) {
 		client, err := wire.Dial(srv.Addr())
 		if err != nil {
 			b.Fatal(err)
@@ -374,6 +390,83 @@ func BenchmarkAblationWire(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := client.Exec("SELECT COUNT(*) FROM kv"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tcp-prepared", func(b *testing.B) {
+		client, err := wire.Dial(srv.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer client.Close()
+		stmt, err := client.Prepare("SELECT COUNT(*) FROM kv")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer stmt.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := stmt.Exec(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- The prepare/execute seam: what does skipping the parser buy? ---------------
+
+// BenchmarkPreparedVsParsed isolates the per-statement cost of the three
+// query paths that now exist: parse-per-call (the pre-refactor behavior,
+// still reachable via a raw sqlexec session), the SQL-text plan cache behind
+// Conn.Exec, and an explicit prepared statement handle.
+func BenchmarkPreparedVsParsed(b *testing.B) {
+	const q = "SELECT key FROM kv WHERE id = ?"
+	setup := func(b *testing.B) *db.DB {
+		d := db.Open(storage.Options{})
+		if err := d.ExecScript("CREATE TABLE kv (id BIGINT PRIMARY KEY, key TEXT)"); err != nil {
+			b.Fatal(err)
+		}
+		conn := d.Connect()
+		defer conn.Close()
+		for i := 0; i < 100; i++ {
+			if _, err := conn.Exec("INSERT INTO kv (key) VALUES (?)",
+				storage.Str(fmt.Sprintf("k%d", i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return d
+	}
+	b.Run("parsed", func(b *testing.B) {
+		sess := sqlexec.NewSession(setup(b).Store())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Exec(q, storage.Int(int64(i%100)+1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached-exec", func(b *testing.B) {
+		conn := setup(b).Connect()
+		defer conn.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := conn.Exec(q, storage.Int(int64(i%100)+1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepared", func(b *testing.B) {
+		conn := setup(b).Connect()
+		defer conn.Close()
+		stmt, err := conn.Prepare(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer stmt.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := stmt.Exec(storage.Int(int64(i%100) + 1)); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,0 +1,20 @@
+package db_test
+
+import (
+	"testing"
+
+	"feralcc/internal/db"
+	"feralcc/internal/db/conntest"
+	"feralcc/internal/storage"
+)
+
+// TestEmbeddedConnSuite runs the shared Conn behavioral suite against the
+// embedded connection. The wire client runs the identical suite in
+// internal/wire, which is what keeps the two implementations interchangeable.
+func TestEmbeddedConnSuite(t *testing.T) {
+	conntest.Run(t, func(t *testing.T) db.Conn {
+		conn := db.Open(storage.Options{}).Connect()
+		t.Cleanup(func() { conn.Close() })
+		return conn
+	})
+}

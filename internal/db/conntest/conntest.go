@@ -1,0 +1,140 @@
+// Package conntest is a behavioral test suite for db.Conn implementations.
+// The embedded connection and the wire client both run it, so the two sides
+// of the seam cannot drift: anything the ORM may assume about Exec/Prepare
+// semantics is pinned here once.
+package conntest
+
+import (
+	"testing"
+
+	"feralcc/internal/db"
+	"feralcc/internal/storage"
+)
+
+// Factory returns a connection to a fresh, empty database. Each invocation
+// must produce an isolated database (subtests create conflicting schemas).
+type Factory func(t *testing.T) db.Conn
+
+// Run exercises the Conn contract against the given factory.
+func Run(t *testing.T, factory Factory) {
+	t.Run("ExecBasic", func(t *testing.T) {
+		conn := factory(t)
+		mustExec(t, conn, "CREATE TABLE kv (id BIGINT PRIMARY KEY, key TEXT, value TEXT)")
+		res, err := conn.Exec("INSERT INTO kv (key, value) VALUES (?, ?)",
+			storage.Str("a"), storage.Str("1"))
+		if err != nil || res.RowsAffected != 1 || res.LastInsertID != 1 {
+			t.Fatalf("insert: %+v %v", res, err)
+		}
+		res, err = conn.Exec("SELECT value FROM kv WHERE key = ?", storage.Str("a"))
+		if err != nil || len(res.Rows) != 1 || res.Rows[0][0].S != "1" {
+			t.Fatalf("select: %+v %v", res, err)
+		}
+	})
+
+	t.Run("PrepareAndExecute", func(t *testing.T) {
+		conn := factory(t)
+		mustExec(t, conn, "CREATE TABLE kv (id BIGINT PRIMARY KEY, key TEXT)")
+		ins, err := conn.Prepare("INSERT INTO kv (key) VALUES (?)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ins.Close()
+		sel, err := conn.Prepare("SELECT COUNT(*) FROM kv WHERE key = ?")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sel.Close()
+		for i := 0; i < 10; i++ {
+			if _, err := ins.Exec(storage.Str("k")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := sel.Exec(storage.Str("k"))
+		if err != nil || res.Rows[0][0].I != 10 {
+			t.Fatalf("count: %+v %v", res, err)
+		}
+		// Re-binding different arguments must not leak earlier bindings.
+		res, err = sel.Exec(storage.Str("missing"))
+		if err != nil || res.Rows[0][0].I != 0 {
+			t.Fatalf("rebind: %+v %v", res, err)
+		}
+	})
+
+	t.Run("PreparedRespectsTransactions", func(t *testing.T) {
+		conn := factory(t)
+		mustExec(t, conn, "CREATE TABLE kv (id BIGINT PRIMARY KEY, key TEXT)")
+		ins, err := conn.Prepare("INSERT INTO kv (key) VALUES (?)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustExec(t, conn, "BEGIN")
+		if _, err := ins.Exec(storage.Str("doomed")); err != nil {
+			t.Fatal(err)
+		}
+		mustExec(t, conn, "ROLLBACK")
+		res, err := conn.Exec("SELECT COUNT(*) FROM kv")
+		if err != nil || res.Rows[0][0].I != 0 {
+			t.Fatalf("prepared insert escaped rollback: %+v %v", res, err)
+		}
+	})
+
+	t.Run("PreparedSurvivesDDL", func(t *testing.T) {
+		conn := factory(t)
+		mustExec(t, conn, "CREATE TABLE t (id BIGINT PRIMARY KEY, a TEXT)")
+		mustExec(t, conn, "INSERT INTO t (a) VALUES ('x')")
+		sel, err := conn.Prepare("SELECT * FROM t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sel.Exec()
+		if err != nil || len(res.Columns) != 2 {
+			t.Fatalf("before DDL: %+v %v", res, err)
+		}
+		// Replace the table with a different column set. The plan prepared
+		// above is now stale; executing it must observe the new schema, not
+		// the cached one.
+		mustExec(t, conn, "DROP TABLE t")
+		mustExec(t, conn, "CREATE TABLE t (id BIGINT PRIMARY KEY, a TEXT, b TEXT)")
+		mustExec(t, conn, "INSERT INTO t (a, b) VALUES ('y', 'z')")
+		res, err = sel.Exec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Columns) != 3 || len(res.Rows) != 1 || len(res.Rows[0]) != 3 {
+			t.Fatalf("stale plan executed after DDL: columns=%v rows=%v", res.Columns, res.Rows)
+		}
+	})
+
+	t.Run("PrepareParseError", func(t *testing.T) {
+		conn := factory(t)
+		if _, err := conn.Prepare("SELEKT garbage"); err == nil {
+			t.Fatal("prepare accepted garbage SQL")
+		}
+	})
+
+	t.Run("ClosedStmtErrors", func(t *testing.T) {
+		conn := factory(t)
+		mustExec(t, conn, "CREATE TABLE kv (id BIGINT PRIMARY KEY, key TEXT)")
+		st, err := conn.Prepare("SELECT COUNT(*) FROM kv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Exec(); err == nil {
+			t.Fatal("closed statement accepted execution")
+		}
+		// The connection itself must remain usable.
+		if _, err := conn.Exec("SELECT COUNT(*) FROM kv"); err != nil {
+			t.Fatalf("conn unusable after stmt close: %v", err)
+		}
+	})
+}
+
+func mustExec(t *testing.T, conn db.Conn, sql string) {
+	t.Helper()
+	if _, err := conn.Exec(sql); err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+}

@@ -21,32 +21,55 @@ type Result = sqlexec.Result
 // Conn is one logical database connection.
 type Conn interface {
 	// Exec parses and executes one SQL statement with `?` placeholders
-	// bound to args.
+	// bound to args. Implementations are expected to hit a plan cache, so
+	// repeated statements do not pay parse-and-plan cost each time.
 	Exec(sql string, args ...storage.Value) (*Result, error)
+	// Prepare parses and plans sql once, returning a statement handle for
+	// repeated execution. The handle is bound to this connection (it shares
+	// the connection's transaction state) and is invalidated transparently
+	// when DDL changes the schema: a stale plan is re-prepared, never run.
+	Prepare(sql string) (Stmt, error)
 	// Close releases the connection, rolling back any open transaction.
+	Close() error
+}
+
+// Stmt is a prepared statement bound to the connection that prepared it.
+// Like the Conn itself, a Stmt is safe for one goroutine at a time.
+type Stmt interface {
+	// Exec executes the prepared statement with args bound to its `?`
+	// placeholders.
+	Exec(args ...storage.Value) (*Result, error)
+	// Close releases the statement. Using a closed statement errors.
 	Close() error
 }
 
 // DB is a handle on an embedded database.
 type DB struct {
 	store *storage.Database
+	cache *sqlexec.PlanCache
 }
 
 // Open creates an empty embedded database.
 func Open(opts storage.Options) *DB {
-	return &DB{store: storage.Open(opts)}
+	return Wrap(storage.Open(opts))
 }
 
 // Wrap adapts an existing storage database.
-func Wrap(store *storage.Database) *DB { return &DB{store: store} }
+func Wrap(store *storage.Database) *DB {
+	return &DB{store: store, cache: sqlexec.NewPlanCache(0)}
+}
 
 // Store exposes the underlying storage engine (used by tests and by
 // experiment verification code that needs raw access).
 func (d *DB) Store() *storage.Database { return d.store }
 
-// Connect opens a new connection.
+// PlanCache exposes the shared plan cache (for stats and tests).
+func (d *DB) PlanCache() *sqlexec.PlanCache { return d.cache }
+
+// Connect opens a new connection. All connections of one DB share its plan
+// cache.
 func (d *DB) Connect() Conn {
-	return &embeddedConn{session: sqlexec.NewSession(d.store)}
+	return &embeddedConn{session: sqlexec.NewSession(d.store), cache: d.cache}
 }
 
 // ExecScript runs a semicolon-separated SQL script on a throwaway
@@ -71,7 +94,8 @@ func ExecScript(conn Conn, script string) error {
 	return nil
 }
 
-// splitScript splits a script on semicolons outside string literals.
+// splitScript splits a script on semicolons outside string literals,
+// discarding `--` line comments (also outside string literals).
 func splitScript(script string) ([]string, error) {
 	var out []string
 	var cur []byte
@@ -82,6 +106,14 @@ func splitScript(script string) ([]string, error) {
 		case c == '\'':
 			inString = !inString
 			cur = append(cur, c)
+		case c == '-' && !inString && i+1 < len(script) && script[i+1] == '-':
+			for i < len(script) && script[i] != '\n' {
+				i++
+			}
+			// The newline terminating the comment still separates tokens.
+			if i < len(script) {
+				cur = append(cur, '\n')
+			}
 		case c == ';' && !inString:
 			if s := trimSpace(string(cur)); s != "" {
 				out = append(out, s)
@@ -116,17 +148,38 @@ func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\
 type embeddedConn struct {
 	mu      sync.Mutex
 	session *sqlexec.Session
+	cache   *sqlexec.PlanCache
 	closed  bool
 }
 
-// Exec implements Conn.
+// Exec implements Conn. It is a cache-hitting fast path: the statement is
+// parsed and planned at most once per plan-cache lifetime, so existing
+// callers get prepared-statement performance without code changes.
 func (c *embeddedConn) Exec(sql string, args ...storage.Value) (*Result, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return nil, storage.ErrTxDone
 	}
-	return c.session.Exec(sql, args...)
+	p, err := c.cache.Get(c.session, sql)
+	if err != nil {
+		return nil, err
+	}
+	return c.session.ExecutePrepared(p, args...)
+}
+
+// Prepare implements Conn.
+func (c *embeddedConn) Prepare(sql string) (Stmt, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, storage.ErrTxDone
+	}
+	p, err := c.cache.Get(c.session, sql)
+	if err != nil {
+		return nil, err
+	}
+	return &embeddedStmt{conn: c, p: p}, nil
 }
 
 // Close implements Conn.
@@ -137,5 +190,37 @@ func (c *embeddedConn) Close() error {
 		c.session.Reset()
 		c.closed = true
 	}
+	return nil
+}
+
+// embeddedStmt is a prepared statement on an embedded connection.
+type embeddedStmt struct {
+	conn   *embeddedConn
+	p      *sqlexec.Prepared
+	closed bool
+}
+
+// Exec implements Stmt.
+func (st *embeddedStmt) Exec(args ...storage.Value) (*Result, error) {
+	st.conn.mu.Lock()
+	defer st.conn.mu.Unlock()
+	if st.closed || st.conn.closed {
+		return nil, storage.ErrTxDone
+	}
+	// Refresh locally so a DDL-invalidated plan is re-prepared once, not on
+	// every subsequent execution.
+	p, err := st.conn.session.Refreshed(st.p)
+	if err != nil {
+		return nil, err
+	}
+	st.p = p
+	return st.conn.session.ExecutePrepared(p, args...)
+}
+
+// Close implements Stmt.
+func (st *embeddedStmt) Close() error {
+	st.conn.mu.Lock()
+	defer st.conn.mu.Unlock()
+	st.closed = true
 	return nil
 }

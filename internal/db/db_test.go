@@ -81,6 +81,37 @@ func TestExecScript(t *testing.T) {
 	}
 }
 
+func TestExecScriptSkipsLineComments(t *testing.T) {
+	d := Open(storage.Options{})
+	script := `
+		-- schema for the comment test
+		CREATE TABLE a (id BIGINT PRIMARY KEY, s TEXT); -- trailing comment; with semicolons
+		INSERT INTO a (s) VALUES ('one'); -- INSERT INTO a (s) VALUES ('commented out');
+		INSERT INTO a (s) VALUES ('has -- inside literal');
+		-- INSERT INTO a (s) VALUES ('fully commented');
+	`
+	if err := d.ExecScript(script); err != nil {
+		t.Fatal(err)
+	}
+	conn := d.Connect()
+	defer conn.Close()
+	res, _ := conn.Exec("SELECT COUNT(*) FROM a")
+	if res.Rows[0][0].I != 2 {
+		t.Fatalf("comment handling inserted %v rows, want 2", res.Rows[0][0])
+	}
+	res, _ = conn.Exec("SELECT s FROM a ORDER BY id DESC LIMIT 1")
+	if res.Rows[0][0].S != "has -- inside literal" {
+		t.Fatalf("comment stripped inside string literal: %q", res.Rows[0][0].S)
+	}
+}
+
+func TestSplitScriptComments(t *testing.T) {
+	stmts, err := splitScript("SELECT 1 -- tail\n; -- whole line\nSELECT 2")
+	if err != nil || len(stmts) != 2 {
+		t.Fatalf("split: %q %v", stmts, err)
+	}
+}
+
 func TestWrapSharesStore(t *testing.T) {
 	store := storage.Open(storage.Options{})
 	d := Wrap(store)

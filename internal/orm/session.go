@@ -28,11 +28,37 @@ type Session struct {
 	// Save sleeps this long between validating and writing, and Destroy
 	// sleeps between collecting a feral cascade's children and deleting.
 	ThinkTime time.Duration
+	// stmts caches prepared statements by SQL text. The ORM renders the
+	// same statement shapes over and over (the validation probe, INSERT,
+	// UPDATE ... WHERE id = ?), so each is prepared once per session.
+	stmts map[string]db.Stmt
 }
+
+// maxSessionStmts bounds the per-session statement cache; statements beyond
+// it execute unprepared rather than growing the map without bound.
+const maxSessionStmts = 256
 
 // NewSession creates a session over conn.
 func NewSession(registry *Registry, conn db.Conn) *Session {
-	return &Session{registry: registry, conn: conn, clock: time.Now}
+	return &Session{registry: registry, conn: conn, clock: time.Now, stmts: make(map[string]db.Stmt)}
+}
+
+// exec runs sql through the session's prepared-statement cache: the first
+// use of a statement prepares it on the connection, subsequent uses execute
+// the retained handle.
+func (s *Session) exec(sql string, args ...storage.Value) (*db.Result, error) {
+	if st, ok := s.stmts[sql]; ok {
+		return st.Exec(args...)
+	}
+	if len(s.stmts) >= maxSessionStmts {
+		return s.conn.Exec(sql, args...)
+	}
+	st, err := s.conn.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	s.stmts[sql] = st
+	return st.Exec(args...)
 }
 
 // Registry returns the session's model registry.
@@ -211,7 +237,7 @@ func (s *Session) destroyTree(rec *Record) error {
 				}
 			}
 		case DependentDelete:
-			if _, err := s.conn.Exec(fmt.Sprintf(
+			if _, err := s.exec(fmt.Sprintf(
 				"DELETE FROM %s WHERE %s = ?", target.Table(), a.ForeignKey),
 				storage.Int(rec.id)); err != nil {
 				return err
@@ -223,7 +249,7 @@ func (s *Session) destroyTree(rec *Record) error {
 		// parent's deletion, in which concurrent child inserts are missed.
 		time.Sleep(s.ThinkTime)
 	}
-	if _, err := s.conn.Exec(fmt.Sprintf("DELETE FROM %s WHERE id = ?", rec.model.Table()),
+	if _, err := s.exec(fmt.Sprintf("DELETE FROM %s WHERE id = ?", rec.model.Table()),
 		storage.Int(rec.id)); err != nil {
 		return err
 	}
@@ -249,16 +275,16 @@ func (s *Session) TransactionAt(level string, fn func() error) error {
 	if level != "" {
 		begin = "BEGIN ISOLATION LEVEL " + level
 	}
-	if _, err := s.conn.Exec(begin); err != nil {
+	if _, err := s.exec(begin); err != nil {
 		return err
 	}
 	s.inTx = true
 	defer func() { s.inTx = false }()
 	if err := fn(); err != nil {
-		_, _ = s.conn.Exec("ROLLBACK")
+		_, _ = s.exec("ROLLBACK")
 		return err
 	}
-	_, err := s.conn.Exec("COMMIT")
+	_, err := s.exec("COMMIT")
 	return err
 }
 
@@ -281,7 +307,7 @@ func (s *Session) Lock(rec *Record) error {
 	if !rec.persisted {
 		return fmt.Errorf("%w: cannot lock unsaved %s", ErrNotPersisted, rec.model.Name)
 	}
-	res, err := s.conn.Exec(fmt.Sprintf(
+	res, err := s.exec(fmt.Sprintf(
 		"SELECT %s FROM %s WHERE id = ? FOR UPDATE", s.columnList(rec.model), rec.model.Table()),
 		storage.Int(rec.id))
 	if err != nil {
@@ -300,7 +326,7 @@ func (s *Session) Find(modelName string, id int64) (*Record, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.conn.Exec(fmt.Sprintf(
+	res, err := s.exec(fmt.Sprintf(
 		"SELECT %s FROM %s WHERE id = ? LIMIT 1", s.columnList(m), m.Table()), storage.Int(id))
 	if err != nil {
 		return nil, err
@@ -334,7 +360,7 @@ func (s *Session) Where(modelName, attr string, value storage.Value) ([]*Record,
 	if m.attr(attr) == nil && !strings.EqualFold(attr, "id") {
 		return nil, fmt.Errorf("%w: %s.%s", ErrUnknownAttr, modelName, attr)
 	}
-	res, err := s.conn.Exec(fmt.Sprintf(
+	res, err := s.exec(fmt.Sprintf(
 		"SELECT %s FROM %s WHERE %s = ?", s.columnList(m), m.Table(), attr), value)
 	if err != nil {
 		return nil, err
@@ -348,7 +374,7 @@ func (s *Session) All(modelName string) ([]*Record, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.conn.Exec(fmt.Sprintf("SELECT %s FROM %s ORDER BY id", s.columnList(m), m.Table()))
+	res, err := s.exec(fmt.Sprintf("SELECT %s FROM %s ORDER BY id", s.columnList(m), m.Table()))
 	if err != nil {
 		return nil, err
 	}
@@ -361,7 +387,7 @@ func (s *Session) Count(modelName string) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	res, err := s.conn.Exec(fmt.Sprintf("SELECT COUNT(*) FROM %s", m.Table()))
+	res, err := s.exec(fmt.Sprintf("SELECT COUNT(*) FROM %s", m.Table()))
 	if err != nil {
 		return 0, err
 	}
@@ -467,7 +493,7 @@ func (s *Session) performInsert(rec *Record) error {
 		sql = fmt.Sprintf("INSERT INTO %s (%s) VALUES (%s)",
 			m.Table(), strings.Join(cols, ", "), marks[:len(marks)-2])
 	}
-	res, err := s.conn.Exec(sql, args...)
+	res, err := s.exec(sql, args...)
 	if err != nil {
 		return err
 	}
@@ -503,7 +529,7 @@ func (s *Session) performUpdate(rec *Record) error {
 		args = append(args, storage.Int(rec.lockVersion))
 	}
 	sql := fmt.Sprintf("UPDATE %s SET %s WHERE %s", m.Table(), strings.Join(sets, ", "), where)
-	res, err := s.conn.Exec(sql, args...)
+	res, err := s.exec(sql, args...)
 	if err != nil {
 		return err
 	}

@@ -22,6 +22,17 @@ type ValidationContext struct {
 	OnDelete bool
 }
 
+// Exec runs a probe query. When the context has a Session, the statement
+// goes through its prepared-statement cache (the validation probes are the
+// hottest statements the ORM issues); otherwise it executes directly on the
+// connection.
+func (ctx *ValidationContext) Exec(sql string, args ...storage.Value) (*db.Result, error) {
+	if ctx.Session != nil {
+		return ctx.Session.exec(sql, args...)
+	}
+	return ctx.Conn.Exec(sql, args...)
+}
+
 // Validation is one declared correctness criterion. Fails appends messages.
 type Validation interface {
 	// Name returns the Rails-style validator name, e.g.
@@ -93,7 +104,7 @@ func (v *Presence) Validate(ctx *ValidationContext) (string, error) {
 			return "", err
 		}
 		// Appendix B.2: SELECT 1 FROM parents WHERE id = ? LIMIT 1.
-		res, err := ctx.Conn.Exec(
+		res, err := ctx.Exec(
 			fmt.Sprintf("SELECT 1 FROM %s WHERE id = ? LIMIT 1", target.Table()), ref)
 		if err != nil {
 			return "", err
@@ -154,7 +165,7 @@ func (v *Uniqueness) Validate(ctx *ValidationContext) (string, error) {
 	if v.CaseInsensitive && val.Kind == storage.KindString {
 		// No LOWER() in the engine's SQL dialect: fetch candidates and fold
 		// case client-side, as some Rails adapters effectively do.
-		all, qerr := ctx.Conn.Exec(fmt.Sprintf("SELECT id, %s FROM %s", v.Attr, table))
+		all, qerr := ctx.Exec(fmt.Sprintf("SELECT id, %s FROM %s", v.Attr, table))
 		if qerr != nil {
 			return "", qerr
 		}
@@ -177,7 +188,7 @@ func (v *Uniqueness) Validate(ctx *ValidationContext) (string, error) {
 			args = append(args, scopeVal)
 		}
 		query += " LIMIT 2"
-		res, err = ctx.Conn.Exec(query, args...)
+		res, err = ctx.Exec(query, args...)
 		if err != nil {
 			return "", err
 		}

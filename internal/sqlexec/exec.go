@@ -55,12 +55,20 @@ func (s *Session) Exec(sql string, args ...storage.Value) (*Result, error) {
 	return s.ExecStmt(stmt, args)
 }
 
-// ExecStmt executes a parsed statement.
+// ExecStmt executes a parsed statement through a transient plan (no schema
+// caching). Prepared execution goes through ExecutePrepared instead.
 func (s *Session) ExecStmt(stmt sqlfront.Statement, args []storage.Value) (*Result, error) {
-	if n := sqlfront.CountPlaceholders(stmt); n > len(args) {
-		return nil, fmt.Errorf("%w: %d placeholders, %d args", ErrUnboundPlaceholder, n, len(args))
+	return s.execPlan(&Prepared{stmt: stmt, nParams: sqlfront.CountPlaceholders(stmt)}, args)
+}
+
+// execPlan executes a plan: transaction control and DDL dispatch directly;
+// DML/query statements run through the plan's schema resolution inside the
+// open transaction, or autocommit.
+func (s *Session) execPlan(p *Prepared, args []storage.Value) (*Result, error) {
+	if p.nParams > len(args) {
+		return nil, fmt.Errorf("%w: %d placeholders, %d args", ErrUnboundPlaceholder, p.nParams, len(args))
 	}
-	switch t := stmt.(type) {
+	switch t := p.stmt.(type) {
 	case *sqlfront.BeginStmt:
 		if s.tx != nil {
 			return nil, ErrTxInProgress
@@ -110,17 +118,17 @@ func (s *Session) ExecStmt(stmt sqlfront.Statement, args []storage.Value) (*Resu
 	}
 	var res *Result
 	var err error
-	switch t := stmt.(type) {
+	switch t := p.stmt.(type) {
 	case *sqlfront.SelectStmt:
-		res, err = execSelect(tx, t, args)
+		res, err = execSelect(tx, p, t, args)
 	case *sqlfront.InsertStmt:
 		res, err = execInsert(tx, t, args)
 	case *sqlfront.UpdateStmt:
-		res, err = execUpdate(tx, t, args)
+		res, err = execUpdate(tx, p, t, args)
 	case *sqlfront.DeleteStmt:
-		res, err = execDelete(tx, t, args)
+		res, err = execDelete(tx, p, t, args)
 	default:
-		err = fmt.Errorf("sqlexec: unhandled statement %T", stmt)
+		err = fmt.Errorf("sqlexec: unhandled statement %T", p.stmt)
 	}
 	if auto {
 		if err != nil {
@@ -305,8 +313,8 @@ func pushdownFilter(schema *storage.Schema, alias string, where sqlfront.Expr,
 	return find(where)
 }
 
-func execUpdate(tx *storage.Tx, t *sqlfront.UpdateStmt, args []storage.Value) (*Result, error) {
-	sc, err := schemaOf(tx, t.Table)
+func execUpdate(tx *storage.Tx, p *Prepared, t *sqlfront.UpdateStmt, args []storage.Value) (*Result, error) {
+	sc, err := p.schemaFor(tx, t.Table)
 	if err != nil {
 		return nil, err
 	}
@@ -336,8 +344,8 @@ func execUpdate(tx *storage.Tx, t *sqlfront.UpdateStmt, args []storage.Value) (*
 	return res, nil
 }
 
-func execDelete(tx *storage.Tx, t *sqlfront.DeleteStmt, args []storage.Value) (*Result, error) {
-	sc, err := schemaOf(tx, t.Table)
+func execDelete(tx *storage.Tx, p *Prepared, t *sqlfront.DeleteStmt, args []storage.Value) (*Result, error) {
+	sc, err := p.schemaFor(tx, t.Table)
 	if err != nil {
 		return nil, err
 	}
@@ -422,15 +430,10 @@ func joinProbe(joinSchema *storage.Schema, joinName string, on sqlfront.Expr) (s
 	return find(on)
 }
 
-// schemaOf fetches the schema for a table via the transaction's database.
-func schemaOf(tx *storage.Tx, name string) (*storage.Schema, error) {
-	return tx.Database().Table(name)
-}
-
 // --- SELECT ------------------------------------------------------------------
 
-func execSelect(tx *storage.Tx, t *sqlfront.SelectStmt, args []storage.Value) (*Result, error) {
-	baseSchema, err := schemaOf(tx, t.From.Name)
+func execSelect(tx *storage.Tx, p *Prepared, t *sqlfront.SelectStmt, args []storage.Value) (*Result, error) {
+	baseSchema, err := p.schemaFor(tx, t.From.Name)
 	if err != nil {
 		return nil, err
 	}
@@ -463,7 +466,7 @@ func execSelect(tx *storage.Tx, t *sqlfront.SelectStmt, args []storage.Value) (*
 	// condition contains `joined.col = <expr over left row>` — which covers
 	// the appendix's orphan query, `U.department_id = D.id`).
 	for _, join := range t.Joins {
-		joinSchema, err := schemaOf(tx, join.Table.Name)
+		joinSchema, err := p.schemaFor(tx, join.Table.Name)
 		if err != nil {
 			return nil, err
 		}

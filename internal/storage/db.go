@@ -24,6 +24,11 @@ type Database struct {
 	clock uint64 // atomic: timestamp of the newest published commit
 	txSeq uint64 // atomic: transaction id allocator
 
+	// schemaEpoch counts catalog mutations (CREATE/DROP TABLE, CREATE INDEX,
+	// ADD FOREIGN KEY). Plan caches key their validity on it: a cached plan
+	// prepared at epoch E is stale once the epoch moves past E.
+	schemaEpoch uint64 // atomic
+
 	commitMu sync.Mutex // serializes commit validation + install
 
 	activeMu  sync.Mutex
@@ -65,6 +70,14 @@ func Open(opts Options) *Database {
 
 // Options returns the options the database was opened with.
 func (db *Database) Options() Options { return db.opts }
+
+// SchemaEpoch returns the current catalog version. It increases on every
+// successful DDL operation, so holders of schema-derived state (prepared
+// plans, cached schemas) can detect staleness with one atomic load.
+func (db *Database) SchemaEpoch() uint64 { return atomic.LoadUint64(&db.schemaEpoch) }
+
+// bumpSchemaEpoch marks the catalog as changed.
+func (db *Database) bumpSchemaEpoch() { atomic.AddUint64(&db.schemaEpoch, 1) }
 
 // CreateTable registers a new table. A unique index on the primary key
 // column is added implicitly. Foreign keys must reference existing tables
@@ -108,6 +121,7 @@ func (db *Database) CreateTable(schema *Schema) error {
 		parentLower := strings.ToLower(fk.ParentTable)
 		db.childFKs[parentLower] = append(db.childFKs[parentLower], fkEdge{childTable: lower, fk: fk})
 	}
+	db.bumpSchemaEpoch()
 	return nil
 }
 
@@ -130,6 +144,7 @@ func (db *Database) DropTable(name string) error {
 		}
 		db.childFKs[parent] = kept
 	}
+	db.bumpSchemaEpoch()
 	return nil
 }
 
@@ -165,6 +180,7 @@ func (db *Database) AddIndex(tableName, column string, unique bool) error {
 					t.schema.Indexes[i].Unique = true
 				}
 			}
+			db.bumpSchemaEpoch()
 			return db.checkExistingUniqueLocked(t, pos)
 		}
 		return nil
@@ -179,6 +195,7 @@ func (db *Database) AddIndex(tableName, column string, unique bool) error {
 	}
 	t.indexes[strings.ToLower(column)] = ix
 	t.schema.Indexes = append(t.schema.Indexes, spec)
+	db.bumpSchemaEpoch()
 	if unique {
 		return db.checkExistingUniqueLocked(t, pos)
 	}
@@ -268,6 +285,7 @@ func (db *Database) AddForeignKey(tableName, column, parentTable string, onDelet
 	parentLower := strings.ToLower(parent.schema.Name)
 	db.childFKs[parentLower] = append(db.childFKs[parentLower],
 		fkEdge{childTable: strings.ToLower(child.schema.Name), fk: fk})
+	db.bumpSchemaEpoch()
 	return nil
 }
 

@@ -12,12 +12,16 @@ import (
 
 // Client is a database connection over the wire protocol. It implements
 // db.Conn, so any code written against the embedded database runs unchanged
-// against a remote server.
+// against a remote server — including prepared statements, which map to
+// server-side statement handles.
 type Client struct {
 	mu     sync.Mutex
 	conn   net.Conn
 	r      *bufio.Reader
 	w      *bufio.Writer
+	// buf is reused for request encoding so the steady-state send path is
+	// allocation-free.
+	buf    []byte
 	closed bool
 }
 
@@ -40,33 +44,34 @@ func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
 }
 
-// Exec implements db.Conn.
-func (c *Client) Exec(sql string, args ...storage.Value) (*db.Result, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// roundTrip sends one request and reads its response. Caller holds c.mu.
+func (c *Client) roundTrip(req *request) (*response, error) {
 	if c.closed {
 		return nil, net.ErrClosed
 	}
-	req := request{SQL: sql}
-	if len(args) > 0 {
-		req.Args = make([]wireValue, len(args))
-		for i, a := range args {
-			req.Args[i] = toWire(a)
-		}
-	}
-	if err := writeFrame(c.w, &req); err != nil {
+	c.buf = encodeRequest(c.buf[:0], req)
+	if err := writeFrame(c.w, c.buf); err != nil {
 		return nil, err
 	}
 	if err := c.w.Flush(); err != nil {
 		return nil, err
 	}
-	var resp response
-	if err := readFrame(c.r, &resp); err != nil {
+	body, err := readFrame(c.r)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := decodeResponse(body)
+	if err != nil {
 		return nil, err
 	}
 	if resp.Code != CodeOK {
 		return nil, errorFor(resp.Code, resp.Error)
 	}
+	return resp, nil
+}
+
+// toResult converts a wire response into an executor result.
+func toResult(resp *response) *db.Result {
 	res := &db.Result{
 		Columns:      resp.Columns,
 		RowsAffected: resp.RowsAffected,
@@ -82,7 +87,42 @@ func (c *Client) Exec(sql string, args ...storage.Value) (*db.Result, error) {
 			res.Rows[i] = vals
 		}
 	}
-	return res, nil
+	return res
+}
+
+func toWireArgs(args []storage.Value) []wireValue {
+	if len(args) == 0 {
+		return nil
+	}
+	out := make([]wireValue, len(args))
+	for i, a := range args {
+		out[i] = toWire(a)
+	}
+	return out
+}
+
+// Exec implements db.Conn. Server-side, the statement hits the shared plan
+// cache, so repeated SQL is not re-parsed.
+func (c *Client) Exec(sql string, args ...storage.Value) (*db.Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.roundTrip(&request{Type: MsgExec, SQL: sql, Args: toWireArgs(args)})
+	if err != nil {
+		return nil, err
+	}
+	return toResult(resp), nil
+}
+
+// Prepare implements db.Conn: the statement is planned server-side once and
+// subsequent Execs ship only a handle and the arguments.
+func (c *Client) Prepare(sql string) (db.Stmt, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.roundTrip(&request{Type: MsgPrepare, SQL: sql})
+	if err != nil {
+		return nil, err
+	}
+	return &clientStmt{c: c, handle: resp.Handle}, nil
 }
 
 // Close implements db.Conn. The server rolls back any open transaction when
@@ -95,4 +135,38 @@ func (c *Client) Close() error {
 	}
 	c.closed = true
 	return c.conn.Close()
+}
+
+// clientStmt is a prepared statement backed by a server-side handle.
+type clientStmt struct {
+	c      *Client
+	handle uint64
+	closed bool
+}
+
+// Exec implements db.Stmt.
+func (st *clientStmt) Exec(args ...storage.Value) (*db.Result, error) {
+	st.c.mu.Lock()
+	defer st.c.mu.Unlock()
+	if st.closed {
+		return nil, net.ErrClosed
+	}
+	resp, err := st.c.roundTrip(&request{Type: MsgExecute, Handle: st.handle, Args: toWireArgs(args)})
+	if err != nil {
+		return nil, err
+	}
+	return toResult(resp), nil
+}
+
+// Close implements db.Stmt, releasing the server-side handle.
+func (st *clientStmt) Close() error {
+	st.c.mu.Lock()
+	defer st.c.mu.Unlock()
+	if st.closed || st.c.closed {
+		st.closed = true
+		return nil
+	}
+	st.closed = true
+	_, err := st.c.roundTrip(&request{Type: MsgCloseStmt, Handle: st.handle})
+	return err
 }

@@ -1,0 +1,351 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"feralcc/internal/storage"
+)
+
+// wireValue is the transport form of a storage.Value: a kind tag plus the
+// one field the kind uses. Kept as a struct (rather than encoding
+// storage.Value directly) so the codec round-trip is property-testable in
+// isolation from the storage package's invariants.
+type wireValue struct {
+	K uint8
+	I int64
+	F float64
+	S string
+	B bool
+	T int64 // UnixNano for timestamps
+}
+
+func toWire(v storage.Value) wireValue {
+	w := wireValue{K: uint8(v.Kind)}
+	switch v.Kind {
+	case storage.KindInt:
+		w.I = v.I
+	case storage.KindFloat:
+		w.F = v.F
+	case storage.KindString:
+		w.S = v.S
+	case storage.KindBool:
+		w.B = v.B
+	case storage.KindTime:
+		w.T = v.T.UnixNano()
+	}
+	return w
+}
+
+func fromWire(w wireValue) storage.Value {
+	switch storage.Kind(w.K) {
+	case storage.KindInt:
+		return storage.Int(w.I)
+	case storage.KindFloat:
+		return storage.Float(w.F)
+	case storage.KindString:
+		return storage.Str(w.S)
+	case storage.KindBool:
+		return storage.Bool(w.B)
+	case storage.KindTime:
+		return storage.Time(time.Unix(0, w.T).UTC())
+	default:
+		return storage.Null()
+	}
+}
+
+// --- primitive encoders -------------------------------------------------------
+
+// errTruncated reports a frame body shorter than its own encoding claims.
+var errTruncated = fmt.Errorf("wire: truncated frame body")
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendVarint(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// decoder walks a frame body with bounds checking. The first decode error
+// sticks; subsequent reads return zero values so call sites can decode a
+// whole message and check once.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = errTruncated
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil || d.off >= len(d.buf) {
+		d.fail()
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) string() string {
+	n := d.uvarint()
+	if d.err != nil || uint64(len(d.buf)-d.off) < n {
+		d.fail()
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+func (d *decoder) float() float64 {
+	if d.err != nil || d.off+8 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	bits := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return math.Float64frombits(bits)
+}
+
+// --- value codec --------------------------------------------------------------
+
+func appendValue(b []byte, w wireValue) []byte {
+	b = append(b, w.K)
+	switch storage.Kind(w.K) {
+	case storage.KindInt:
+		b = appendVarint(b, w.I)
+	case storage.KindFloat:
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(w.F))
+	case storage.KindString:
+		b = appendString(b, w.S)
+	case storage.KindBool:
+		if w.B {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	case storage.KindTime:
+		b = appendVarint(b, w.T)
+	}
+	return b
+}
+
+func (d *decoder) value() wireValue {
+	w := wireValue{K: d.byte()}
+	switch storage.Kind(w.K) {
+	case storage.KindInt:
+		w.I = d.varint()
+	case storage.KindFloat:
+		w.F = d.float()
+	case storage.KindString:
+		w.S = d.string()
+	case storage.KindBool:
+		w.B = d.byte() != 0
+	case storage.KindTime:
+		w.T = d.varint()
+	}
+	return w
+}
+
+func appendValues(b []byte, vals []wireValue) []byte {
+	b = appendUvarint(b, uint64(len(vals)))
+	for _, v := range vals {
+		b = appendValue(b, v)
+	}
+	return b
+}
+
+func (d *decoder) values() []wireValue {
+	n := d.uvarint()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	// Cap the eager allocation: a lying count cannot ask for more entries
+	// than one byte each of remaining body.
+	if n > uint64(len(d.buf)-d.off) {
+		d.fail()
+		return nil
+	}
+	vals := make([]wireValue, n)
+	for i := range vals {
+		vals[i] = d.value()
+	}
+	return vals
+}
+
+// --- message codec ------------------------------------------------------------
+
+func encodeRequest(b []byte, req *request) []byte {
+	b = append(b, byte(req.Type))
+	switch req.Type {
+	case MsgExec:
+		b = appendString(b, req.SQL)
+		b = appendValues(b, req.Args)
+	case MsgPrepare:
+		b = appendString(b, req.SQL)
+	case MsgExecute:
+		b = appendUvarint(b, req.Handle)
+		b = appendValues(b, req.Args)
+	case MsgCloseStmt:
+		b = appendUvarint(b, req.Handle)
+	}
+	return b
+}
+
+func decodeRequest(body []byte) (*request, error) {
+	d := &decoder{buf: body}
+	req := &request{Type: MsgType(d.byte())}
+	switch req.Type {
+	case MsgExec:
+		req.SQL = d.string()
+		req.Args = d.values()
+	case MsgPrepare:
+		req.SQL = d.string()
+	case MsgExecute:
+		req.Handle = d.uvarint()
+		req.Args = d.values()
+	case MsgCloseStmt:
+		req.Handle = d.uvarint()
+	default:
+		return nil, fmt.Errorf("wire: unknown message type %d", req.Type)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return req, nil
+}
+
+func encodeResponse(b []byte, resp *response) []byte {
+	b = append(b, byte(resp.Code))
+	if resp.Code != CodeOK {
+		return appendString(b, resp.Error)
+	}
+	b = appendUvarint(b, resp.Handle)
+	b = appendUvarint(b, uint64(resp.NumParams))
+	b = appendUvarint(b, uint64(len(resp.Columns)))
+	for _, c := range resp.Columns {
+		b = appendString(b, c)
+	}
+	b = appendUvarint(b, uint64(len(resp.Rows)))
+	for _, row := range resp.Rows {
+		b = appendValues(b, row)
+	}
+	b = appendVarint(b, resp.RowsAffected)
+	b = appendVarint(b, resp.LastInsertID)
+	return b
+}
+
+func decodeResponse(body []byte) (*response, error) {
+	d := &decoder{buf: body}
+	resp := &response{Code: ErrorCode(d.byte())}
+	if d.err == nil && resp.Code != CodeOK {
+		resp.Error = d.string()
+		if d.err != nil {
+			return nil, d.err
+		}
+		return resp, nil
+	}
+	resp.Handle = d.uvarint()
+	resp.NumParams = int(d.uvarint())
+	if ncols := d.uvarint(); ncols > 0 {
+		if ncols > uint64(len(d.buf)-d.off) {
+			d.fail()
+		} else {
+			resp.Columns = make([]string, ncols)
+			for i := range resp.Columns {
+				resp.Columns[i] = d.string()
+			}
+		}
+	}
+	if nrows := d.uvarint(); d.err == nil && nrows > 0 {
+		if nrows > uint64(len(d.buf)-d.off) {
+			d.fail()
+		} else {
+			resp.Rows = make([][]wireValue, nrows)
+			for i := range resp.Rows {
+				resp.Rows[i] = d.values()
+			}
+		}
+	}
+	resp.RowsAffected = d.varint()
+	resp.LastInsertID = d.varint()
+	if d.err != nil {
+		return nil, d.err
+	}
+	return resp, nil
+}
+
+// --- framing ------------------------------------------------------------------
+
+// writeFrame writes one length-prefixed frame. The size is validated before
+// any byte reaches the writer: an oversized body returns an error with
+// nothing written, leaving the stream in sync for subsequent frames.
+func writeFrame(w io.Writer, body []byte) error {
+	if len(body) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame reads one length-prefixed frame body.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}

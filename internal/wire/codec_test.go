@@ -1,0 +1,162 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"feralcc/internal/storage"
+)
+
+// TestErrorCodesBinaryRoundTrip pushes every non-OK ErrorCode through the
+// full binary path — encodeResponse, framing, decodeResponse, errorFor — and
+// asserts the reconstructed error still satisfies errors.Is for its sentinel.
+func TestErrorCodesBinaryRoundTrip(t *testing.T) {
+	sentinels := map[ErrorCode]error{
+		CodeUniqueViolation:     storage.ErrUniqueViolation,
+		CodeForeignKeyViolation: storage.ErrForeignKeyViolation,
+		CodeSerialization:       storage.ErrSerialization,
+		CodeLockTimeout:         storage.ErrLockTimeout,
+		CodeNoSuchTable:         storage.ErrNoSuchTable,
+		CodeNoSuchColumn:        storage.ErrNoSuchColumn,
+		CodeTxState:             storage.ErrTxDone,
+		CodeGeneric:             nil, // no sentinel; message must survive
+	}
+	for code, sentinel := range sentinels {
+		srcErr := errors.New("handler failure détail")
+		if sentinel != nil {
+			srcErr = fmt.Errorf("executing stmt: %w", sentinel)
+		}
+		if got := codeOf(srcErr); got != code {
+			t.Errorf("codeOf(%v) = %d, want %d", srcErr, got, code)
+			continue
+		}
+		var buf bytes.Buffer
+		body := encodeResponse(nil, &response{Code: code, Error: srcErr.Error()})
+		if err := writeFrame(&buf, body); err != nil {
+			t.Fatal(err)
+		}
+		frame, err := readFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := decodeResponse(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rebuilt := errorFor(resp.Code, resp.Error)
+		if sentinel != nil && !errors.Is(rebuilt, sentinel) {
+			t.Errorf("code %d: errors.Is lost across the wire: %v", code, rebuilt)
+		}
+		if sentinel == nil && rebuilt.Error() != srcErr.Error() {
+			t.Errorf("generic message mangled: %q", rebuilt.Error())
+		}
+	}
+	// codeOf must stay total: unmapped errors fall back to generic.
+	if codeOf(storage.ErrReadOnly) != CodeGeneric {
+		t.Error("unmapped sentinel not classified as generic")
+	}
+	if errorFor(CodeOK, "") != nil {
+		t.Error("CodeOK should reconstruct to nil")
+	}
+}
+
+// canonical builds a wireValue with only the field its kind uses populated,
+// which is exactly what the codec guarantees to reproduce.
+func canonical(kindSel uint8, i int64, f float64, s string, b bool, tnano int64) wireValue {
+	w := wireValue{K: kindSel % 6} // KindNull .. KindTime
+	switch storage.Kind(w.K) {
+	case storage.KindInt:
+		w.I = i
+	case storage.KindFloat:
+		w.F = f
+	case storage.KindString:
+		w.S = s
+	case storage.KindBool:
+		w.B = b
+	case storage.KindTime:
+		w.T = tnano
+	}
+	return w
+}
+
+// TestWireValueQuick property-tests the value codec: any canonical wireValue
+// — including Null, negative ints, and arbitrary timestamps — must decode to
+// itself, consuming exactly the bytes it wrote.
+func TestWireValueQuick(t *testing.T) {
+	prop := func(kindSel uint8, i int64, f float64, s string, b bool, tnano int64) bool {
+		in := canonical(kindSel, i, f, s, b, tnano)
+		buf := appendValue(nil, in)
+		d := &decoder{buf: buf}
+		out := d.value()
+		if d.err != nil || d.off != len(buf) {
+			return false
+		}
+		// Compare floats by bit pattern so NaN round-trips count as equal.
+		return out.K == in.K && out.I == in.I && out.S == in.S &&
+			out.B == in.B && out.T == in.T &&
+			math.Float64bits(out.F) == math.Float64bits(in.F)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWireValueSliceQuick covers the length-prefixed slice form used for
+// argument lists and rows.
+func TestWireValueSliceQuick(t *testing.T) {
+	prop := func(seeds []uint8, i int64, s string) bool {
+		in := make([]wireValue, len(seeds))
+		for idx, k := range seeds {
+			in[idx] = canonical(k, i+int64(idx), float64(idx)/3, s, idx%2 == 0, -i)
+		}
+		d := &decoder{buf: appendValues(nil, in)}
+		out := d.values()
+		if d.err != nil || len(out) != len(in) {
+			return false
+		}
+		for idx := range in {
+			if out[idx] != in[idx] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWireTimeZonesNormalize pins the timestamp contract: instants survive,
+// wall-clock zone does not (everything decodes as UTC).
+func TestWireTimeZonesNormalize(t *testing.T) {
+	zone := time.FixedZone("UTC+5:30", 5*3600+1800)
+	local := time.Unix(1736000000, 987654321).In(zone)
+	got := fromWire(toWire(storage.Time(local)))
+	if !got.T.Equal(local) {
+		t.Fatalf("instant lost: %v != %v", got.T, local)
+	}
+	if got.T.Location() != time.UTC {
+		t.Fatalf("decoded timestamp not UTC: %v", got.T.Location())
+	}
+}
+
+// TestDecoderRejectsTruncation fuzzes truncation: every proper prefix of a
+// valid request must decode to an error, never to a bogus request or a panic.
+func TestDecoderRejectsTruncation(t *testing.T) {
+	req := &request{Type: MsgExec, SQL: "SELECT x FROM t WHERE id = ?",
+		Args: []wireValue{toWire(storage.Int(-12345)), toWire(storage.Str("ü")), toWire(storage.Null())}}
+	full := encodeRequest(nil, req)
+	for n := 0; n < len(full); n++ {
+		if _, err := decodeRequest(full[:n]); err == nil {
+			t.Fatalf("truncated body of %d/%d bytes decoded cleanly", n, len(full))
+		}
+	}
+	if _, err := decodeRequest(full); err != nil {
+		t.Fatalf("full body failed: %v", err)
+	}
+}

@@ -3,24 +3,45 @@
 // live in separate processes — the deployment shape of the paper's
 // experiments (Rails workers on one machine, PostgreSQL on another).
 //
-// Framing: a 4-byte big-endian length followed by a JSON body. Each
-// connection is a session with its own transaction state; requests on one
-// connection are processed in order.
+// Framing: a 4-byte big-endian length followed by a binary body. The body's
+// first byte is the message type; the rest is a hand-rolled encoding using
+// unsigned varints for lengths and counts, zig-zag varints for signed
+// integers, and type-tagged values (see codec.go). Each connection is a
+// session with its own transaction state (and its own prepared-statement
+// handle table); requests on one connection are processed in order, one
+// response per request.
+//
+// Message types:
+//
+//	MsgExec      sql, args           — parse (via the server's plan cache) and run
+//	MsgPrepare   sql                 — plan once; response carries a statement handle
+//	MsgExecute   handle, args        — run a previously prepared statement
+//	MsgCloseStmt handle              — release a statement handle
 package wire
 
 import (
-	"encoding/binary"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
-	"time"
 
 	"feralcc/internal/storage"
 )
 
 // MaxFrame bounds a single protocol frame (16 MiB).
 const MaxFrame = 16 << 20
+
+// MsgType discriminates request frames.
+type MsgType uint8
+
+const (
+	// MsgExec executes one SQL string with bound arguments.
+	MsgExec MsgType = iota + 1
+	// MsgPrepare plans a statement server-side and returns a handle.
+	MsgPrepare
+	// MsgExecute runs a prepared statement by handle.
+	MsgExecute
+	// MsgCloseStmt releases a prepared-statement handle.
+	MsgCloseStmt
+)
 
 // ErrorCode identifies the error category, so clients can reconstruct
 // errors.Is-compatible sentinel errors across the wire.
@@ -86,97 +107,22 @@ func errorFor(code ErrorCode, msg string) error {
 	}
 }
 
-// wireValue is the JSON encoding of a storage.Value.
-type wireValue struct {
-	K uint8   `json:"k"`
-	I int64   `json:"i,omitempty"`
-	F float64 `json:"f,omitempty"`
-	S string  `json:"s,omitempty"`
-	B bool    `json:"b,omitempty"`
-	T int64   `json:"t,omitempty"` // UnixNano for timestamps
-}
-
-func toWire(v storage.Value) wireValue {
-	w := wireValue{K: uint8(v.Kind)}
-	switch v.Kind {
-	case storage.KindInt:
-		w.I = v.I
-	case storage.KindFloat:
-		w.F = v.F
-	case storage.KindString:
-		w.S = v.S
-	case storage.KindBool:
-		w.B = v.B
-	case storage.KindTime:
-		w.T = v.T.UnixNano()
-	}
-	return w
-}
-
-func fromWire(w wireValue) storage.Value {
-	switch storage.Kind(w.K) {
-	case storage.KindInt:
-		return storage.Int(w.I)
-	case storage.KindFloat:
-		return storage.Float(w.F)
-	case storage.KindString:
-		return storage.Str(w.S)
-	case storage.KindBool:
-		return storage.Bool(w.B)
-	case storage.KindTime:
-		return storage.Time(time.Unix(0, w.T).UTC())
-	default:
-		return storage.Null()
-	}
-}
-
 // request is one client->server message.
 type request struct {
-	SQL  string      `json:"sql"`
-	Args []wireValue `json:"args,omitempty"`
+	Type   MsgType
+	SQL    string      // MsgExec, MsgPrepare
+	Handle uint64      // MsgExecute, MsgCloseStmt
+	Args   []wireValue // MsgExec, MsgExecute
 }
 
 // response is one server->client message.
 type response struct {
-	Code         ErrorCode     `json:"code"`
-	Error        string        `json:"error,omitempty"`
-	Columns      []string      `json:"columns,omitempty"`
-	Rows         [][]wireValue `json:"rows,omitempty"`
-	RowsAffected int64         `json:"rows_affected,omitempty"`
-	LastInsertID int64         `json:"last_insert_id,omitempty"`
-}
-
-// writeFrame writes one length-prefixed JSON frame.
-func writeFrame(w io.Writer, v any) error {
-	body, err := json.Marshal(v)
-	if err != nil {
-		return err
-	}
-	if len(body) > MaxFrame {
-		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(body)
-	return err
-}
-
-// readFrame reads one length-prefixed JSON frame into v.
-func readFrame(r io.Reader, v any) error {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
-		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
-	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return err
-	}
-	return json.Unmarshal(body, v)
+	Code         ErrorCode
+	Error        string // set when Code != CodeOK
+	Handle       uint64 // set for MsgPrepare responses
+	NumParams    int    // set for MsgPrepare responses
+	Columns      []string
+	Rows         [][]wireValue
+	RowsAffected int64
+	LastInsertID int64
 }

@@ -3,6 +3,7 @@ package wire
 import (
 	"bufio"
 	"errors"
+	"fmt"
 	"io"
 	"log"
 	"net"
@@ -14,9 +15,12 @@ import (
 
 // Server serves the wire protocol over TCP on behalf of one database. Each
 // accepted connection gets its own session (and therefore its own
-// transaction state), matching one PostgreSQL backend per client.
+// transaction state and statement handles), matching one PostgreSQL backend
+// per client. All sessions share one plan cache, so a statement any client
+// has issued before executes without re-parsing.
 type Server struct {
 	store *storage.Database
+	cache *sqlexec.PlanCache
 	ln    net.Listener
 	logf  func(format string, args ...any)
 
@@ -31,7 +35,12 @@ func NewServer(store *storage.Database, logf func(string, ...any)) *Server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Server{store: store, logf: logf, conns: make(map[net.Conn]struct{})}
+	return &Server{
+		store: store,
+		cache: sqlexec.NewPlanCache(0),
+		logf:  logf,
+		conns: make(map[net.Conn]struct{}),
+	}
 }
 
 // Listen binds addr (e.g. "127.0.0.1:5442"). Use Addr to recover the chosen
@@ -108,45 +117,109 @@ func (s *Server) handle(conn net.Conn) {
 	session := sqlexec.NewSession(s.store)
 	defer session.Reset()
 
+	// Per-connection prepared-statement handle table. Handles are never
+	// reused within a connection; the table dies with it.
+	stmts := make(map[uint64]*sqlexec.Prepared)
+	var nextHandle uint64
+
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
+	// buf is reused across responses to keep the steady-state write path
+	// allocation-free.
+	var buf []byte
 	for {
-		var req request
-		if err := readFrame(r, &req); err != nil {
+		body, err := readFrame(r)
+		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !isConnReset(err) {
 				s.logf("wire: read: %v", err)
 			}
 			return
 		}
-		args := make([]storage.Value, len(req.Args))
-		for i, a := range req.Args {
-			args[i] = fromWire(a)
-		}
-		res, err := session.Exec(req.SQL, args...)
-		resp := response{Code: codeOf(err)}
+		req, err := decodeRequest(body)
 		if err != nil {
-			resp.Error = err.Error()
-		} else {
-			resp.Columns = res.Columns
-			resp.RowsAffected = res.RowsAffected
-			resp.LastInsertID = res.LastInsertID
-			if len(res.Rows) > 0 {
-				resp.Rows = make([][]wireValue, len(res.Rows))
-				for i, row := range res.Rows {
-					wr := make([]wireValue, len(row))
-					for j, v := range row {
-						wr[j] = toWire(v)
-					}
-					resp.Rows[i] = wr
-				}
-			}
+			// An undecodable frame means the stream is unframed garbage; no
+			// reply can be trusted to line up, so drop the connection.
+			s.logf("wire: decode: %v", err)
+			return
 		}
-		if err := writeFrame(w, &resp); err != nil {
+
+		var resp response
+		switch req.Type {
+		case MsgExec:
+			args := make([]storage.Value, len(req.Args))
+			for i, a := range req.Args {
+				args[i] = fromWire(a)
+			}
+			var res *sqlexec.Result
+			p, err := s.cache.Get(session, req.SQL)
+			if err == nil {
+				res, err = session.ExecutePrepared(p, args...)
+			}
+			fillResult(&resp, res, err)
+		case MsgPrepare:
+			p, err := s.cache.Get(session, req.SQL)
+			if err != nil {
+				fillResult(&resp, nil, err)
+				break
+			}
+			nextHandle++
+			stmts[nextHandle] = p
+			resp.Handle = nextHandle
+			resp.NumParams = p.NumParams()
+		case MsgExecute:
+			p, ok := stmts[req.Handle]
+			if !ok {
+				fillResult(&resp, nil, fmt.Errorf("wire: unknown statement handle %d", req.Handle))
+				break
+			}
+			// Refresh DDL-invalidated plans in the handle table so the
+			// re-parse happens once, not per execution.
+			if fresh, err := session.Refreshed(p); err != nil {
+				fillResult(&resp, nil, err)
+				break
+			} else if fresh != p {
+				stmts[req.Handle] = fresh
+				p = fresh
+			}
+			args := make([]storage.Value, len(req.Args))
+			for i, a := range req.Args {
+				args[i] = fromWire(a)
+			}
+			res, err := session.ExecutePrepared(p, args...)
+			fillResult(&resp, res, err)
+		case MsgCloseStmt:
+			delete(stmts, req.Handle)
+		}
+
+		buf = encodeResponse(buf[:0], &resp)
+		if err := writeFrame(w, buf); err != nil {
 			s.logf("wire: write: %v", err)
 			return
 		}
 		if err := w.Flush(); err != nil {
 			return
+		}
+	}
+}
+
+// fillResult populates a response from an execution outcome.
+func fillResult(resp *response, res *sqlexec.Result, err error) {
+	resp.Code = codeOf(err)
+	if err != nil {
+		resp.Error = err.Error()
+		return
+	}
+	resp.Columns = res.Columns
+	resp.RowsAffected = res.RowsAffected
+	resp.LastInsertID = res.LastInsertID
+	if len(res.Rows) > 0 {
+		resp.Rows = make([][]wireValue, len(res.Rows))
+		for i, row := range res.Rows {
+			wr := make([]wireValue, len(row))
+			for j, v := range row {
+				wr[j] = toWire(v)
+			}
+			resp.Rows[i] = wr
 		}
 	}
 }

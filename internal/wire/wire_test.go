@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"errors"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"feralcc/internal/db"
+	"feralcc/internal/db/conntest"
 	"feralcc/internal/storage"
 )
 
@@ -190,17 +193,30 @@ func TestWireConcurrentClients(t *testing.T) {
 	}
 }
 
+// TestWireConnSuite runs the shared db.Conn behavioral suite against the
+// wire client; the embedded connection runs the same suite in internal/db.
+func TestWireConnSuite(t *testing.T) {
+	conntest.Run(t, func(t *testing.T) db.Conn {
+		store := storage.Open(storage.Options{})
+		return dialT(t, startServer(t, store))
+	})
+}
+
 func TestFrameCodec(t *testing.T) {
 	var buf bytes.Buffer
-	in := request{SQL: "SELECT 1 FROM t", Args: []wireValue{toWire(storage.Int(7))}}
-	if err := writeFrame(&buf, &in); err != nil {
+	in := request{Type: MsgExec, SQL: "SELECT 1 FROM t", Args: []wireValue{toWire(storage.Int(7))}}
+	if err := writeFrame(&buf, encodeRequest(nil, &in)); err != nil {
 		t.Fatal(err)
 	}
-	var out request
-	if err := readFrame(&buf, &out); err != nil {
+	body, err := readFrame(&buf)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if out.SQL != in.SQL || len(out.Args) != 1 || fromWire(out.Args[0]).I != 7 {
+	out, err := decodeRequest(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != MsgExec || out.SQL != in.SQL || len(out.Args) != 1 || fromWire(out.Args[0]).I != 7 {
 		t.Fatalf("round trip: %+v", out)
 	}
 }
@@ -208,9 +224,43 @@ func TestFrameCodec(t *testing.T) {
 func TestFrameSizeLimit(t *testing.T) {
 	var buf bytes.Buffer
 	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // absurd length prefix
-	var out request
-	if err := readFrame(&buf, &out); err == nil {
+	if _, err := readFrame(&buf); err == nil {
 		t.Fatal("oversized frame accepted")
+	}
+}
+
+// TestWriteFrameRejectsOversizedBeforeHeader pins the write-path desync fix:
+// an oversized body must be rejected before any byte — header included — hits
+// the stream, so the connection stays usable for the next frame.
+func TestWriteFrameRejectsOversizedBeforeHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, make([]byte, MaxFrame+1)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("rejected frame leaked %d bytes onto the stream", buf.Len())
+	}
+	// A well-formed frame written afterwards must still round-trip.
+	if err := writeFrame(&buf, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	body, err := readFrame(&buf)
+	if err != nil || len(body) != 3 {
+		t.Fatalf("stream desynced after rejection: %v %v", body, err)
+	}
+}
+
+// TestClientSurvivesOversizedRequest drives the same guarantee end to end: a
+// request too large to frame fails locally without poisoning the connection.
+func TestClientSurvivesOversizedRequest(t *testing.T) {
+	store := storage.Open(storage.Options{})
+	c := dialT(t, startServer(t, store))
+	huge := "SELECT '" + strings.Repeat("x", MaxFrame+1) + "'"
+	if _, err := c.Exec(huge); err == nil {
+		t.Fatal("oversized request accepted")
+	}
+	if _, err := c.Exec("SHOW TABLES"); err != nil {
+		t.Fatalf("connection unusable after oversized request: %v", err)
 	}
 }
 

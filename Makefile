@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test bench clean
+.PHONY: check test bench chaos clean
 
 # check is the full gate: compile, vet, and the whole test suite under the
 # race detector (the plan cache and wire server are concurrency-critical).
@@ -11,6 +11,12 @@ check:
 
 test:
 	$(GO) test ./...
+
+# chaos replays the deterministic fault-injection suites under the race
+# detector: the db.Conn contract and the Figure-2 stress shape under each
+# fault class, all from fixed seeds (see internal/faultinject).
+chaos:
+	$(GO) test -race -count=1 -run Chaos ./internal/faultinject ./internal/wire
 
 # bench records the benchmark suite as a test2json event stream; BENCH_1.json
 # is the committed snapshot referenced by DESIGN.md.

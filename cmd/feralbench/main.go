@@ -17,14 +17,16 @@ import (
 	"time"
 
 	"feralcc/internal/core"
+	"feralcc/internal/faultinject"
 )
 
 func main() {
 	var (
-		which = flag.String("experiment", "all", "experiment id (table1,table2,fig1..fig7,safety,ssibug,frameworks,isolevels,all)")
-		quick = flag.Bool("quick", false, "scale experiment parameters down ~10x")
-		seed  = flag.Int64("seed", 2015, "corpus and workload seed")
-		think = flag.Duration("think", time.Millisecond, "simulated application-tier latency per request")
+		which  = flag.String("experiment", "all", "experiment id (table1,table2,fig1..fig7,safety,ssibug,frameworks,isolevels,all)")
+		quick  = flag.Bool("quick", false, "scale experiment parameters down ~10x")
+		seed   = flag.Int64("seed", 2015, "corpus and workload seed")
+		think  = flag.Duration("think", time.Millisecond, "simulated application-tier latency per request")
+		faults = flag.String("faults", "", "fault-injection spec applied to stress experiments, e.g. drop=0.01,latency=5ms (see internal/faultinject)")
 	)
 	flag.Parse()
 
@@ -32,6 +34,15 @@ func main() {
 	study.Seed = *seed
 	study.Quick = *quick
 	study.ThinkTime = *think
+	if *faults != "" {
+		spec, err := faultinject.ParseSpec(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "feralbench: %v\n", err)
+			os.Exit(2)
+		}
+		study.Faults = spec
+		fmt.Printf("fault injection armed: %s (seed %d, retries bounded)\n\n", spec, *seed)
+	}
 
 	ids := strings.Split(*which, ",")
 	if *which == "all" {

@@ -2,14 +2,23 @@
 // PostgreSQL role of the paper's two-machine deployment: run the application
 // tier in one process and this server in another.
 //
+// On SIGINT/SIGTERM the server drains gracefully: it stops accepting,
+// closes idle connections, and lets in-flight statements finish and respond
+// within -drain-timeout before force-closing what remains.
+//
 // Usage:
 //
 //	feraldbd -addr 127.0.0.1:5442 -isolation "READ COMMITTED"
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"feralcc/internal/storage"
 	"feralcc/internal/wire"
@@ -17,9 +26,10 @@ import (
 
 func main() {
 	var (
-		addr = flag.String("addr", "127.0.0.1:5442", "listen address")
-		iso  = flag.String("isolation", "READ COMMITTED", "default isolation level")
-		bug  = flag.Bool("phantom-bug", false, "emulate PostgreSQL BUG #11732 under SERIALIZABLE")
+		addr  = flag.String("addr", "127.0.0.1:5442", "listen address")
+		iso   = flag.String("isolation", "READ COMMITTED", "default isolation level")
+		bug   = flag.Bool("phantom-bug", false, "emulate PostgreSQL BUG #11732 under SERIALIZABLE")
+		drain = flag.Duration("drain-timeout", 10*time.Second, "how long a graceful shutdown waits for in-flight statements")
 	)
 	flag.Parse()
 	level, err := storage.ParseIsolationLevel(*iso)
@@ -28,7 +38,32 @@ func main() {
 	}
 	store := storage.Open(storage.Options{DefaultIsolation: level, PhantomBug: *bug})
 	log.Printf("feraldbd: default isolation %v, phantom bug %v", level, *bug)
-	if err := wire.ListenAndServe(store, *addr); err != nil {
+
+	srv := wire.NewServer(store, log.Printf)
+	if err := srv.Listen(*addr); err != nil {
 		log.Fatalf("feraldbd: %v", err)
+	}
+	log.Printf("feraldbd listening on %s", srv.Addr())
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			log.Fatalf("feraldbd: %v", err)
+		}
+	case sig := <-sigs:
+		log.Printf("feraldbd: %v received, draining (timeout %v)", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("feraldbd: drain incomplete: %v", err)
+		} else {
+			log.Printf("feraldbd: drained cleanly")
+		}
+		<-done
 	}
 }

@@ -1,6 +1,7 @@
 package appserver
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"feralcc/internal/orm"
 	"feralcc/internal/storage"
@@ -21,6 +23,11 @@ type Server struct {
 	mux  *http.ServeMux
 	http *http.Server
 	ln   net.Listener
+	// Timeout bounds each request end to end — the wait for a free worker
+	// plus every statement the worker issues (the deadline propagates from
+	// here through the ORM session and db connection into the engine's lock
+	// waits). Zero disables the bound. Set before Listen.
+	Timeout time.Duration
 }
 
 // NewServer builds the front end over a worker pool, exposing the two
@@ -71,8 +78,8 @@ func (s *Server) Close() {
 }
 
 // apiError maps handler failures onto HTTP statuses the way a Rails app
-// would: validation failures are 422, conflicts/serialization 409, the rest
-// 500.
+// would: validation failures are 422, conflicts/serialization 409, a full
+// worker pool 503, a spent request deadline 504, the rest 500.
 func apiError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
@@ -85,9 +92,23 @@ func apiError(w http.ResponseWriter, err error) {
 		status = http.StatusConflict
 	case errors.Is(err, orm.ErrRecordNotFound):
 		status = http.StatusNotFound
+	case errors.Is(err, ErrPoolSaturated):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, storage.ErrStmtDeadline),
+		errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
 	}
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// requestCtx derives the handler context: the client's own cancellation plus
+// the server's per-request timeout, if configured.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.Timeout > 0 {
+		return context.WithTimeout(r.Context(), s.Timeout)
+	}
+	return r.Context(), func() {}
 }
 
 func decodeBody(r *http.Request, into any) error {
@@ -110,7 +131,9 @@ func (s *Server) createEntry(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var id int64
-	err := s.pool.Do(func(wk *Worker) error {
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	err := s.pool.DoContext(ctx, func(wk *Worker) error {
 		rec, err := wk.Session.Create(body.Model, map[string]storage.Value{
 			"key":   storage.Str(body.Key),
 			"value": storage.Str(body.Value),
@@ -143,7 +166,9 @@ func (s *Server) createUser(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var id int64
-	err := s.pool.Do(func(wk *Worker) error {
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	err := s.pool.DoContext(ctx, func(wk *Worker) error {
 		rec, err := wk.Session.Create(body.Model, map[string]storage.Value{
 			body.FKAttr: storage.Int(body.DepartmentID),
 		})
@@ -174,7 +199,9 @@ func (s *Server) createDepartment(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	err := s.pool.Do(func(wk *Worker) error {
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	err := s.pool.DoContext(ctx, func(wk *Worker) error {
 		attrs := map[string]storage.Value{"name": storage.Str(body.Name)}
 		if body.ID > 0 {
 			attrs["id"] = storage.Int(body.ID)
@@ -201,7 +228,9 @@ func (s *Server) deleteDepartment(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	model := r.URL.Query().Get("model")
-	err = s.pool.Do(func(wk *Worker) error {
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	err = s.pool.DoContext(ctx, func(wk *Worker) error {
 		rec, err := wk.Session.Find(model, id)
 		if err != nil {
 			return err

@@ -7,11 +7,19 @@
 package appserver
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"feralcc/internal/db"
+	"feralcc/internal/faultinject"
 	"feralcc/internal/orm"
 )
+
+// ErrPoolSaturated reports that no worker freed up before the request's
+// context ended — the app-server analogue of a full Unicorn backlog.
+var ErrPoolSaturated = errors.New("appserver: no worker available before deadline")
 
 // Worker is one single-threaded application process: an ORM session over a
 // dedicated connection.
@@ -27,6 +35,7 @@ type Pool struct {
 	workers chan *Worker
 	size    int
 	conns   []db.Conn
+	inj     *faultinject.Injector
 }
 
 // NewPool builds a pool of size workers; each gets its own connection from
@@ -60,12 +69,44 @@ func (p *Pool) Configure(fn func(*Worker)) {
 	}
 }
 
+// SetInjector installs a fault injector consulted at worker checkout
+// (faultinject.PointWorker). Call while the pool is quiescent.
+func (p *Pool) SetInjector(in *faultinject.Injector) { p.inj = in }
+
 // Do checks out a worker, runs fn on it, and returns it. Blocks while all
 // workers are busy, exactly as a Unicorn master queues requests. The error
 // is fn's error.
 func (p *Pool) Do(fn func(*Worker) error) error {
-	w := <-p.workers
+	return p.DoContext(nil, fn)
+}
+
+// DoContext is Do bounded by ctx at both stages: the wait for a free worker
+// gives up with ErrPoolSaturated when ctx ends first, and the checked-out
+// worker's session inherits ctx for the duration of fn, so the request's
+// deadline rides every statement down to the engine's lock waits.
+func (p *Pool) DoContext(ctx context.Context, fn func(*Worker) error) error {
+	if f := p.inj.Eval(faultinject.PointWorker); f != nil {
+		if f.Kind == faultinject.KindLatency {
+			time.Sleep(f.Latency)
+		} else if err := f.Error(); err != nil {
+			return err
+		}
+	}
+	var w *Worker
+	if ctx == nil {
+		w = <-p.workers
+	} else {
+		select {
+		case w = <-p.workers:
+		case <-ctx.Done():
+			return fmt.Errorf("%w: %v", ErrPoolSaturated, ctx.Err())
+		}
+	}
 	defer func() { p.workers <- w }()
+	if ctx != nil {
+		w.Session.SetContext(ctx)
+		defer w.Session.SetContext(nil)
+	}
 	return fn(w)
 }
 

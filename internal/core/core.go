@@ -9,7 +9,9 @@ import (
 	"time"
 
 	"feralcc/internal/corpus"
+	"feralcc/internal/db"
 	"feralcc/internal/experiment"
+	"feralcc/internal/faultinject"
 	"feralcc/internal/frameworks"
 	"feralcc/internal/railsscan"
 )
@@ -23,6 +25,13 @@ type Study struct {
 	// ThinkTime is the simulated application-tier latency; see
 	// orm.Session.ThinkTime.
 	ThinkTime time.Duration
+	// Faults is an optional fault-injection spec (feralbench -faults) applied
+	// to the stress experiments' worker connections; see faultinject.ParseSpec.
+	Faults faultinject.Spec
+	// Retry is the workers' automatic retry policy when Faults is armed.
+	// Left zero, it defaults to a small bounded policy whenever Faults is
+	// non-empty, so injected failures degrade throughput instead of results.
+	Retry db.RetryPolicy
 
 	analysis *experiment.CorpusAnalysis
 }
@@ -56,6 +65,14 @@ func (s *Study) StressConfig() experiment.StressConfig {
 		cfg.Workers = []int{1, 4, 16, 64}
 		cfg.Rounds = 20
 		cfg.Concurrency = 32
+	}
+	if !s.Faults.Empty() {
+		cfg.Faults = s.Faults
+		cfg.FaultSeed = s.Seed
+		cfg.Retry = s.Retry
+		if !cfg.Retry.Enabled() {
+			cfg.Retry = db.RetryPolicy{MaxRetries: 5, Seed: uint64(s.Seed)}
+		}
 	}
 	return cfg
 }

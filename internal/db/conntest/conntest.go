@@ -5,7 +5,10 @@
 package conntest
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"feralcc/internal/db"
 	"feralcc/internal/storage"
@@ -128,6 +131,85 @@ func Run(t *testing.T, factory Factory) {
 		// The connection itself must remain usable.
 		if _, err := conn.Exec("SELECT COUNT(*) FROM kv"); err != nil {
 			t.Fatalf("conn unusable after stmt close: %v", err)
+		}
+	})
+
+	// Cancellation/deadline contract: a statement bounded by a context that
+	// is already done must not execute; one whose deadline expires must fail
+	// with a timeout-class error; and in both cases the session stays usable
+	// with any open transaction rolled back.
+	t.Run("ContextPreCancelled", func(t *testing.T) {
+		conn := factory(t)
+		mustExec(t, conn, "CREATE TABLE kv (id BIGINT PRIMARY KEY, key TEXT)")
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := conn.ExecContext(ctx, "INSERT INTO kv (key) VALUES ('x')"); err == nil {
+			t.Fatal("cancelled context executed a statement")
+		}
+		res, err := conn.Exec("SELECT COUNT(*) FROM kv")
+		if err != nil {
+			t.Fatalf("conn unusable after cancelled statement: %v", err)
+		}
+		if res.Rows[0][0].I != 0 {
+			t.Fatalf("statement executed despite pre-cancelled context: count=%d", res.Rows[0][0].I)
+		}
+	})
+
+	t.Run("ContextDeadlineExpired", func(t *testing.T) {
+		conn := factory(t)
+		mustExec(t, conn, "CREATE TABLE kv (id BIGINT PRIMARY KEY, key TEXT)")
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		defer cancel()
+		_, err := conn.ExecContext(ctx, "INSERT INTO kv (key) VALUES ('x')")
+		if err == nil {
+			t.Fatal("expired deadline executed a statement")
+		}
+		if !errors.Is(err, storage.ErrStmtDeadline) && !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("expired deadline surfaced as %v, want timeout class", err)
+		}
+		if !db.Transient(err) {
+			t.Fatalf("deadline error %v must classify as transient", err)
+		}
+		if db.Retryable(err) {
+			t.Fatalf("deadline error %v must not auto-retry (the caller's budget is spent)", err)
+		}
+	})
+
+	t.Run("CancelRollsBackOpenTx", func(t *testing.T) {
+		conn := factory(t)
+		mustExec(t, conn, "CREATE TABLE kv (id BIGINT PRIMARY KEY, key TEXT)")
+		mustExec(t, conn, "BEGIN")
+		mustExec(t, conn, "INSERT INTO kv (key) VALUES ('in-tx')")
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := conn.ExecContext(ctx, "INSERT INTO kv (key) VALUES ('cancelled')"); err == nil {
+			t.Fatal("cancelled context executed a statement inside a transaction")
+		}
+		// A failed statement aborts the open transaction (PostgreSQL-style),
+		// though a remote implementation may complete the rollback
+		// asynchronously; poll briefly for the rows to vanish.
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			res, err := conn.Exec("SELECT COUNT(*) FROM kv")
+			if err == nil && res.Rows[0][0].I == 0 {
+				break
+			}
+			// A COMMIT attempt must not resurrect the aborted transaction.
+			if err == nil && time.Now().After(deadline) {
+				t.Fatalf("open transaction not rolled back after cancel: %d rows visible", res.Rows[0][0].I)
+			}
+			if err != nil && time.Now().After(deadline) {
+				t.Fatalf("conn unusable after cancelled in-tx statement: %v", err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		// The session must be usable for a fresh transaction afterwards.
+		mustExec(t, conn, "BEGIN")
+		mustExec(t, conn, "INSERT INTO kv (key) VALUES ('fresh')")
+		mustExec(t, conn, "COMMIT")
+		res, err := conn.Exec("SELECT COUNT(*) FROM kv")
+		if err != nil || res.Rows[0][0].I != 1 {
+			t.Fatalf("fresh transaction after cancel: %+v %v", res, err)
 		}
 	})
 }

@@ -9,6 +9,7 @@
 package db
 
 import (
+	"context"
 	"sync"
 
 	"feralcc/internal/sqlexec"
@@ -24,6 +25,13 @@ type Conn interface {
 	// bound to args. Implementations are expected to hit a plan cache, so
 	// repeated statements do not pay parse-and-plan cost each time.
 	Exec(sql string, args ...storage.Value) (*Result, error)
+	// ExecContext is Exec bounded by ctx. A statement whose context is
+	// already done never starts; a context deadline becomes the statement's
+	// deadline, enforced down to engine lock waits (and, for remote
+	// connections, to the server's executor). A statement that fails on
+	// deadline or cancellation inside an explicit transaction aborts that
+	// transaction, but the connection itself stays usable.
+	ExecContext(ctx context.Context, sql string, args ...storage.Value) (*Result, error)
 	// Prepare parses and plans sql once, returning a statement handle for
 	// repeated execution. The handle is bound to this connection (it shares
 	// the connection's transaction state) and is invalidated transparently
@@ -39,6 +47,9 @@ type Stmt interface {
 	// Exec executes the prepared statement with args bound to its `?`
 	// placeholders.
 	Exec(args ...storage.Value) (*Result, error)
+	// ExecContext is Exec bounded by ctx, with the same deadline and
+	// cancellation semantics as Conn.ExecContext.
+	ExecContext(ctx context.Context, args ...storage.Value) (*Result, error)
 	// Close releases the statement. Using a closed statement errors.
 	Close() error
 }
@@ -168,6 +179,20 @@ func (c *embeddedConn) Exec(sql string, args ...storage.Value) (*Result, error) 
 	return c.session.ExecutePrepared(p, args...)
 }
 
+// ExecContext implements Conn.
+func (c *embeddedConn) ExecContext(ctx context.Context, sql string, args ...storage.Value) (*Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, storage.ErrTxDone
+	}
+	p, err := c.cache.Get(c.session, sql)
+	if err != nil {
+		return nil, err
+	}
+	return c.session.ExecutePreparedContext(ctx, p, args...)
+}
+
 // Prepare implements Conn.
 func (c *embeddedConn) Prepare(sql string) (Stmt, error) {
 	c.mu.Lock()
@@ -215,6 +240,21 @@ func (st *embeddedStmt) Exec(args ...storage.Value) (*Result, error) {
 	}
 	st.p = p
 	return st.conn.session.ExecutePrepared(p, args...)
+}
+
+// ExecContext implements Stmt.
+func (st *embeddedStmt) ExecContext(ctx context.Context, args ...storage.Value) (*Result, error) {
+	st.conn.mu.Lock()
+	defer st.conn.mu.Unlock()
+	if st.closed || st.conn.closed {
+		return nil, storage.ErrTxDone
+	}
+	p, err := st.conn.session.Refreshed(st.p)
+	if err != nil {
+		return nil, err
+	}
+	st.p = p
+	return st.conn.session.ExecutePreparedContext(ctx, p, args...)
 }
 
 // Close implements Stmt.

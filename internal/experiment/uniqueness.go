@@ -13,6 +13,7 @@ import (
 
 	"feralcc/internal/appserver"
 	"feralcc/internal/db"
+	"feralcc/internal/faultinject"
 	"feralcc/internal/storage"
 	"feralcc/internal/workload"
 )
@@ -63,6 +64,16 @@ type StressConfig struct {
 	// the race window to nanoseconds and hides the anomalies the paper
 	// measured against a real Rails stack.
 	ThinkTime time.Duration
+	// Faults, when non-empty, interposes the fault-injection layer in front
+	// of every worker connection (and arms the storage engine's commit/lock
+	// points for rules that name them), so the experiment runs under
+	// infrastructure failure. The injection draws derive from FaultSeed.
+	Faults    faultinject.Spec
+	FaultSeed int64
+	// Retry is the per-worker automatic retry policy (connection-level
+	// replay via db.Reliable plus ORM transaction retry). Zero disables
+	// retries — the bare configuration the paper measured.
+	Retry db.RetryPolicy
 }
 
 // DefaultStressConfig returns the paper's parameters.
@@ -120,11 +131,19 @@ func uniquenessStressCell(cfg StressConfig, workers int, variant UniquenessVaria
 // buildUniquenessStack assembles a fresh database, registry, migrations,
 // and worker pool for one uniqueness-experiment cell.
 func buildUniquenessStack(cfg StressConfig, workers int, variant UniquenessVariant) (*db.DB, *appserver.Pool, string, string, error) {
-	d := db.Open(storage.Options{
+	var inj *faultinject.Injector
+	opts := storage.Options{
 		DefaultIsolation: cfg.Isolation,
 		PhantomBug:       cfg.PhantomBug,
 		LockTimeout:      2 * time.Second,
-	})
+	}
+	if !cfg.Faults.Empty() {
+		inj = cfg.Faults.Injector(cfg.FaultSeed)
+		// Rules naming the engine's commit/lock points fire through the
+		// storage-side hook; connection-level rules fire through Wrap below.
+		opts.FaultHook = inj.EngineHook()
+	}
+	d := db.Open(opts)
 	registry, err := appserver.UniquenessModels()
 	if err != nil {
 		return nil, nil, "", "", err
@@ -144,11 +163,24 @@ func buildUniquenessStack(cfg StressConfig, workers int, variant UniquenessVaria
 			return nil, nil, "", "", err
 		}
 	}
-	pool, err := appserver.NewPool(workers, registry, func() db.Conn { return d.Connect() })
+	connect := func() db.Conn { return d.Connect() }
+	if inj != nil {
+		connect = func() db.Conn {
+			conn := faultinject.Wrap(d.Connect(), inj)
+			if cfg.Retry.Enabled() {
+				conn = db.Reliable(conn, cfg.Retry)
+			}
+			return conn
+		}
+	}
+	pool, err := appserver.NewPool(workers, registry, connect)
 	if err != nil {
 		return nil, nil, "", "", err
 	}
-	pool.Configure(func(w *appserver.Worker) { w.Session.ThinkTime = cfg.ThinkTime })
+	pool.Configure(func(w *appserver.Worker) {
+		w.Session.ThinkTime = cfg.ThinkTime
+		w.Session.Retry = cfg.Retry
+	})
 	return d, pool, table, model, nil
 }
 

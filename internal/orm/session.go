@@ -1,6 +1,7 @@
 package orm
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -28,6 +29,20 @@ type Session struct {
 	// Save sleeps this long between validating and writing, and Destroy
 	// sleeps between collecting a feral cascade's children and deleting.
 	ThinkTime time.Duration
+	// Retry bounds automatic re-execution of the transactions Save, Destroy
+	// and Valid open implicitly when they fail retryably (serialization
+	// abort, deadlock victim, dropped connection). The zero value disables
+	// retries, preserving the bare feral behavior the experiments measure;
+	// arming it is the systematic version of the ad-hoc rescue/retry loops
+	// the paper found hand-rolled in its corpus. Explicit Transaction blocks
+	// are never retried automatically: their closures' side effects are the
+	// caller's to re-run.
+	Retry db.RetryPolicy
+	// retries counts transactions re-attempted under Retry.
+	retries uint64
+	// ctx, when set via SetContext, bounds every statement the session
+	// issues (deadline propagation down to engine lock waits).
+	ctx context.Context
 	// stmts caches prepared statements by SQL text. The ORM renders the
 	// same statement shapes over and over (the validation probe, INSERT,
 	// UPDATE ... WHERE id = ?), so each is prepared once per session.
@@ -43,14 +58,28 @@ func NewSession(registry *Registry, conn db.Conn) *Session {
 	return &Session{registry: registry, conn: conn, clock: time.Now, stmts: make(map[string]db.Stmt)}
 }
 
+// SetContext bounds every subsequent statement of the session by ctx: its
+// deadline becomes each statement's deadline, enforced down to engine lock
+// waits (and across the wire for remote connections). Pass nil to clear.
+func (s *Session) SetContext(ctx context.Context) { s.ctx = ctx }
+
+// Context returns the session's current statement context (may be nil).
+func (s *Session) Context() context.Context { return s.ctx }
+
+// Retries returns the number of transactions re-attempted under Retry.
+func (s *Session) Retries() uint64 { return s.retries }
+
 // exec runs sql through the session's prepared-statement cache: the first
 // use of a statement prepares it on the connection, subsequent uses execute
 // the retained handle.
 func (s *Session) exec(sql string, args ...storage.Value) (*db.Result, error) {
 	if st, ok := s.stmts[sql]; ok {
-		return st.Exec(args...)
+		return s.execStmt(st, args)
 	}
 	if len(s.stmts) >= maxSessionStmts {
+		if s.ctx != nil {
+			return s.conn.ExecContext(s.ctx, sql, args...)
+		}
 		return s.conn.Exec(sql, args...)
 	}
 	st, err := s.conn.Prepare(sql)
@@ -58,6 +87,13 @@ func (s *Session) exec(sql string, args ...storage.Value) (*db.Result, error) {
 		return nil, err
 	}
 	s.stmts[sql] = st
+	return s.execStmt(st, args)
+}
+
+func (s *Session) execStmt(st db.Stmt, args []storage.Value) (*db.Result, error) {
+	if s.ctx != nil {
+		return st.ExecContext(s.ctx, args...)
+	}
 	return st.Exec(args...)
 }
 
@@ -168,7 +204,12 @@ func (s *Session) Create(modelName string, attrs map[string]storage.Value) (*Rec
 // update the row, then commit. Validation failures roll back and return a
 // *ValidationError wrapping ErrRecordInvalid.
 func (s *Session) Save(rec *Record) error {
+	// Snapshot the record's identity so a retried transaction (whose first
+	// attempt may have set persisted/id before its COMMIT aborted) replays
+	// from the same starting state.
+	persisted, id, lockVersion := rec.persisted, rec.id, rec.lockVersion
 	return s.withTx(func() error {
+		rec.persisted, rec.id, rec.lockVersion = persisted, id, lockVersion
 		if err := s.runValidations(rec, false); err != nil {
 			return err
 		}
@@ -207,7 +248,10 @@ func (s *Session) Destroy(rec *Record) error {
 	if !rec.persisted {
 		return fmt.Errorf("%w: cannot destroy unsaved %s", ErrNotPersisted, rec.model.Name)
 	}
-	return s.withTx(func() error { return s.destroyTree(rec) })
+	return s.withTx(func() error {
+		rec.persisted = true
+		return s.destroyTree(rec)
+	})
 }
 
 func (s *Session) destroyTree(rec *Record) error {
@@ -289,12 +333,25 @@ func (s *Session) TransactionAt(level string, fn func() error) error {
 }
 
 // withTx wraps fn in a transaction unless one is already open (validations
-// and writes of a save share one transaction either way).
+// and writes of a save share one transaction either way). When the session
+// opened the transaction itself and it fails retryably, the whole body is
+// re-run under the Retry policy — safe because Save and Destroy restore
+// their record's pre-attempt state at the top of fn. A transaction the
+// caller opened is never retried here: only the caller can re-run its body.
 func (s *Session) withTx(fn func() error) error {
 	if s.inTx {
 		return fn()
 	}
-	return s.Transaction(fn)
+	err := s.Transaction(fn)
+	for attempt := 1; err != nil && db.Retryable(err) && s.Retry.Enabled() && attempt <= s.Retry.MaxRetries; attempt++ {
+		if s.ctx != nil && s.ctx.Err() != nil {
+			break
+		}
+		time.Sleep(s.Retry.Backoff(attempt))
+		s.retries++
+		err = s.Transaction(fn)
+	}
+	return err
 }
 
 // Lock takes a pessimistic row lock on the record (Rails lock!), re-reading

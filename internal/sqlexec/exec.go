@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"feralcc/internal/sqlfront"
 	"feralcc/internal/storage"
@@ -26,6 +27,9 @@ type Result struct {
 type Session struct {
 	db *storage.Database
 	tx *storage.Tx
+	// stmtDeadline bounds the statement currently executing (zero = none);
+	// set by ExecutePreparedContext from the caller's context deadline.
+	stmtDeadline time.Time
 }
 
 // NewSession creates a session on db.
@@ -115,6 +119,10 @@ func (s *Session) execPlan(p *Prepared, args []storage.Value) (*Result, error) {
 	if tx == nil {
 		tx = s.db.BeginDefault()
 		auto = true
+	}
+	if !s.stmtDeadline.IsZero() {
+		tx.SetStmtDeadline(s.stmtDeadline)
+		defer tx.SetStmtDeadline(time.Time{})
 	}
 	var res *Result
 	var err error

@@ -2,9 +2,13 @@ package sqlexec
 
 import (
 	"container/list"
+	"context"
+	"errors"
+	"fmt"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"feralcc/internal/sqlfront"
 	"feralcc/internal/storage"
@@ -79,6 +83,42 @@ func (s *Session) ExecutePrepared(p *Prepared, args ...storage.Value) (*Result, 
 		return nil, err
 	}
 	return s.execPlan(p, args)
+}
+
+// ExecutePreparedContext is ExecutePrepared bounded by ctx: a statement whose
+// context is already done never starts, and a context deadline becomes the
+// statement deadline of the executing transaction, so lock waits give up with
+// storage.ErrStmtDeadline when the caller's budget runs out.
+func (s *Session) ExecutePreparedContext(ctx context.Context, p *Prepared, args ...storage.Value) (*Result, error) {
+	if ctx == nil {
+		return s.ExecutePrepared(p, args...)
+	}
+	if err := ctx.Err(); err != nil {
+		// The statement fails without executing, but it still fails *as a
+		// statement*: inside an explicit transaction that aborts the
+		// transaction, matching the engine's PostgreSQL-style semantics. The
+		// wire server relies on this to discard a cancelled client's open tx.
+		if s.tx != nil {
+			s.tx.Rollback()
+			s.tx = nil
+		}
+		return nil, ctxStatementErr(err)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		s.stmtDeadline = dl
+		defer func() { s.stmtDeadline = time.Time{} }()
+	}
+	return s.ExecutePrepared(p, args...)
+}
+
+// ctxStatementErr maps a context error onto the engine's taxonomy: deadline
+// expiry is a statement timeout, cancellation passes through (wrapped so it
+// still satisfies errors.Is(err, context.Canceled)).
+func ctxStatementErr(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %v", storage.ErrStmtDeadline, err)
+	}
+	return fmt.Errorf("sqlexec: statement aborted: %w", err)
 }
 
 // schemaFor resolves a table schema, preferring the plan's cached resolution

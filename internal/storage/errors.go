@@ -35,6 +35,11 @@ var (
 	ErrTxDone = errors.New("storage: transaction has already finished")
 	// ErrNoSuchRow reports an update or delete of a missing row id.
 	ErrNoSuchRow = errors.New("storage: no such row")
+	// ErrStmtDeadline reports that a statement exceeded its deadline (set
+	// from a caller's context and propagated down to lock waits). Distinct
+	// from ErrLockTimeout: that is the engine's deadlock verdict, this is the
+	// caller's budget running out.
+	ErrStmtDeadline = errors.New("storage: statement deadline exceeded")
 	// ErrReadOnly reports a write inside a read-only transaction.
 	ErrReadOnly = errors.New("storage: read-only transaction")
 )

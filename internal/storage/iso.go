@@ -131,6 +131,13 @@ type Options struct {
 	PhantomBug bool
 	// PredicateLocks selects the Serializable2PL predicate-lock granularity.
 	PredicateLocks PredicateGranularity
+	// FaultHook, when non-nil, is consulted at named engine fault points —
+	// "commit" (before commit validation) and "lock" (before a row or
+	// predicate lock acquisition). A non-nil return aborts the operation with
+	// that error; the hook may also sleep to inject latency. This is the
+	// storage half of the internal/faultinject seam, declared here as a bare
+	// func so the engine does not depend on the injector package.
+	FaultHook func(op string) error
 }
 
 // withDefaults fills unset options.

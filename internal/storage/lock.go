@@ -108,6 +108,27 @@ func newLockManager(timeout time.Duration) *lockManager {
 // until compatible or until the timeout elapses, in which case it returns
 // ErrLockTimeout. Re-acquiring an already-subsumed mode is a no-op.
 func (lm *lockManager) Acquire(owner uint64, key string, mode LockMode) error {
+	return lm.acquire(owner, key, mode, time.Time{})
+}
+
+// AcquireUntil is Acquire with a statement deadline layered on the default
+// lock timeout: whichever bound is nearer wins, and deadline expiry returns
+// ErrStmtDeadline (the caller's budget ran out) rather than ErrLockTimeout
+// (the engine's deadlock verdict).
+func (lm *lockManager) AcquireUntil(owner uint64, key string, mode LockMode, deadline time.Time) error {
+	return lm.acquire(owner, key, mode, deadline)
+}
+
+func (lm *lockManager) acquire(owner uint64, key string, mode LockMode, deadline time.Time) error {
+	wait, timeoutErr := lm.timeout, ErrLockTimeout
+	if !deadline.IsZero() {
+		if until := time.Until(deadline); until < wait {
+			wait, timeoutErr = until, ErrStmtDeadline
+		}
+	}
+	if wait <= 0 {
+		return ErrStmtDeadline
+	}
 	lm.mu.Lock()
 	e := lm.entries[key]
 	if e == nil {
@@ -137,7 +158,7 @@ func (lm *lockManager) Acquire(owner uint64, key string, mode LockMode) error {
 	}
 	lm.mu.Unlock()
 
-	timer := time.NewTimer(lm.timeout)
+	timer := time.NewTimer(wait)
 	defer timer.Stop()
 	select {
 	case <-w.granted:
@@ -156,7 +177,7 @@ func (lm *lockManager) Acquire(owner uint64, key string, mode LockMode) error {
 			}
 		}
 		lm.promoteLocked(key, e)
-		return ErrLockTimeout
+		return timeoutErr
 	}
 }
 

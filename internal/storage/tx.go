@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync/atomic"
+	"time"
 )
 
 // writeOp distinguishes buffered write kinds.
@@ -45,6 +46,11 @@ type Tx struct {
 	readPreds map[string]struct{}
 
 	tookLocks bool
+
+	// stmtDeadline bounds the currently executing statement (zero = none).
+	// Set from the caller's context deadline; lock waits respect it and
+	// expiry surfaces as ErrStmtDeadline.
+	stmtDeadline time.Time
 }
 
 // ID returns the transaction's unique id.
@@ -103,10 +109,24 @@ func (tx *Tx) notePredRead(key string) {
 	tx.readPreds[key] = struct{}{}
 }
 
+// SetStmtDeadline bounds the next statement(s) run in this transaction: lock
+// waits stop at the deadline with ErrStmtDeadline instead of waiting out the
+// full lock timeout. A zero time clears the bound.
+func (tx *Tx) SetStmtDeadline(t time.Time) { tx.stmtDeadline = t }
+
 // lock acquires a lock for this transaction, remembering that cleanup is
-// needed at finish.
+// needed at finish. The engine fault hook fires first, so chaos tests can
+// nominate this transaction as a deadlock victim deterministically.
 func (tx *Tx) lock(key string, mode LockMode) error {
+	if hook := tx.db.opts.FaultHook; hook != nil {
+		if err := hook("lock"); err != nil {
+			return err
+		}
+	}
 	tx.tookLocks = true
+	if !tx.stmtDeadline.IsZero() {
+		return tx.db.locks.AcquireUntil(tx.id, key, mode, tx.stmtDeadline)
+	}
 	return tx.db.locks.Acquire(tx.id, key, mode)
 }
 
@@ -554,6 +574,16 @@ func (tx *Tx) Commit() error {
 		return err
 	}
 	db := tx.db
+	if hook := db.opts.FaultHook; hook != nil {
+		// The commit fault point: a forced serialization abort here takes the
+		// same path a first-committer-wins conflict would.
+		if err := hook("commit"); err != nil {
+			tx.done = true
+			atomic.AddUint64(&db.statAborts, 1)
+			db.finish(tx)
+			return err
+		}
+	}
 	hasWrites := false
 	for _, m := range tx.writes {
 		if len(m) > 0 {

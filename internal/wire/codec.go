@@ -219,11 +219,13 @@ func encodeRequest(b []byte, req *request) []byte {
 	b = append(b, byte(req.Type))
 	switch req.Type {
 	case MsgExec:
+		b = appendUvarint(b, uint64(req.DeadlineNanos))
 		b = appendString(b, req.SQL)
 		b = appendValues(b, req.Args)
 	case MsgPrepare:
 		b = appendString(b, req.SQL)
 	case MsgExecute:
+		b = appendUvarint(b, uint64(req.DeadlineNanos))
 		b = appendUvarint(b, req.Handle)
 		b = appendValues(b, req.Args)
 	case MsgCloseStmt:
@@ -237,11 +239,13 @@ func decodeRequest(body []byte) (*request, error) {
 	req := &request{Type: MsgType(d.byte())}
 	switch req.Type {
 	case MsgExec:
+		req.DeadlineNanos = int64(d.uvarint())
 		req.SQL = d.string()
 		req.Args = d.values()
 	case MsgPrepare:
 		req.SQL = d.string()
 	case MsgExecute:
+		req.DeadlineNanos = int64(d.uvarint())
 		req.Handle = d.uvarint()
 		req.Args = d.values()
 	case MsgCloseStmt:

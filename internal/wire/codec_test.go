@@ -149,7 +149,8 @@ func TestWireTimeZonesNormalize(t *testing.T) {
 // valid request must decode to an error, never to a bogus request or a panic.
 func TestDecoderRejectsTruncation(t *testing.T) {
 	req := &request{Type: MsgExec, SQL: "SELECT x FROM t WHERE id = ?",
-		Args: []wireValue{toWire(storage.Int(-12345)), toWire(storage.Str("ü")), toWire(storage.Null())}}
+		DeadlineNanos: int64(250 * time.Millisecond),
+		Args:          []wireValue{toWire(storage.Int(-12345)), toWire(storage.Str("ü")), toWire(storage.Null())}}
 	full := encodeRequest(nil, req)
 	for n := 0; n < len(full); n++ {
 		if _, err := decodeRequest(full[:n]); err == nil {
@@ -158,5 +159,84 @@ func TestDecoderRejectsTruncation(t *testing.T) {
 	}
 	if _, err := decodeRequest(full); err != nil {
 		t.Fatalf("full body failed: %v", err)
+	}
+}
+
+// TestRequestCodecQuick property-tests the request codec across both
+// deadline-carrying message types: any non-negative budget, handle, SQL text,
+// and argument list must round-trip exactly.
+func TestRequestCodecQuick(t *testing.T) {
+	prop := func(execute bool, deadline int64, handle uint64, sql string, kinds []uint8, n int64) bool {
+		if deadline < 0 {
+			deadline = -deadline // budgets are non-negative by contract
+		}
+		req := &request{Type: MsgExec, SQL: sql, DeadlineNanos: deadline}
+		if execute {
+			req = &request{Type: MsgExecute, Handle: handle, DeadlineNanos: deadline}
+		}
+		for idx, k := range kinds {
+			req.Args = append(req.Args, canonical(k, n+int64(idx), float64(idx), sql, idx%2 == 0, n))
+		}
+		got, err := decodeRequest(encodeRequest(nil, req))
+		if err != nil {
+			return false
+		}
+		if got.Type != req.Type || got.SQL != req.SQL || got.Handle != req.Handle ||
+			got.DeadlineNanos != req.DeadlineNanos || len(got.Args) != len(req.Args) {
+			return false
+		}
+		for idx := range req.Args {
+			if got.Args[idx] != req.Args[idx] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRequestDeadlineZeroMeansUnbounded pins the wire meaning of an absent
+// deadline: a zero budget must encode, survive, and decode as exactly zero
+// (the server treats it as "no statement deadline").
+func TestRequestDeadlineZeroMeansUnbounded(t *testing.T) {
+	for _, typ := range []MsgType{MsgExec, MsgExecute} {
+		req := &request{Type: typ, SQL: "SELECT 1", Handle: 7}
+		got, err := decodeRequest(encodeRequest(nil, req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.DeadlineNanos != 0 {
+			t.Fatalf("%v: zero deadline decoded as %d", typ, got.DeadlineNanos)
+		}
+	}
+}
+
+// TestResponseRejectsTruncation is the response-side truncation corpus: every
+// proper prefix of both an OK response (with columns and rows) and an error
+// response must decode to an error, never a short-but-plausible response.
+func TestResponseRejectsTruncation(t *testing.T) {
+	responses := []*response{
+		{Code: CodeOK, Handle: 3, NumParams: 2,
+			Columns: []string{"id", "key"},
+			Rows: [][]wireValue{
+				{toWire(storage.Int(1)), toWire(storage.Str("a"))},
+				{toWire(storage.Int(2)), toWire(storage.Null())},
+			},
+			RowsAffected: -1, LastInsertID: 1 << 40},
+		{Code: CodeTimeout, Error: "statement deadline exceeded détail"},
+	}
+	for _, resp := range responses {
+		full := encodeResponse(nil, resp)
+		for n := 0; n < len(full); n++ {
+			if _, err := decodeResponse(full[:n]); err == nil {
+				t.Fatalf("code %d: truncated body of %d/%d bytes decoded cleanly",
+					resp.Code, n, len(full))
+			}
+		}
+		if _, err := decodeResponse(full); err != nil {
+			t.Fatalf("code %d: full body failed: %v", resp.Code, err)
+		}
 	}
 }

@@ -57,6 +57,9 @@ const (
 	CodeNoSuchTable
 	CodeNoSuchColumn
 	CodeTxState
+	// CodeTimeout reports a statement aborted because its deadline (carried
+	// on the request as a relative budget) expired server-side.
+	CodeTimeout
 )
 
 // codeOf classifies an error for transport.
@@ -78,6 +81,8 @@ func codeOf(err error) ErrorCode {
 		return CodeNoSuchColumn
 	case errors.Is(err, storage.ErrTxDone):
 		return CodeTxState
+	case errors.Is(err, storage.ErrStmtDeadline):
+		return CodeTimeout
 	default:
 		return CodeGeneric
 	}
@@ -102,6 +107,8 @@ func errorFor(code ErrorCode, msg string) error {
 		return fmt.Errorf("%w: %s", storage.ErrNoSuchColumn, msg)
 	case CodeTxState:
 		return fmt.Errorf("%w: %s", storage.ErrTxDone, msg)
+	case CodeTimeout:
+		return fmt.Errorf("%w: %s", storage.ErrStmtDeadline, msg)
 	default:
 		return errors.New(msg)
 	}
@@ -109,10 +116,15 @@ func errorFor(code ErrorCode, msg string) error {
 
 // request is one client->server message.
 type request struct {
-	Type   MsgType
-	SQL    string      // MsgExec, MsgPrepare
-	Handle uint64      // MsgExecute, MsgCloseStmt
-	Args   []wireValue // MsgExec, MsgExecute
+	Type MsgType
+	// DeadlineNanos is the statement's remaining time budget in nanoseconds
+	// (0 = unbounded), for MsgExec and MsgExecute. A relative budget rather
+	// than an absolute wall-clock instant, so client and server clocks need
+	// not agree; the server reconstitutes its own deadline on receipt.
+	DeadlineNanos int64
+	SQL           string      // MsgExec, MsgPrepare
+	Handle        uint64      // MsgExecute, MsgCloseStmt
+	Args          []wireValue // MsgExec, MsgExecute
 }
 
 // response is one server->client message.

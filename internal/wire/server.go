@@ -2,13 +2,17 @@ package wire
 
 import (
 	"bufio"
+	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net"
 	"sync"
+	"time"
 
+	"feralcc/internal/faultinject"
 	"feralcc/internal/sqlexec"
 	"feralcc/internal/storage"
 )
@@ -23,11 +27,20 @@ type Server struct {
 	cache *sqlexec.PlanCache
 	ln    net.Listener
 	logf  func(format string, args ...any)
+	inj   *faultinject.Injector
 
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	conns    map[net.Conn]*connState
+	closed   bool
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// connState tracks whether a connection's handler is mid-statement, so a
+// graceful drain can close idle connections immediately while letting busy
+// ones finish and respond.
+type connState struct {
+	busy bool
 }
 
 // NewServer creates a server for store. logf may be nil to silence logging.
@@ -39,9 +52,14 @@ func NewServer(store *storage.Database, logf func(string, ...any)) *Server {
 		store: store,
 		cache: sqlexec.NewPlanCache(0),
 		logf:  logf,
-		conns: make(map[net.Conn]struct{}),
+		conns: make(map[net.Conn]*connState),
 	}
 }
+
+// SetInjector installs a fault injector consulted at the server-side
+// injection points (faultinject.PointServerRead, PointServerExec,
+// PointServerWrite). Call before Serve.
+func (s *Server) SetInjector(inj *faultinject.Injector) { s.inj = inj }
 
 // Listen binds addr (e.g. "127.0.0.1:5442"). Use Addr to recover the chosen
 // port when addr ends in ":0".
@@ -62,26 +80,27 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Serve accepts connections until Close. It returns nil after Close.
+// Serve accepts connections until Close or Shutdown. It returns nil after
+// either.
 func (s *Server) Serve() error {
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			s.mu.Lock()
-			closed := s.closed
+			stopping := s.closed || s.draining
 			s.mu.Unlock()
-			if closed {
+			if stopping {
 				return nil
 			}
 			return err
 		}
 		s.mu.Lock()
-		if s.closed {
+		if s.closed || s.draining {
 			s.mu.Unlock()
 			conn.Close()
 			return nil
 		}
-		s.conns[conn] = struct{}{}
+		s.conns[conn] = &connState{}
 		s.wg.Add(1)
 		s.mu.Unlock()
 		go s.handle(conn)
@@ -89,6 +108,7 @@ func (s *Server) Serve() error {
 }
 
 // Close stops accepting, closes live connections, and waits for handlers.
+// In-flight statements are abandoned; Shutdown is the graceful variant.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -106,6 +126,71 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
+// Shutdown drains the server gracefully: stop accepting, close idle
+// connections, let busy handlers finish their current statement and send
+// its response, then close. If ctx expires first, remaining connections are
+// force-closed and ctx's error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c, st := range s.conns {
+		if !st.busy {
+			c.Close()
+		}
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return err
+}
+
+// beginStatement marks the connection busy. It reports false when the server
+// is draining, in which case the handler must exit without executing.
+func (s *Server) beginStatement(st *connState) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.closed {
+		return false
+	}
+	st.busy = true
+	return true
+}
+
+// endStatement clears the busy mark. It reports true when the handler should
+// keep serving, false when a drain began while the statement ran.
+func (s *Server) endStatement(st *connState) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st.busy = false
+	return !s.draining && !s.closed
+}
+
 func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		s.mu.Lock()
@@ -114,6 +199,12 @@ func (s *Server) handle(conn net.Conn) {
 		conn.Close()
 		s.wg.Done()
 	}()
+	s.mu.Lock()
+	st := s.conns[conn]
+	s.mu.Unlock()
+	if st == nil {
+		return
+	}
 	session := sqlexec.NewSession(s.store)
 	defer session.Reset()
 
@@ -135,17 +226,35 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			return
 		}
+		if f := s.inj.Eval(faultinject.PointServerRead); f != nil {
+			if f.Kind == faultinject.KindLatency {
+				time.Sleep(f.Latency)
+			} else {
+				return
+			}
+		}
+		// A frame read before the drain began still gets executed and
+		// answered (it is in flight); one that loses the race is dropped
+		// with the connection, which the client sees as a lost response.
+		if !s.beginStatement(st) {
+			return
+		}
 		req, err := decodeRequest(body)
 		if err != nil {
 			// An undecodable frame means the stream is unframed garbage; no
 			// reply can be trusted to line up, so drop the connection.
 			s.logf("wire: decode: %v", err)
+			s.endStatement(st)
 			return
 		}
 
 		var resp response
 		switch req.Type {
 		case MsgExec:
+			if fr := s.execFault(session, &resp); fr {
+				break
+			}
+			ctx, cancel := deadlineCtx(req.DeadlineNanos)
 			args := make([]storage.Value, len(req.Args))
 			for i, a := range req.Args {
 				args[i] = fromWire(a)
@@ -153,8 +262,9 @@ func (s *Server) handle(conn net.Conn) {
 			var res *sqlexec.Result
 			p, err := s.cache.Get(session, req.SQL)
 			if err == nil {
-				res, err = session.ExecutePrepared(p, args...)
+				res, err = session.ExecutePreparedContext(ctx, p, args...)
 			}
+			cancel()
 			fillResult(&resp, res, err)
 		case MsgPrepare:
 			p, err := s.cache.Get(session, req.SQL)
@@ -167,14 +277,19 @@ func (s *Server) handle(conn net.Conn) {
 			resp.Handle = nextHandle
 			resp.NumParams = p.NumParams()
 		case MsgExecute:
+			if fr := s.execFault(session, &resp); fr {
+				break
+			}
 			p, ok := stmts[req.Handle]
 			if !ok {
 				fillResult(&resp, nil, fmt.Errorf("wire: unknown statement handle %d", req.Handle))
 				break
 			}
+			ctx, cancel := deadlineCtx(req.DeadlineNanos)
 			// Refresh DDL-invalidated plans in the handle table so the
 			// re-parse happens once, not per execution.
 			if fresh, err := session.Refreshed(p); err != nil {
+				cancel()
 				fillResult(&resp, nil, err)
 				break
 			} else if fresh != p {
@@ -185,21 +300,88 @@ func (s *Server) handle(conn net.Conn) {
 			for i, a := range req.Args {
 				args[i] = fromWire(a)
 			}
-			res, err := session.ExecutePrepared(p, args...)
+			res, err := session.ExecutePreparedContext(ctx, p, args...)
+			cancel()
 			fillResult(&resp, res, err)
 		case MsgCloseStmt:
 			delete(stmts, req.Handle)
 		}
 
+		if f := s.inj.Eval(faultinject.PointServerWrite); f != nil {
+			switch f.Kind {
+			case faultinject.KindLatency:
+				time.Sleep(f.Latency)
+			case faultinject.KindTruncate:
+				// Emit a partial frame straight to the socket (bypassing the
+				// buffered writer) and sever: the client must detect the
+				// mid-frame cut rather than hang or misparse.
+				buf = encodeResponse(buf[:0], &resp)
+				var hdr [4]byte
+				binary.BigEndian.PutUint32(hdr[:], uint32(len(buf)))
+				conn.Write(hdr[:])
+				conn.Write(buf[:len(buf)/2])
+				s.endStatement(st)
+				return
+			default:
+				s.endStatement(st)
+				return
+			}
+		}
 		buf = encodeResponse(buf[:0], &resp)
 		if err := writeFrame(w, buf); err != nil {
 			s.logf("wire: write: %v", err)
+			s.endStatement(st)
 			return
 		}
 		if err := w.Flush(); err != nil {
+			s.endStatement(st)
+			return
+		}
+		if !s.endStatement(st) {
 			return
 		}
 	}
+}
+
+// execFault consults the pre-execution injection point. It reports true when
+// a failing fault was injected (resp is then filled with its error); drop
+// faults are reported as a generic injected failure response rather than a
+// severed connection so that pre-execution drops stay request-path-safe for
+// the client's retry logic.
+func (s *Server) execFault(session *sqlexec.Session, resp *response) bool {
+	f := s.inj.Eval(faultinject.PointServerExec)
+	if f == nil {
+		return false
+	}
+	switch f.Kind {
+	case faultinject.KindLatency:
+		time.Sleep(f.Latency)
+		return false
+	case faultinject.KindDrop, faultinject.KindTruncate:
+		// A statement error — injected or not — aborts the session's open
+		// transaction, so the client's replay logic sees consistent state.
+		session.Reset()
+		fillResult(resp, nil, fmt.Errorf("%w: statement rejected before execution", faultinject.ErrInjected))
+		return true
+	default:
+		if err := f.Error(); err != nil {
+			session.Reset()
+			fillResult(resp, nil, err)
+			return true
+		}
+		return false
+	}
+}
+
+// deadlineCtx builds the execution context for a statement's relative time
+// budget: (nil, no-op) when unbounded. An already-spent budget simply yields
+// an expired context, which the executor refuses before touching any data.
+func deadlineCtx(nanos int64) (context.Context, context.CancelFunc) {
+	if nanos <= 0 {
+		return nil, func() {}
+	}
+	// Re-anchor the relative budget to the server's clock.
+	return context.WithDeadline(context.Background(), time.Now().Add(time.Duration(nanos)))
 }
 
 // fillResult populates a response from an execution outcome.

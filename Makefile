@@ -1,9 +1,10 @@
 GO ?= go
+BENCH ?= BENCH_3.json
 
 .PHONY: check test bench chaos clean
 
 # check is the full gate: compile, vet, and the whole test suite under the
-# race detector (the plan cache and wire server are concurrency-critical).
+# race detector (the plan cache, wire server, and WAL are concurrency-critical).
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -14,14 +15,19 @@ test:
 
 # chaos replays the deterministic fault-injection suites under the race
 # detector: the db.Conn contract and the Figure-2 stress shape under each
-# fault class, all from fixed seeds (see internal/faultinject).
+# fault class, plus the storage crash suites (kill-and-reopen at every WAL
+# fault point, the torn-write corpus), all from fixed seeds.
 chaos:
-	$(GO) test -race -count=1 -run Chaos ./internal/faultinject ./internal/wire
+	$(GO) test -race -count=1 -run Chaos ./internal/faultinject ./internal/wire ./internal/storage
 
-# bench records the benchmark suite as a test2json event stream; BENCH_1.json
-# is the committed snapshot referenced by DESIGN.md.
+# bench records the benchmark suite as a test2json event stream; the committed
+# BENCH_<n>.json snapshots (one per PR) are referenced by DESIGN.md.
 bench:
-	$(GO) test -bench . -benchmem -run '^$$' -json . > BENCH_1.json
+	$(GO) test -bench . -benchmem -run '^$$' -json . > $(BENCH)
 
+# clean removes every cmd/ binary built into the repo root plus any data
+# directories left behind by local durable runs (feraldbd -data-dir,
+# feralbench -data-dir).
 clean:
-	rm -f feralbench
+	rm -f feralbench feraldbd feralsql corpusgen railsscan
+	rm -rf data chaos-data bench-data

@@ -22,11 +22,12 @@ import (
 
 func main() {
 	var (
-		which  = flag.String("experiment", "all", "experiment id (table1,table2,fig1..fig7,safety,ssibug,frameworks,isolevels,all)")
-		quick  = flag.Bool("quick", false, "scale experiment parameters down ~10x")
-		seed   = flag.Int64("seed", 2015, "corpus and workload seed")
-		think  = flag.Duration("think", time.Millisecond, "simulated application-tier latency per request")
-		faults = flag.String("faults", "", "fault-injection spec applied to stress experiments, e.g. drop=0.01,latency=5ms (see internal/faultinject)")
+		which   = flag.String("experiment", "all", "experiment id (table1,table2,fig1..fig7,safety,ssibug,frameworks,isolevels,all)")
+		quick   = flag.Bool("quick", false, "scale experiment parameters down ~10x")
+		seed    = flag.Int64("seed", 2015, "corpus and workload seed")
+		think   = flag.Duration("think", time.Millisecond, "simulated application-tier latency per request")
+		faults  = flag.String("faults", "", "fault-injection spec applied to stress experiments, e.g. drop=0.01,latency=5ms (see internal/faultinject)")
+		dataDir = flag.String("data-dir", "", "run fig2/fig3 against durable stores rooted here; anomaly counts are taken after a restart")
 	)
 	flag.Parse()
 
@@ -34,6 +35,10 @@ func main() {
 	study.Seed = *seed
 	study.Quick = *quick
 	study.ThinkTime = *think
+	study.DataDir = *dataDir
+	if *dataDir != "" {
+		fmt.Printf("durable mode: per-cell stores under %s, anomaly census after recovery\n\n", *dataDir)
+	}
 	if *faults != "" {
 		spec, err := faultinject.ParseSpec(*faults)
 		if err != nil {

@@ -2,13 +2,21 @@
 // PostgreSQL role of the paper's two-machine deployment: run the application
 // tier in one process and this server in another.
 //
+// With -data-dir the store is durable: committed transactions are written to
+// a checksummed write-ahead log before they are acknowledged, startup replays
+// the log (reporting what it recovered), and -vacuum-interval runs periodic
+// Vacuum passes each followed by a snapshot checkpoint so neither version
+// chains nor the log grow without bound.
+//
 // On SIGINT/SIGTERM the server drains gracefully: it stops accepting,
 // closes idle connections, and lets in-flight statements finish and respond
-// within -drain-timeout before force-closing what remains.
+// within -drain-timeout before force-closing what remains. Durable servers
+// then write a final checkpoint, so the next start replays zero log records.
 //
 // Usage:
 //
-//	feraldbd -addr 127.0.0.1:5442 -isolation "READ COMMITTED"
+//	feraldbd -addr 127.0.0.1:5442 -isolation "READ COMMITTED" \
+//	         -data-dir /var/lib/feraldb -sync always -vacuum-interval 5m
 package main
 
 import (
@@ -26,24 +34,69 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", "127.0.0.1:5442", "listen address")
-		iso   = flag.String("isolation", "READ COMMITTED", "default isolation level")
-		bug   = flag.Bool("phantom-bug", false, "emulate PostgreSQL BUG #11732 under SERIALIZABLE")
-		drain = flag.Duration("drain-timeout", 10*time.Second, "how long a graceful shutdown waits for in-flight statements")
+		addr    = flag.String("addr", "127.0.0.1:5442", "listen address")
+		iso     = flag.String("isolation", "READ COMMITTED", "default isolation level")
+		bug     = flag.Bool("phantom-bug", false, "emulate PostgreSQL BUG #11732 under SERIALIZABLE")
+		drain   = flag.Duration("drain-timeout", 10*time.Second, "how long a graceful shutdown waits for in-flight statements")
+		dataDir = flag.String("data-dir", "", "durable data directory (empty = in-memory)")
+		sync    = flag.String("sync", "always", "WAL fsync policy: always, interval, or off")
+		vacuum  = flag.Duration("vacuum-interval", 0, "period between Vacuum+checkpoint passes (0 = never)")
 	)
 	flag.Parse()
 	level, err := storage.ParseIsolationLevel(*iso)
 	if err != nil {
 		log.Fatalf("feraldbd: %v", err)
 	}
-	store := storage.Open(storage.Options{DefaultIsolation: level, PhantomBug: *bug})
+	policy, err := storage.ParseSyncPolicy(*sync)
+	if err != nil {
+		log.Fatalf("feraldbd: %v", err)
+	}
+	store, err := storage.OpenDir(storage.Options{
+		DefaultIsolation: level,
+		PhantomBug:       *bug,
+		DataDir:          *dataDir,
+		SyncPolicy:       policy,
+	})
+	if err != nil {
+		log.Fatalf("feraldbd: %v", err)
+	}
 	log.Printf("feraldbd: default isolation %v, phantom bug %v", level, *bug)
+	if *dataDir != "" {
+		rec := store.Recovery()
+		log.Printf("feraldbd: durable at %s (sync=%s): snapshot=%v rows=%d replayed=%d commits=%d ddl=%d torn=%dB corrupt=%v",
+			*dataDir, policy, rec.SnapshotLoaded, rec.SnapshotRows, rec.RecordsReplayed,
+			rec.CommitsReplayed, rec.DDLReplayed, rec.TornTailBytes, rec.CorruptTail)
+	}
 
 	srv := wire.NewServer(store, log.Printf)
 	if err := srv.Listen(*addr); err != nil {
 		log.Fatalf("feraldbd: %v", err)
 	}
 	log.Printf("feraldbd listening on %s", srv.Addr())
+
+	stopVacuum := make(chan struct{})
+	if *vacuum > 0 {
+		go func() {
+			t := time.NewTicker(*vacuum)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					vs := store.Vacuum()
+					log.Printf("feraldbd: vacuum pruned %d versions, reclaimed %d rows, %d index entries (horizon %d)",
+						vs.VersionsPruned, vs.RowsReclaimed, vs.IndexEntriesPruned, vs.Horizon)
+					if cs, err := store.Checkpoint(); err != nil {
+						log.Printf("feraldbd: checkpoint failed: %v", err)
+					} else if *dataDir != "" {
+						log.Printf("feraldbd: checkpoint wrote %d rows (%dB), truncated %dB of log",
+							cs.Rows, cs.SnapshotBytes, cs.WALBytesTruncated)
+					}
+				case <-stopVacuum:
+					return
+				}
+			}
+		}()
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
@@ -65,5 +118,16 @@ func main() {
 			log.Printf("feraldbd: drained cleanly")
 		}
 		<-done
+		close(stopVacuum)
+		// Every drained statement is already in the log; the final checkpoint
+		// just means the next start replays nothing.
+		if cs, err := store.Checkpoint(); err != nil {
+			log.Printf("feraldbd: final checkpoint failed: %v", err)
+		} else if *dataDir != "" {
+			log.Printf("feraldbd: final checkpoint wrote %d rows, truncated %dB of log", cs.Rows, cs.WALBytesTruncated)
+		}
+		if err := store.Close(); err != nil {
+			log.Printf("feraldbd: close: %v", err)
+		}
 	}
 }

@@ -1,0 +1,120 @@
+package main
+
+// Subprocess test for the daemon's durability contract: a SIGTERM'd feraldbd
+// drains, checkpoints, and exits, and the next open of its data directory
+// replays zero log records. This is the process-level version of the wire
+// package's TestChaosGracefulDrainDurable.
+
+import (
+	"bufio"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"feralcc/internal/storage"
+	"feralcc/internal/wire"
+)
+
+func TestSIGTERMCheckpointsCleanly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a subprocess")
+	}
+	scratch := t.TempDir()
+	bin := filepath.Join(scratch, "feraldbd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	dataDir := filepath.Join(scratch, "data")
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-data-dir", dataDir,
+		"-drain-timeout", "5s")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+	}()
+
+	// The daemon logs its bound address; scan for it, keep draining stderr
+	// afterwards so the child never blocks on a full pipe.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				select {
+				case addrCh <- strings.TrimSpace(line[i+len("listening on "):]):
+				default:
+				}
+			}
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("feraldbd never reported its listen address")
+	}
+
+	c, err := wire.DialTimeout(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("CREATE TABLE kv (id BIGINT PRIMARY KEY, key TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	const rows = 10
+	for i := 0; i < rows; i++ {
+		if _, err := c.Exec("INSERT INTO kv (key) VALUES (?)", storage.Str("k")); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	c.Close()
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("feraldbd exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("feraldbd did not exit after SIGTERM")
+	}
+
+	// A clean shutdown leaves a checkpoint covering everything: reopening the
+	// directory must load the snapshot and replay zero write-ahead records.
+	store, err := storage.OpenDir(storage.Options{DataDir: dataDir})
+	if err != nil {
+		t.Fatalf("reopen after shutdown: %v", err)
+	}
+	defer store.Close()
+	rec := store.Recovery()
+	if rec.RecordsReplayed != 0 {
+		t.Fatalf("reopen replayed %d records after a SIGTERM shutdown", rec.RecordsReplayed)
+	}
+	if !rec.SnapshotLoaded || rec.SnapshotRows != rows {
+		t.Fatalf("snapshot state after shutdown: loaded=%v rows=%d, want %d rows",
+			rec.SnapshotLoaded, rec.SnapshotRows, rows)
+	}
+	if fi, err := os.Stat(filepath.Join(dataDir, "wal.log")); err == nil && fi.Size() != 0 {
+		t.Fatalf("wal.log is %d bytes after a checkpointed shutdown, want 0", fi.Size())
+	}
+}

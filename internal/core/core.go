@@ -32,6 +32,11 @@ type Study struct {
 	// Left zero, it defaults to a small bounded policy whenever Faults is
 	// non-empty, so injected failures degrade throughput instead of results.
 	Retry db.RetryPolicy
+	// DataDir, when non-empty, runs the Figure 2/3 experiments against
+	// durable stores rooted there (one subdirectory per cell) and takes the
+	// anomaly census after a close-and-recover cycle, so reported duplicates
+	// are restart-surviving ones.
+	DataDir string
 
 	analysis *experiment.CorpusAnalysis
 }
@@ -74,6 +79,7 @@ func (s *Study) StressConfig() experiment.StressConfig {
 			cfg.Retry = db.RetryPolicy{MaxRetries: 5, Seed: uint64(s.Seed)}
 		}
 	}
+	cfg.DataDir = s.DataDir
 	return cfg
 }
 
@@ -88,6 +94,7 @@ func (s *Study) WorkloadConfig() experiment.WorkloadConfig {
 		cfg.OpsPerClient = 50
 		cfg.Workers = 32
 	}
+	cfg.DataDir = s.DataDir
 	return cfg
 }
 

@@ -60,10 +60,24 @@ type DB struct {
 	cache *sqlexec.PlanCache
 }
 
-// Open creates an empty embedded database.
+// Open creates an embedded database. With opts.DataDir empty this cannot
+// fail; durable callers that want the error instead of a panic use OpenDir.
 func Open(opts storage.Options) *DB {
 	return Wrap(storage.Open(opts))
 }
+
+// OpenDir opens an embedded database, recovering from opts.DataDir when set.
+func OpenDir(opts storage.Options) (*DB, error) {
+	store, err := storage.OpenDir(opts)
+	if err != nil {
+		return nil, err
+	}
+	return Wrap(store), nil
+}
+
+// Close flushes and closes the underlying store's write-ahead log (a no-op
+// for in-memory databases).
+func (d *DB) Close() error { return d.store.Close() }
 
 // Wrap adapts an existing storage database.
 func Wrap(store *storage.Database) *DB {

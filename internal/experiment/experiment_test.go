@@ -54,6 +54,26 @@ func TestUniquenessStressShape(t *testing.T) {
 	}
 }
 
+// TestUniquenessStressDurable runs a small Figure 2 cell against durable
+// per-cell stores: the anomaly census happens after a close-and-recover
+// cycle, so the duplicates it reports provably survive a restart.
+func TestUniquenessStressDurable(t *testing.T) {
+	cfg := smallStress()
+	cfg.Workers = []int{8}
+	cfg.DataDir = t.TempDir()
+	points, err := RunUniquenessStress(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectedNoValidation := int64(20 * (16 - 1))
+	if got := points[0].Duplicates[NoValidation]; got != expectedNoValidation {
+		t.Fatalf("durable cell lost rows across restart: %d duplicates, want %d", got, expectedNoValidation)
+	}
+	if got := points[0].Duplicates[FeralWithIndex]; got != 0 {
+		t.Fatalf("unique index admitted %d duplicates across restart", got)
+	}
+}
+
 func TestUniquenessStressSerializableIsClean(t *testing.T) {
 	cfg := smallStress()
 	cfg.Workers = []int{8}

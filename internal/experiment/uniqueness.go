@@ -74,6 +74,13 @@ type StressConfig struct {
 	// replay via db.Reliable plus ORM transaction retry). Zero disables
 	// retries — the bare configuration the paper measured.
 	Retry db.RetryPolicy
+	// DataDir, when non-empty, runs every cell against a durable store in a
+	// per-cell subdirectory, and the duplicate count is taken only after
+	// closing and reopening the database — so the anomalies Figure 2 reports
+	// are ones that survive a server restart, as the paper's PostgreSQL ones
+	// did. The WAL runs with SyncOff: the model is process death, and the
+	// experiment's own close/reopen cycle is the crash.
+	DataDir string
 }
 
 // DefaultStressConfig returns the paper's parameters.
@@ -113,19 +120,39 @@ func RunUniquenessStress(cfg StressConfig) ([]StressPoint, error) {
 }
 
 // uniquenessStressCell runs one (worker count, variant) cell on a fresh
-// database and returns the duplicate count.
+// database and returns the duplicate count. Durable cells (cfg.DataDir set)
+// count duplicates on a recovered copy of the store, not the live one.
 func uniquenessStressCell(cfg StressConfig, workers int, variant UniquenessVariant) (int64, error) {
 	d, pool, table, model, err := buildUniquenessStack(cfg, workers, variant)
 	if err != nil {
 		return 0, err
 	}
-	defer pool.Close()
 	if err := runStressRounds(pool, model, cfg.Rounds, cfg.Concurrency); err != nil {
+		pool.Close()
 		return 0, err
 	}
+	pool.Close()
+	if cfg.DataDir != "" {
+		// Restart the database: every duplicate still counted after recovery
+		// is a durable anomaly, exactly what the paper measured.
+		if err := d.Close(); err != nil {
+			return 0, err
+		}
+		d, err = db.OpenDir(storage.Options{DataDir: stressCellDir(cfg.DataDir, workers, variant)})
+		if err != nil {
+			return 0, err
+		}
+	}
+	defer d.Close()
 	conn := d.Connect()
 	defer conn.Close()
 	return countDuplicatesOn(conn, table)
+}
+
+// stressCellDir is the per-cell durable directory, kept stable between the
+// stack build and the post-run reopen.
+func stressCellDir(base string, workers int, variant UniquenessVariant) string {
+	return fmt.Sprintf("%s/stress-p%d-v%d", base, workers, variant)
 }
 
 // buildUniquenessStack assembles a fresh database, registry, migrations,
@@ -143,7 +170,14 @@ func buildUniquenessStack(cfg StressConfig, workers int, variant UniquenessVaria
 		// storage-side hook; connection-level rules fire through Wrap below.
 		opts.FaultHook = inj.EngineHook()
 	}
-	d := db.Open(opts)
+	if cfg.DataDir != "" {
+		opts.DataDir = stressCellDir(cfg.DataDir, workers, variant)
+		opts.SyncPolicy = storage.SyncOff
+	}
+	d, err := db.OpenDir(opts)
+	if err != nil {
+		return nil, nil, "", "", err
+	}
 	registry, err := appserver.UniquenessModels()
 	if err != nil {
 		return nil, nil, "", "", err
@@ -231,6 +265,9 @@ type WorkloadConfig struct {
 	Isolation storage.IsolationLevel
 	Seed      int64
 	ThinkTime time.Duration
+	// DataDir mirrors StressConfig.DataDir: durable per-cell stores with the
+	// duplicate census taken after a close-and-recover cycle.
+	DataDir string
 }
 
 // DefaultWorkloadConfig returns the paper's parameters.
@@ -277,7 +314,15 @@ func RunUniquenessWorkload(cfg WorkloadConfig) ([]WorkloadPoint, error) {
 }
 
 func uniquenessWorkloadCell(cfg WorkloadConfig, dist string, keys int64, variant UniquenessVariant) (int64, error) {
-	d := db.Open(storage.Options{DefaultIsolation: cfg.Isolation, LockTimeout: 2 * time.Second})
+	opts := storage.Options{DefaultIsolation: cfg.Isolation, LockTimeout: 2 * time.Second}
+	if cfg.DataDir != "" {
+		opts.DataDir = fmt.Sprintf("%s/workload-%s-k%d-v%d", cfg.DataDir, dist, keys, variant)
+		opts.SyncPolicy = storage.SyncOff
+	}
+	d, err := db.OpenDir(opts)
+	if err != nil {
+		return 0, err
+	}
 	registry, err := appserver.UniquenessModels()
 	if err != nil {
 		return 0, err
@@ -293,7 +338,12 @@ func uniquenessWorkloadCell(cfg WorkloadConfig, dist string, keys int64, variant
 	if err != nil {
 		return 0, err
 	}
-	defer pool.Close()
+	poolOpen := true
+	defer func() {
+		if poolOpen {
+			pool.Close()
+		}
+	}()
 	pool.Configure(func(w *appserver.Worker) { w.Session.ThinkTime = cfg.ThinkTime })
 
 	var wg sync.WaitGroup
@@ -324,6 +374,20 @@ func uniquenessWorkloadCell(cfg WorkloadConfig, dist string, keys int64, variant
 		if err != nil {
 			return 0, err
 		}
+	}
+	if cfg.DataDir != "" {
+		// Restart the database before the census: the duplicates Figure 3
+		// reports are the ones that survived recovery.
+		pool.Close()
+		poolOpen = false
+		if err := d.Close(); err != nil {
+			return 0, err
+		}
+		d, err = db.OpenDir(storage.Options{DataDir: opts.DataDir})
+		if err != nil {
+			return 0, err
+		}
+		defer d.Close()
 	}
 	conn := d.Connect()
 	defer conn.Close()

@@ -49,6 +49,19 @@ const (
 	PointStorageCommit = "storage.commit"
 	// PointStorageLock fires before a row/predicate lock acquisition.
 	PointStorageLock = "storage.lock"
+	// PointWALAppend fires inside the commit/DDL critical section before a
+	// record is written to the write-ahead log. A failure here aborts the
+	// commit with nothing installed and nothing logged.
+	PointWALAppend = "storage.wal.append"
+	// PointWALFsync fires before the log file is fsynced. A failure here
+	// aborts the commit and rolls the log back to its pre-append length.
+	PointWALFsync = "storage.wal.fsync"
+	// PointWALCheckpoint fires at the start of a snapshot checkpoint, before
+	// any state is captured.
+	PointWALCheckpoint = "storage.wal.checkpoint"
+	// PointWALRecover fires at the start of OpenDir recovery and again before
+	// each replayed record, so chaos suites can kill recovery mid-replay.
+	PointWALRecover = "storage.wal.recover"
 	// PointWorker fires when an application-server worker is checked out.
 	PointWorker = "appserver.worker"
 )
@@ -304,8 +317,10 @@ func (in *Injector) Summary() string {
 }
 
 // EngineHook adapts the injector to the storage engine's Options.FaultHook
-// seam: "commit" maps to PointStorageCommit, "lock" to PointStorageLock.
-// Latency faults sleep in place; failing kinds return their taxonomy error.
+// seam: "commit" maps to PointStorageCommit, "lock" to PointStorageLock, and
+// the durability ops "wal.append" / "wal.fsync" / "wal.checkpoint" /
+// "wal.recover" to the PointWAL* points. Latency faults sleep in place;
+// failing kinds return their taxonomy error.
 func (in *Injector) EngineHook() func(op string) error {
 	if in == nil {
 		return nil
@@ -317,6 +332,14 @@ func (in *Injector) EngineHook() func(op string) error {
 			pt = PointStorageCommit
 		case "lock":
 			pt = PointStorageLock
+		case "wal.append":
+			pt = PointWALAppend
+		case "wal.fsync":
+			pt = PointWALFsync
+		case "wal.checkpoint":
+			pt = PointWALCheckpoint
+		case "wal.recover":
+			pt = PointWALRecover
 		default:
 			pt = "storage." + op
 		}

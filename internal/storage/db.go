@@ -37,6 +37,11 @@ type Database struct {
 
 	locks *lockManager
 
+	// wal is the durability log; nil when Options.DataDir is empty and the
+	// database is purely in-memory. recovery describes what OpenDir replayed.
+	wal      *wal
+	recovery RecoveryStats
+
 	statCommits  uint64 // atomic
 	statAborts   uint64 // atomic
 	statConflict uint64 // atomic: serialization failures
@@ -56,9 +61,19 @@ type txSummary struct {
 	predKeys map[string]struct{}
 }
 
-// Open creates an empty database.
+// Open creates a database. With Options.DataDir empty this is the historical
+// in-memory constructor and cannot fail; with a data directory it delegates to
+// OpenDir and panics on I/O or recovery errors — callers that care use OpenDir.
 func Open(opts Options) *Database {
-	o := opts.withDefaults()
+	db, err := OpenDir(opts)
+	if err != nil {
+		panic(fmt.Sprintf("storage: Open(%s): %v", opts.DataDir, err))
+	}
+	return db
+}
+
+// newDatabase builds the empty in-memory shell shared by both constructors.
+func newDatabase(o Options) *Database {
 	return &Database{
 		opts:     o,
 		tables:   make(map[string]*table),
@@ -66,6 +81,25 @@ func Open(opts Options) *Database {
 		active:   make(map[uint64]uint64),
 		locks:    newLockManager(o.LockTimeout),
 	}
+}
+
+// Close flushes and closes the write-ahead log. In-memory databases (no
+// DataDir) have nothing to release and Close is a no-op. The caller must have
+// quiesced transactions; commits racing Close may fail with a write error.
+func (db *Database) Close() error {
+	if db.wal == nil {
+		return nil
+	}
+	return db.wal.close()
+}
+
+// walAppend logs one record if the database is durable. The error, if any,
+// must abort the operation whose record failed to reach the log.
+func (db *Database) walAppend(payload []byte) error {
+	if db.wal == nil {
+		return nil
+	}
+	return db.wal.append(payload)
 }
 
 // Options returns the options the database was opened with.
@@ -116,6 +150,11 @@ func (db *Database) CreateTable(schema *Schema) error {
 				ErrInvalidSchema, s.Name, fk.Column, fk.ParentTable)
 		}
 	}
+	// s now carries the implicit pkey index, so replaying this record rebuilds
+	// the exact catalog state.
+	if err := db.walAppend(encodeCreateTable(s)); err != nil {
+		return err
+	}
 	db.tables[lower] = newTable(s)
 	for _, fk := range s.ForeignKeys {
 		parentLower := strings.ToLower(fk.ParentTable)
@@ -132,6 +171,9 @@ func (db *Database) DropTable(name string) error {
 	lower := strings.ToLower(name)
 	if _, ok := db.tables[lower]; !ok {
 		return fmt.Errorf("%w: %s", ErrNoSuchTable, name)
+	}
+	if err := db.walAppend(encodeDropTable(name)); err != nil {
+		return err
 	}
 	delete(db.tables, lower)
 	delete(db.childFKs, lower)
@@ -174,6 +216,12 @@ func (db *Database) AddIndex(tableName, column string, unique bool) error {
 	defer t.mu.Unlock()
 	if existing := t.indexOn(column); existing != nil {
 		if unique {
+			// Logged before the mutation; note the quirk below that a failed
+			// duplicate precheck still leaves the index installed, which is
+			// exactly what replaying this record reproduces.
+			if err := db.walAppend(encodeAddIndex(tableName, column, unique)); err != nil {
+				return err
+			}
 			existing.spec.Unique = true
 			for i := range t.schema.Indexes {
 				if strings.EqualFold(t.schema.Indexes[i].Column, column) {
@@ -184,6 +232,9 @@ func (db *Database) AddIndex(tableName, column string, unique bool) error {
 			return db.checkExistingUniqueLocked(t, pos)
 		}
 		return nil
+	}
+	if err := db.walAppend(encodeAddIndex(tableName, column, unique)); err != nil {
+		return err
 	}
 	spec := IndexSpec{Column: t.schema.Columns[pos].Name, Unique: unique,
 		Name: tableName + "_" + column + "_idx"}
@@ -275,6 +326,9 @@ func (db *Database) AddForeignKey(tableName, column, parentTable string, onDelet
 	}
 	child.mu.RUnlock()
 
+	if err := db.walAppend(encodeAddForeignKey(tableName, column, parentTable, onDelete)); err != nil {
+		return err
+	}
 	fk := ForeignKey{
 		Column:      child.schema.Columns[pos].Name,
 		ParentTable: parent.schema.Name,

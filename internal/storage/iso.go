@@ -132,18 +132,34 @@ type Options struct {
 	// PredicateLocks selects the Serializable2PL predicate-lock granularity.
 	PredicateLocks PredicateGranularity
 	// FaultHook, when non-nil, is consulted at named engine fault points —
-	// "commit" (before commit validation) and "lock" (before a row or
-	// predicate lock acquisition). A non-nil return aborts the operation with
-	// that error; the hook may also sleep to inject latency. This is the
-	// storage half of the internal/faultinject seam, declared here as a bare
-	// func so the engine does not depend on the injector package.
+	// "commit" (before commit validation), "lock" (before a row or predicate
+	// lock acquisition), and the durability seams "wal.append", "wal.fsync",
+	// "wal.checkpoint", and "wal.recover". A non-nil return aborts the
+	// operation with that error; the hook may also sleep to inject latency.
+	// This is the storage half of the internal/faultinject seam, declared here
+	// as a bare func so the engine does not depend on the injector package.
 	FaultHook func(op string) error
+	// DataDir, when non-empty, makes the database durable: committed
+	// transactions and DDL are written to a checksummed write-ahead log in
+	// this directory, and OpenDir replays it (plus the latest snapshot
+	// checkpoint) before the first transaction starts. Empty keeps the engine
+	// purely in-memory with no I/O on the commit path.
+	DataDir string
+	// SyncPolicy selects when the WAL is fsynced (see SyncAlways et al).
+	// Ignored when DataDir is empty.
+	SyncPolicy SyncPolicy
+	// SyncInterval is the background fsync period under SyncInterval policy.
+	// Defaults to 50ms.
+	SyncInterval time.Duration
 }
 
 // withDefaults fills unset options.
 func (o Options) withDefaults() Options {
 	if o.LockTimeout <= 0 {
 		o.LockTimeout = 2 * time.Second
+	}
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = 50 * time.Millisecond
 	}
 	return o
 }

@@ -125,6 +125,20 @@ func (t *table) bumpID(v int64) {
 	}
 }
 
+// bumpRow raises the row-slot allocator to at least v, so rows installed by
+// recovery never collide with freshly allocated slots.
+func (t *table) bumpRow(v RowID) {
+	for {
+		cur := atomic.LoadUint64(&t.nextRow)
+		if cur >= uint64(v) {
+			return
+		}
+		if atomic.CompareAndSwapUint64(&t.nextRow, cur, uint64(v)) {
+			return
+		}
+	}
+}
+
 // indexOn returns the index over the named column, or nil.
 func (t *table) indexOn(col string) *index {
 	return t.indexes[strings.ToLower(col)]

@@ -608,6 +608,19 @@ func (tx *Tx) Commit() error {
 		return err
 	}
 	commitTS := atomic.LoadUint64(&db.clock) + 1
+	// Write-ahead: the commit record must be durable (per the sync policy)
+	// before any of its versions become visible. A log failure aborts the
+	// commit with nothing installed — recovery can never observe a
+	// half-applied transaction, and an unlogged one was never acknowledged.
+	if db.wal != nil {
+		if werr := db.wal.append(encodeCommit(tx.writes, commitTS)); werr != nil {
+			db.commitMu.Unlock()
+			tx.done = true
+			atomic.AddUint64(&db.statAborts, 1)
+			db.finish(tx)
+			return fmt.Errorf("commit aborted: %w", werr)
+		}
+	}
 	summary := tx.installLocked(commitTS)
 	atomic.StoreUint64(&db.clock, commitTS)
 	db.commitMu.Unlock()

@@ -1,0 +1,254 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func durableDB(t *testing.T, dir string, opts Options) *Database {
+	t.Helper()
+	opts.DataDir = dir
+	db, err := OpenDir(opts)
+	if err != nil {
+		t.Fatalf("OpenDir(%s): %v", dir, err)
+	}
+	return db
+}
+
+func walSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	fi, err := os.Stat(filepath.Join(dir, walFileName))
+	if err != nil {
+		t.Fatalf("stat wal: %v", err)
+	}
+	return fi.Size()
+}
+
+func TestSyncPolicyParse(t *testing.T) {
+	cases := map[string]SyncPolicy{"always": SyncAlways, "": SyncAlways, "interval": SyncInterval, "off": SyncOff}
+	for in, want := range cases {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+		if in != "" && got.String() != in {
+			t.Fatalf("String round trip: %q -> %q", in, got.String())
+		}
+	}
+	if _, err := ParseSyncPolicy("wrong"); err == nil {
+		t.Fatal("ParseSyncPolicy accepted garbage")
+	}
+}
+
+func TestWALValueRoundTrip(t *testing.T) {
+	vals := []Value{
+		Null(),
+		Int(-42), Int(0), Int(1 << 60),
+		Float(3.25), Float(-0.0),
+		Str(""), Str("héllo\x00world"),
+		Bool(true), Bool(false),
+		Time(time.Date(2015, 2, 14, 9, 30, 0, 123456789, time.UTC)),
+	}
+	b := appendWALRow(nil, vals)
+	d := &walDecoder{b: b}
+	got := d.row()
+	if d.err != nil {
+		t.Fatalf("decode: %v", d.err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("len = %d, want %d", len(got), len(vals))
+	}
+	for i := range vals {
+		if got[i].Key() != vals[i].Key() {
+			t.Fatalf("value %d: %v != %v", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestSchemaRoundTrip(t *testing.T) {
+	s := &Schema{
+		Name: "users",
+		Columns: []Column{
+			{Name: "id", Kind: KindInt, PrimaryKey: true},
+			{Name: "name", Kind: KindString, NotNull: true},
+			{Name: "plan", Kind: KindString, Default: Str("free")},
+		},
+		Indexes: []IndexSpec{
+			{Column: "id", Unique: true, Name: "users_pkey"},
+			{Column: "name", Unique: true, Name: "users_name_idx"},
+		},
+		ForeignKeys: []ForeignKey{
+			{Column: "org_id", ParentTable: "orgs", OnDelete: Cascade, Name: "users_org_id_fkey"},
+		},
+	}
+	b := appendSchema(nil, s)
+	d := &walDecoder{b: b}
+	got := d.schema()
+	if d.err != nil {
+		t.Fatalf("decode: %v", d.err)
+	}
+	if got.Name != s.Name || len(got.Columns) != 3 || len(got.Indexes) != 2 || len(got.ForeignKeys) != 1 {
+		t.Fatalf("shape mismatch: %+v", got)
+	}
+	if !got.Columns[0].PrimaryKey || !got.Columns[1].NotNull || got.Columns[2].Default.S != "free" {
+		t.Fatalf("column attrs lost: %+v", got.Columns)
+	}
+	if !got.Indexes[1].Unique || got.Indexes[1].Name != "users_name_idx" {
+		t.Fatalf("index attrs lost: %+v", got.Indexes)
+	}
+	if got.ForeignKeys[0].OnDelete != Cascade || got.ForeignKeys[0].ParentTable != "orgs" {
+		t.Fatalf("fk attrs lost: %+v", got.ForeignKeys)
+	}
+}
+
+func TestScanWALStopsAtDamage(t *testing.T) {
+	frame := func(payload []byte) []byte {
+		b := make([]byte, walHeaderSize+len(payload))
+		binary.BigEndian.PutUint32(b[0:4], uint32(len(payload)))
+		binary.BigEndian.PutUint32(b[4:8], crc32.Checksum(payload, crcTable))
+		copy(b[walHeaderSize:], payload)
+		return b
+	}
+	r1, r2 := frame([]byte("alpha")), frame([]byte("beta-record"))
+	whole := append(append([]byte{}, r1...), r2...)
+
+	if s := scanWAL(nil); len(s.payloads) != 0 || s.validLen != 0 || s.tornTail != 0 {
+		t.Fatalf("empty scan: %+v", s)
+	}
+	if s := scanWAL(whole); len(s.payloads) != 2 || s.tornTail != 0 || s.corrupt {
+		t.Fatalf("clean scan: %+v", s)
+	}
+	// Torn: every strict prefix of the second record parses to just the first.
+	for cut := int64(len(r1)); cut < int64(len(whole)); cut++ {
+		s := scanWAL(whole[:cut])
+		if len(s.payloads) != 1 || s.validLen != int64(len(r1)) || s.tornTail != cut-int64(len(r1)) {
+			t.Fatalf("cut %d: %+v", cut, s)
+		}
+	}
+	// Corrupt: flip one payload byte of the second record.
+	bad := append([]byte{}, whole...)
+	bad[len(r1)+walHeaderSize] ^= 0xff
+	if s := scanWAL(bad); len(s.payloads) != 1 || !s.corrupt {
+		t.Fatalf("corrupt scan: %+v", s)
+	}
+	// A nonsense length field is corruption, not an allocation request.
+	huge := append([]byte{}, r1...)
+	huge = append(huge, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0)
+	if s := scanWAL(huge); len(s.payloads) != 1 || !s.corrupt {
+		t.Fatalf("huge-length scan: %+v", s)
+	}
+}
+
+// TestWALFsyncFailureRollsBack proves a failed fsync cannot acknowledge a
+// commit whose record might replay: the record is rolled back from the file
+// and the next commit lands where the failed one would have.
+func TestWALFsyncFailureRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	fail := false
+	db := durableDB(t, dir, Options{FaultHook: func(op string) error {
+		if op == "wal.fsync" && fail {
+			return errors.New("injected fsync failure")
+		}
+		return nil
+	}})
+	mustCreate(t, db, kvSchema("kv"))
+	insertKV(t, db, "kv", "a", "1")
+	before := walSize(t, dir)
+
+	fail = true
+	tx := db.BeginDefault()
+	if _, _, err := tx.Insert("kv", map[string]Value{"key": Str("b"), "value": Str("2")}); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit survived fsync failure")
+	}
+	if got := walSize(t, dir); got != before {
+		t.Fatalf("wal grew across failed commit: %d -> %d", before, got)
+	}
+	fail = false
+	insertKV(t, db, "kv", "c", "3")
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	re := durableDB(t, dir, Options{})
+	defer re.Close()
+	if n := countRows(t, re, "kv", nil); n != 2 {
+		t.Fatalf("recovered %d rows, want 2 (a and c, never b)", n)
+	}
+	if n := countRows(t, re, "kv", &EqFilter{Column: "key", Value: Str("b")}); n != 0 {
+		t.Fatal("aborted commit replayed")
+	}
+}
+
+// TestWALAppendFailureAborts: an append fault leaves nothing in the log and
+// nothing installed.
+func TestWALAppendFailureAborts(t *testing.T) {
+	dir := t.TempDir()
+	fail := false
+	db := durableDB(t, dir, Options{FaultHook: func(op string) error {
+		if op == "wal.append" && fail {
+			return errors.New("injected append failure")
+		}
+		return nil
+	}})
+	mustCreate(t, db, kvSchema("kv"))
+	fail = true
+	tx := db.BeginDefault()
+	if _, _, err := tx.Insert("kv", map[string]Value{"key": Str("x"), "value": Str("1")}); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit survived append failure")
+	}
+	if err := db.CreateTable(kvSchema("other")); err == nil {
+		t.Fatal("DDL survived append failure")
+	}
+	fail = false
+	if n := countRows(t, db, "kv", nil); n != 0 {
+		t.Fatalf("aborted commit visible: %d rows", n)
+	}
+	if _, err := db.Table("other"); err == nil {
+		t.Fatal("aborted DDL visible")
+	}
+	db.Close()
+}
+
+func TestSyncIntervalPolicy(t *testing.T) {
+	dir := t.TempDir()
+	db := durableDB(t, dir, Options{SyncPolicy: SyncInterval, SyncInterval: 5 * time.Millisecond})
+	mustCreate(t, db, kvSchema("kv"))
+	for i := 0; i < 10; i++ {
+		insertKV(t, db, "kv", "k"+formatRowID(RowID(i)), "v")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	re := durableDB(t, dir, Options{})
+	defer re.Close()
+	if n := countRows(t, re, "kv", nil); n != 10 {
+		t.Fatalf("recovered %d rows, want 10", n)
+	}
+}
+
+func TestInMemoryStaysInMemory(t *testing.T) {
+	db := Open(Options{})
+	defer db.Close()
+	mustCreate(t, db, kvSchema("kv"))
+	insertKV(t, db, "kv", "a", "1")
+	if db.wal != nil {
+		t.Fatal("in-memory database opened a wal")
+	}
+	if st := db.Recovery(); st != (RecoveryStats{}) {
+		t.Fatalf("in-memory recovery stats: %+v", st)
+	}
+	if stats, err := db.Checkpoint(); err != nil || stats != (CheckpointStats{}) {
+		t.Fatalf("in-memory checkpoint: %+v, %v", stats, err)
+	}
+}

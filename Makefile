@@ -1,7 +1,7 @@
 GO ?= go
 BENCH ?= BENCH_3.json
 
-.PHONY: check test bench chaos clean
+.PHONY: check test bench chaos obs-smoke profile clean
 
 # check is the full gate: compile, vet, and the whole test suite under the
 # race detector (the plan cache, wire server, and WAL are concurrency-critical).
@@ -20,6 +20,23 @@ test:
 chaos:
 	$(GO) test -race -count=1 -run Chaos ./internal/faultinject ./internal/wire ./internal/storage
 
+# obs-smoke boots a real feraldbd with -metrics-addr and -slow-query, drives
+# load over the wire, and fails on malformed Prometheus text, a dead pprof
+# endpoint, or missing slow-query log lines.
+obs-smoke:
+	$(GO) test -count=1 -run TestObsSmoke ./cmd/feraldbd
+
+# profile captures CPU and heap pprof profiles from a running feraldbd's
+# metrics listener (default 127.0.0.1:6060, override with METRICS_ADDR) into
+# profiles/. Inspect with `go tool pprof profiles/cpu.pprof`.
+METRICS_ADDR ?= 127.0.0.1:6060
+PROFILE_SECONDS ?= 10
+profile:
+	mkdir -p profiles
+	curl -fsS -o profiles/cpu.pprof "http://$(METRICS_ADDR)/debug/pprof/profile?seconds=$(PROFILE_SECONDS)"
+	curl -fsS -o profiles/heap.pprof "http://$(METRICS_ADDR)/debug/pprof/heap"
+	@echo "wrote profiles/cpu.pprof and profiles/heap.pprof"
+
 # bench records the benchmark suite as a test2json event stream; the committed
 # BENCH_<n>.json snapshots (one per PR) are referenced by DESIGN.md.
 bench:
@@ -30,4 +47,4 @@ bench:
 # feralbench -data-dir).
 clean:
 	rm -f feralbench feraldbd feralsql corpusgen railsscan
-	rm -rf data chaos-data bench-data
+	rm -rf data chaos-data bench-data profiles

@@ -12,12 +12,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"feralcc/internal/core"
 	"feralcc/internal/faultinject"
+	"feralcc/internal/obs"
 )
 
 func main() {
@@ -28,6 +30,7 @@ func main() {
 		think   = flag.Duration("think", time.Millisecond, "simulated application-tier latency per request")
 		faults  = flag.String("faults", "", "fault-injection spec applied to stress experiments, e.g. drop=0.01,latency=5ms (see internal/faultinject)")
 		dataDir = flag.String("data-dir", "", "run fig2/fig3 against durable stores rooted here; anomaly counts are taken after a restart")
+		metrics = flag.Bool("metrics", true, "append a compact engine metrics snapshot to the output")
 	)
 	flag.Parse()
 
@@ -61,6 +64,53 @@ func main() {
 		if err := run(study, strings.TrimSpace(id)); err != nil {
 			fmt.Fprintf(os.Stderr, "feralbench: %s: %v\n", id, err)
 			os.Exit(1)
+		}
+	}
+	if *metrics {
+		fmt.Println()
+		printMetricsSnapshot(os.Stdout)
+	}
+}
+
+// printMetricsSnapshot appends a compact digest of the process-wide metrics
+// to the BENCH output, so a run's artifact carries the engine-side story
+// (commits, aborts, contention, durability cost) alongside the anomaly
+// counts. Zero-valued series are omitted; scrape /metrics on a live feraldbd
+// for the full catalog.
+func printMetricsSnapshot(w io.Writer) {
+	r := obs.Default()
+	fmt.Fprintln(w, "--- metrics snapshot ---")
+	counters := []string{
+		"feraldb_storage_commits_total",
+		`feraldb_storage_aborts_total{reason="serialization"}`,
+		`feraldb_storage_aborts_total{reason="unique"}`,
+		`feraldb_storage_aborts_total{reason="foreign_key"}`,
+		`feraldb_storage_aborts_total{reason="deadlock"}`,
+		`feraldb_storage_aborts_total{reason="deadline"}`,
+		"feraldb_storage_lock_waits_total",
+		"feraldb_storage_lock_timeouts_total",
+		"feraldb_storage_wal_appends_total",
+		"feraldb_storage_wal_fsyncs_total",
+		"feraldb_plancache_hits_total",
+		"feraldb_plancache_misses_total",
+		"feraldb_db_retries_total",
+		"feraldb_client_redials_total",
+		"feraldb_appserver_requests_total",
+	}
+	for _, name := range counters {
+		if v := r.CounterValue(name); v != 0 {
+			fmt.Fprintf(w, "%-52s %d\n", name, v)
+		}
+	}
+	hists := []string{
+		"feraldb_statement_seconds",
+		"feraldb_storage_commit_seconds",
+		"feraldb_storage_lock_wait_seconds",
+		"feraldb_storage_wal_fsync_seconds",
+	}
+	for _, name := range hists {
+		if s, ok := r.HistogramSnapshot(name); ok && s.Count > 0 {
+			fmt.Fprintf(w, "%-52s count=%d p50=%v p95=%v p99=%v\n", name, s.Count, s.P50, s.P95, s.P99)
 		}
 	}
 }

@@ -22,12 +22,16 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"feralcc/internal/obs"
 	"feralcc/internal/storage"
 	"feralcc/internal/wire"
 )
@@ -41,6 +45,9 @@ func main() {
 		dataDir = flag.String("data-dir", "", "durable data directory (empty = in-memory)")
 		sync    = flag.String("sync", "always", "WAL fsync policy: always, interval, or off")
 		vacuum  = flag.Duration("vacuum-interval", 0, "period between Vacuum+checkpoint passes (0 = never)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /statusz, and /debug/pprof on this address (empty = disabled)")
+		slowQuery   = flag.Duration("slow-query", 0, "log statements slower than this, with trace ID and span breakdown (0 = disabled)")
 	)
 	flag.Parse()
 	level, err := storage.ParseIsolationLevel(*iso)
@@ -69,10 +76,36 @@ func main() {
 	}
 
 	srv := wire.NewServer(store, log.Printf)
+	srv.SetSlowQuery(*slowQuery)
 	if err := srv.Listen(*addr); err != nil {
 		log.Fatalf("feraldbd: %v", err)
 	}
 	log.Printf("feraldbd listening on %s", srv.Addr())
+
+	startTime := time.Now()
+	if *metricsAddr != "" {
+		statusz := func() any {
+			return map[string]any{
+				"addr":           srv.Addr(),
+				"isolation":      fmt.Sprint(level),
+				"phantom_bug":    *bug,
+				"durable":        *dataDir != "",
+				"sync":           fmt.Sprint(policy),
+				"slow_query":     slowQuery.String(),
+				"uptime_seconds": time.Since(startTime).Seconds(),
+			}
+		}
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("feraldbd: metrics listen: %v", err)
+		}
+		log.Printf("feraldbd metrics on %s", mln.Addr())
+		go func() {
+			if err := http.Serve(mln, obs.Handler(obs.Default(), statusz)); err != nil {
+				log.Printf("feraldbd: metrics server: %v", err)
+			}
+		}()
+	}
 
 	stopVacuum := make(chan struct{})
 	if *vacuum > 0 {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"feralcc/internal/db"
+	"feralcc/internal/obs"
 	"feralcc/internal/storage"
 )
 
@@ -210,6 +211,47 @@ func Run(t *testing.T, factory Factory) {
 		res, err := conn.Exec("SELECT COUNT(*) FROM kv")
 		if err != nil || res.Rows[0][0].I != 1 {
 			t.Fatalf("fresh transaction after cancel: %+v %v", res, err)
+		}
+	})
+
+	t.Run("TraceRoundTrip", func(t *testing.T) {
+		// Every Result carries the statement's trace — ID, plan-cache verdict,
+		// span timings — and both sides of the seam must agree: what the
+		// embedded session records is what the wire client gets back, spans
+		// intact, after a full protocol round trip.
+		conn := factory(t)
+		mustExec(t, conn, "CREATE TABLE kv (id BIGINT PRIMARY KEY, key TEXT)")
+		ins, err := conn.Exec("INSERT INTO kv (key) VALUES ('traced')")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ins.Trace.ID == 0 {
+			t.Fatal("autocommit insert returned a zero trace ID")
+		}
+		if ins.Trace.Span(obs.SpanExec) <= 0 {
+			t.Fatalf("exec span missing from trace: %s", ins.Trace.String())
+		}
+		if ins.Trace.Span(obs.SpanCommit) <= 0 {
+			t.Fatalf("autocommit insert recorded no commit span: %s", ins.Trace.String())
+		}
+		sel, err := conn.Exec("SELECT COUNT(*) FROM kv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sel.Trace.ID == 0 || sel.Trace.ID == ins.Trace.ID {
+			t.Fatalf("statements must get distinct non-zero trace IDs: %016x then %016x",
+				ins.Trace.ID, sel.Trace.ID)
+		}
+		if sel.Trace.Span(obs.SpanExec) <= 0 {
+			t.Fatalf("exec span missing from select trace: %s", sel.Trace.String())
+		}
+		// Repeating the identical SQL must report a plan-cache hit.
+		sel2, err := conn.Exec("SELECT COUNT(*) FROM kv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sel2.Trace.CacheHit {
+			t.Fatalf("repeated statement did not report a plan-cache hit: %s", sel2.Trace.String())
 		}
 	})
 }

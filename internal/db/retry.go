@@ -29,8 +29,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"feralcc/internal/obs"
 	"feralcc/internal/storage"
 )
+
+// mRetries counts automatic re-attempts across every Reliable connection in
+// the process, mirroring the per-connection RetryStats into the scrape.
+var mRetries = obs.NewCounter(obs.Default(),
+	"feraldb_db_retries_total", "Automatic statement/transaction retries by Reliable connections")
 
 // ErrConnDropped reports that the connection to the database was lost (or
 // deliberately severed by fault injection) before the statement's outcome
@@ -214,6 +220,7 @@ func (r *reliableConn) Prepare(sql string) (Stmt, error) {
 	for attempt := 1; err != nil && Retryable(err) && r.policy.Enabled() && attempt <= r.policy.MaxRetries; attempt++ {
 		time.Sleep(r.policy.Backoff(attempt))
 		atomic.AddUint64(&r.retries, 1)
+		mRetries.Inc()
 		st, err = r.conn.Prepare(sql)
 	}
 	if err != nil {
@@ -309,6 +316,7 @@ func (r *reliableConn) exec(ctx context.Context, sql string, args []storage.Valu
 		}
 		time.Sleep(r.policy.Backoff(attempt))
 		atomic.AddUint64(&r.retries, 1)
+		mRetries.Inc()
 		if r.txLog != nil || kind == kindCommit {
 			if r.txLog == nil || r.overflow {
 				// Nothing (or not everything) to replay: surface the error to

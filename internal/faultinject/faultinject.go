@@ -190,13 +190,28 @@ type point struct {
 	fires map[Kind]uint64
 }
 
+// FiredFault is the ledger entry for one fired fault: which point, which
+// kind, and the trace ID of the statement it hit (0 when the firing layer
+// had no statement in hand — e.g. a background fsync).
+type FiredFault struct {
+	Point   string
+	Kind    Kind
+	TraceID uint64
+}
+
+// firedLedgerCap bounds the fired-fault ledger; older entries are dropped
+// first, as chaos assertions care about recent pairings.
+const firedLedgerCap = 4096
+
 // Injector evaluates armed rules at named points. A nil *Injector is valid
 // and never fires, so production paths carry one pointer and no branches
 // beyond a nil check.
 type Injector struct {
-	seed int64
-	mu   sync.Mutex
-	pts  map[string]*point
+	seed  int64
+	mu    sync.Mutex
+	pts   map[string]*point
+	fired []FiredFault
+	logf  func(format string, args ...any)
 }
 
 // New creates an injector whose decisions derive entirely from seed.
@@ -232,10 +247,41 @@ func (in *Injector) Disarm(pointName string) {
 	delete(in.pts, pointName)
 }
 
+// SetLogf installs a logger that receives one line per fired fault, carrying
+// the trace ID of the statement the fault hit — the fault-side half of the
+// slow-query log's trace correlation.
+func (in *Injector) SetLogf(logf func(format string, args ...any)) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.logf = logf
+}
+
+// Fired returns a copy of the fired-fault ledger (most recent last).
+func (in *Injector) Fired() []FiredFault {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]FiredFault(nil), in.fired...)
+}
+
 // Eval draws the next decision for a point. It returns nil when no rule
 // fires. At most one rule fires per evaluation: each armed rule consumes an
 // independent deterministic draw, first firing rule wins, in Arm order.
 func (in *Injector) Eval(pointName string) *Fault {
+	return in.EvalTraced(pointName, 0)
+}
+
+// EvalTraced is Eval for layers that know which statement they are executing:
+// a fired fault is recorded (and logged) with the statement's trace ID, so a
+// chaos run can pair every injected failure with the statement it hit.
+// The trace ID does not participate in the deterministic draw — replays fire
+// the same faults regardless of who carries them.
+func (in *Injector) EvalTraced(pointName string, traceID uint64) *Fault {
 	if in == nil {
 		return nil
 	}
@@ -262,9 +308,20 @@ func (in *Injector) Eval(pointName string) *Fault {
 			break
 		}
 	}
+	var logf func(string, ...any)
+	if fired != nil {
+		in.fired = append(in.fired, FiredFault{Point: pointName, Kind: fired.Kind, TraceID: traceID})
+		if len(in.fired) > firedLedgerCap {
+			in.fired = in.fired[len(in.fired)-firedLedgerCap:]
+		}
+		logf = in.logf
+	}
 	in.mu.Unlock()
 	if fired == nil {
 		return nil
+	}
+	if logf != nil {
+		logf("faultinject: %s fired at %s trace=%016x", fired.Kind, pointName, traceID)
 	}
 	return &Fault{Point: pointName, Kind: fired.Kind, Latency: fired.Latency, err: fired.Err}
 }

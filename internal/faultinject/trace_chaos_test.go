@@ -1,0 +1,112 @@
+package faultinject_test
+
+// Chaos test for fault/trace pairing: when a fault fires, the injector must
+// know WHICH statement it hit. The wire stack threads the client-minted trace
+// ID into every injection point it crosses, so the fired-fault ledger and the
+// statement results can be joined after the fact. Lives in the external test
+// package because it drives the wire server, which itself imports faultinject.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"feralcc/internal/faultinject"
+	"feralcc/internal/storage"
+	"feralcc/internal/wire"
+)
+
+// TestChaosFaultTracePairing arms a rate-1 latency fault (non-failing, so
+// every statement both fires it and completes) at the server's pre-execution
+// point and asserts the fired-fault ledger pairs one-to-one with the trace
+// IDs the clients got back — and that each firing logged the trace ID.
+func TestChaosFaultTracePairing(t *testing.T) {
+	inj := faultinject.New(2015)
+	inj.Arm(faultinject.PointServerExec,
+		faultinject.Rule{Kind: faultinject.KindLatency, Rate: 1, Latency: time.Microsecond})
+	var logMu sync.Mutex
+	var logLines []string
+	inj.SetLogf(func(format string, args ...any) {
+		logMu.Lock()
+		logLines = append(logLines, fmt.Sprintf(format, args...))
+		logMu.Unlock()
+	})
+
+	store := storage.Open(storage.Options{})
+	srv := wire.NewServer(store, nil)
+	srv.SetInjector(inj)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	c, err := wire.DialTimeout(srv.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Every statement below crosses PointServerExec exactly once, so results
+	// and fired faults must match as multisets of trace IDs.
+	want := make(map[uint64]int)
+	res, err := c.Exec("CREATE TABLE kv (id BIGINT PRIMARY KEY, key TEXT)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want[res.Trace.ID]++
+	const inserts = 20
+	for i := 0; i < inserts; i++ {
+		res, err := c.Exec("INSERT INTO kv (key) VALUES (?)", storage.Str(fmt.Sprintf("k%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Trace.ID == 0 {
+			t.Fatalf("insert %d returned a zero trace ID", i)
+		}
+		want[res.Trace.ID]++
+	}
+
+	fired := inj.Fired()
+	if len(fired) != inserts+1 {
+		t.Fatalf("expected %d fired faults (one per statement), got %d", inserts+1, len(fired))
+	}
+	got := make(map[uint64]int)
+	for _, f := range fired {
+		if f.Point != faultinject.PointServerExec {
+			t.Fatalf("fault fired at unexpected point %q", f.Point)
+		}
+		if f.TraceID == 0 {
+			t.Fatal("fired fault recorded a zero trace ID")
+		}
+		got[f.TraceID]++
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fired trace IDs don't match statement results: %d distinct fired vs %d statements",
+			len(got), len(want))
+	}
+	for id, n := range want {
+		if got[id] != n {
+			t.Fatalf("trace %016x: statement ran %d time(s) but fired %d fault(s)", id, n, got[id])
+		}
+	}
+
+	// Each firing logged a line naming the point and the statement's trace.
+	logMu.Lock()
+	defer logMu.Unlock()
+	if len(logLines) != inserts+1 {
+		t.Fatalf("expected %d fault log lines, got %d", inserts+1, len(logLines))
+	}
+	logged := make(map[string]bool)
+	for _, line := range logLines {
+		logged[line] = true
+	}
+	for id := range want {
+		line := fmt.Sprintf("faultinject: latency fired at %s trace=%016x",
+			faultinject.PointServerExec, id)
+		if !logged[line] {
+			t.Fatalf("no fault log line for trace %016x; lines: %q", id, logLines)
+		}
+	}
+}

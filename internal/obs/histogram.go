@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// histBuckets is the number of power-of-two duration buckets. Bucket i
+	// holds observations d (in nanoseconds) with bits.Len64(d) == i, i.e.
+	// d in [2^(i-1), 2^i); bucket 0 holds d == 0 and the last bucket is the
+	// catch-all for anything at or beyond 2^(histBuckets-2) ns (~4.6 min).
+	histBuckets = 39
+	// histShards spreads concurrent writers across independent cache lines
+	// so a hot histogram (one Observe per commit) does not serialize cores
+	// on a single contended counter. Must be a power of two.
+	histShards = 8
+)
+
+// histShard is one writer stripe. The pad keeps shards on separate cache
+// lines; counts and sum are updated with independent atomics, so a snapshot
+// taken mid-observation may see the count without the sum (or vice versa) —
+// Snapshot documents the resulting tolerance.
+type histShard struct {
+	counts [histBuckets]atomic.Uint64
+	sum    atomic.Int64 // total observed nanoseconds
+	_      [6]uint64    // pad to a cache-line multiple
+}
+
+// Histogram is a fixed-bucket latency histogram. Observe is wait-free and
+// allocation-free: one atomic add into a power-of-two bucket plus one into
+// the shard's running sum.
+type Histogram struct {
+	shards [histShards]histShard
+	name   string
+	help   string
+}
+
+// bucketOf maps a non-negative nanosecond count to its bucket index.
+func bucketOf(ns uint64) int {
+	b := bits.Len64(ns)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// BucketUpper returns the exclusive upper bound of bucket i in seconds, as
+// rendered in the `le` label. The last bucket's bound is +Inf.
+func BucketUpper(i int) float64 {
+	return float64(uint64(1)<<uint(i)) / 1e9
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	// Shard by a mix of the value: no per-goroutine state is needed, and
+	// real latencies differ in their low bits nearly always, so concurrent
+	// writers spread across stripes.
+	s := &h.shards[mix64(ns)&(histShards-1)]
+	s.counts[bucketOf(ns)].Add(1)
+	s.sum.Add(int64(ns))
+}
+
+// Name returns the name the histogram was registered under.
+func (h *Histogram) Name() string { return h.name }
+
+// HistSnapshot is a point-in-time aggregate of a histogram.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     time.Duration
+	P50     time.Duration
+	P95     time.Duration
+	P99     time.Duration
+	Buckets [histBuckets]uint64 // non-cumulative per-bucket counts
+}
+
+// Snapshot aggregates all shards. It is safe against concurrent Observe
+// calls: each bucket read is atomic, so the snapshot is a consistent lower
+// bound of the live state, though Sum and Count may disagree by the handful
+// of observations in flight between their two atomic adds.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	var sum int64
+	for i := range h.shards {
+		sh := &h.shards[i]
+		for b := 0; b < histBuckets; b++ {
+			s.Buckets[b] += sh.counts[b].Load()
+		}
+		sum += sh.sum.Load()
+	}
+	for b := 0; b < histBuckets; b++ {
+		s.Count += s.Buckets[b]
+	}
+	s.Sum = time.Duration(sum)
+	s.P50 = s.quantile(0.50)
+	s.P95 = s.quantile(0.95)
+	s.P99 = s.quantile(0.99)
+	return s
+}
+
+// quantile returns the upper bound of the bucket containing the q-th
+// observation — an overestimate by at most 2x, which is the resolution the
+// power-of-two buckets buy in exchange for fixed memory and wait-free writes.
+func (s *HistSnapshot) quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(s.Count))
+	if target >= s.Count {
+		target = s.Count - 1
+	}
+	var cum uint64
+	for b := 0; b < histBuckets; b++ {
+		cum += s.Buckets[b]
+		if cum > target {
+			return time.Duration(uint64(1) << uint(b))
+		}
+	}
+	return time.Duration(uint64(1) << uint(histBuckets-1))
+}
+
+// mix64 is the SplitMix64 finalizer: full avalanche so adjacent values land
+// in different shards.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the operational endpoints feraldbd exposes on its metrics
+// listener:
+//
+//	/metrics        — reg in the Prometheus text exposition format
+//	/statusz        — statusz() rendered as indented JSON (nil = empty object)
+//	/debug/pprof/*  — the standard runtime profiles (CPU, heap, goroutine, …)
+//
+// The pprof routes are registered explicitly rather than through the
+// net/http/pprof side-effect import so nothing leaks onto
+// http.DefaultServeMux.
+func Handler(reg *Registry, statusz func() any) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		var v any = map[string]any{}
+		if statusz != nil {
+			v = statusz()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(v); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,62 @@
+// Package obs is the stack's dependency-free observability core: atomic
+// counters and gauges, sharded power-of-two-bucket latency histograms with
+// quantile snapshots, a registry that renders the Prometheus text exposition
+// format, and a per-statement trace layer whose IDs flow from the client
+// through the wire protocol into the executor and storage engine.
+//
+// The design center is the hot path: Counter.Add, Gauge.Set, and
+// Histogram.Observe are single (or two) atomic operations with no allocation,
+// no locking, and no map lookups, so the storage commit critical section and
+// the wire server's per-request loop can be instrumented without perturbing
+// the latencies they measure. Registration happens once at package init;
+// instrumented code holds *Counter/*Histogram pointers, never name strings.
+package obs
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing uint64. It wraps modulo 2^64 on
+// overflow (native uint64 arithmetic), which Prometheus clients handle as a
+// counter reset.
+type Counter struct {
+	v    atomic.Uint64
+	name string
+	help string
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta. Counters are monotonic by convention; callers pass only
+// non-negative deltas.
+func (c *Counter) Add(delta uint64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Name returns the full series name the counter was registered under.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is a settable signed value (pool depths, in-flight counts).
+type Gauge struct {
+	v    atomic.Int64
+	name string
+	help string
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the value by delta (negative deltas decrease it).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Name returns the full series name the gauge was registered under.
+func (g *Gauge) Name() string { return g.name }

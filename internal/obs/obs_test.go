@@ -1,0 +1,327 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterOverflowWraps(t *testing.T) {
+	r := NewRegistry()
+	c := NewCounter(r, "wrap_total", "overflow test")
+	c.Add(math.MaxUint64)
+	if got := c.Value(); got != math.MaxUint64 {
+		t.Fatalf("Value() = %d, want MaxUint64", got)
+	}
+	// Native modulo-2^64 wrap: Prometheus treats the drop as a counter reset.
+	c.Add(2)
+	if got := c.Value(); got != 1 {
+		t.Fatalf("after overflow Value() = %d, want 1", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := NewGauge(r, "depth", "gauge test")
+	g.Set(5)
+	g.Add(-2)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 3 {
+		t.Fatalf("Value() = %d, want 3", got)
+	}
+}
+
+func TestRegistryReturnsExistingOnReRegister(t *testing.T) {
+	r := NewRegistry()
+	a := NewCounter(r, `x_total{k="v"}`, "h")
+	b := NewCounter(r, `x_total{k="v"}`, "h")
+	if a != b {
+		t.Fatal("re-registration returned a different counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	NewGauge(r, `x_total{k="w"}`, "h")
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := NewHistogram(r, "lat_seconds", "latency test")
+	// 90 observations at ~1µs, 10 at ~1ms: p50 in the µs bucket, p99 in ms.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("Count = %d, want 100", s.Count)
+	}
+	want := 90*time.Microsecond + 10*time.Millisecond
+	if s.Sum != want {
+		t.Fatalf("Sum = %v, want %v", s.Sum, want)
+	}
+	if s.P50 < time.Microsecond || s.P50 > 2*time.Microsecond {
+		t.Fatalf("P50 = %v, want ~1–2µs", s.P50)
+	}
+	if s.P99 < time.Millisecond || s.P99 > 2*time.Millisecond {
+		t.Fatalf("P99 = %v, want ~1–2ms", s.P99)
+	}
+	// Negative and zero observations land in bucket 0.
+	h.Observe(0)
+	h.Observe(-time.Second)
+	if got := h.Snapshot().Buckets[0]; got != 2 {
+		t.Fatalf("bucket 0 = %d, want 2", got)
+	}
+}
+
+// TestHistogramConcurrentWriters hammers one histogram from many goroutines
+// while a reader snapshots continuously: under -race this proves the write
+// path is race-free, and the assertions prove snapshots are consistent lower
+// bounds (monotone counts, sum tracking count) while writes are in flight.
+func TestHistogramConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	h := NewHistogram(r, "conc_seconds", "race test")
+	const (
+		writers = 8
+		perW    = 5000
+		obsVal  = 1024 * time.Nanosecond
+	)
+	stop := make(chan struct{})
+	var snapErr error
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		var prev uint64
+		for {
+			s := h.Snapshot()
+			if s.Count < prev {
+				snapErr = failf("snapshot count went backwards: %d -> %d", prev, s.Count)
+				return
+			}
+			prev = s.Count
+			// Shard counts and sums are read at different instants, so a
+			// mid-flight snapshot's Sum can run ahead of its Count by however
+			// many observations landed during the read — the sound bound is
+			// the total planned volume, with exactness checked at the end.
+			if s.Sum > time.Duration(int64(obsVal)*int64(writers*perW)) {
+				snapErr = failf("snapshot sum %v exceeds the %d total observations of %v",
+					s.Sum, writers*perW, obsVal)
+				return
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				h.Observe(obsVal)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+	if snapErr != nil {
+		t.Fatal(snapErr)
+	}
+	s := h.Snapshot()
+	if s.Count != writers*perW {
+		t.Fatalf("final Count = %d, want %d", s.Count, writers*perW)
+	}
+	if s.Sum != time.Duration(int64(obsVal)*writers*perW) {
+		t.Fatalf("final Sum = %v, want %v", s.Sum, time.Duration(int64(obsVal)*writers*perW))
+	}
+}
+
+func failf(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := NewCounter(r, "c_total", "race test")
+	g := NewGauge(r, "g", "race test")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				c.Inc()
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 80000 {
+		t.Fatalf("counter = %d, want 80000", c.Value())
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Value())
+	}
+}
+
+// TestHotPathAllocs pins the acceptance criterion that instrumenting the
+// commit path costs zero allocations: every primitive a hot path touches —
+// counter add, gauge move, histogram observe, trace span accumulate, trace
+// ID mint — must not allocate.
+func TestHotPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := NewCounter(r, "alloc_total", "alloc test")
+	g := NewGauge(r, "alloc_g", "alloc test")
+	h := NewHistogram(r, "alloc_seconds", "alloc test")
+	var tr StmtTrace
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Add(1)
+		h.Observe(137 * time.Nanosecond)
+		tr.Add(SpanCommit, 42*time.Nanosecond)
+		_ = NewTraceID()
+	}); n != 0 {
+		t.Fatalf("hot path allocates %v times per op, want 0", n)
+	}
+}
+
+func TestPrometheusExpositionLints(t *testing.T) {
+	r := NewRegistry()
+	NewCounter(r, `aborts_total{reason="serialization"}`, "aborts by reason").Add(3)
+	NewCounter(r, `aborts_total{reason="unique"}`, "aborts by reason").Add(1)
+	NewCounter(r, "commits_total", "commits").Add(7)
+	NewGauge(r, "inflight", "in-flight").Set(2)
+	h := NewHistogram(r, "commit_seconds", "commit latency")
+	h.Observe(10 * time.Microsecond)
+	h.Observe(3 * time.Millisecond)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE aborts_total counter",
+		`aborts_total{reason="serialization"} 3`,
+		`aborts_total{reason="unique"} 1`,
+		"commits_total 7",
+		"# TYPE inflight gauge",
+		"# TYPE commit_seconds histogram",
+		`commit_seconds_bucket{le="+Inf"} 2`,
+		"commit_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := LintPrometheus(strings.NewReader(out)); err != nil {
+		t.Fatalf("own exposition fails lint: %v\n%s", err, out)
+	}
+	// Cumulative bucket counts must be monotone in le order.
+	var prev uint64
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "commit_seconds_bucket") {
+			continue
+		}
+		v, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q", line)
+		}
+		if v < prev {
+			t.Fatalf("bucket counts not cumulative: %q after %d", line, prev)
+		}
+		prev = v
+	}
+}
+
+func TestLintRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no type":        "foo_total 3\n",
+		"bad value":      "# TYPE x counter\nx pickles\n",
+		"bad name":       "# TYPE x counter\nx 1\n9lives 3\n",
+		"bad label":      "# TYPE x counter\nx{k=unquoted} 1\n",
+		"unknown type":   "# TYPE x widget\nx 1\n",
+		"duplicate type": "# TYPE x counter\n# TYPE x counter\nx 1\n",
+		"empty scrape":   "\n",
+	}
+	for name, in := range cases {
+		if err := LintPrometheus(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: lint accepted %q", name, in)
+		}
+	}
+	good := "# HELP x help text here\n# TYPE x histogram\nx_bucket{le=\"0.1\"} 1\nx_bucket{le=\"+Inf\"} 2\nx_sum 0.5\nx_count 2\n"
+	if err := LintPrometheus(strings.NewReader(good)); err != nil {
+		t.Errorf("lint rejected valid histogram scrape: %v", err)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if a == 0 || b == 0 || a == b {
+		t.Fatalf("trace IDs: %x, %x — want non-zero and distinct", a, b)
+	}
+	var tr StmtTrace
+	tr.Reset(a)
+	tr.CacheHit = true
+	tr.Add(SpanLockWait, 3*time.Millisecond)
+	tr.Add(SpanLockWait, 2*time.Millisecond)
+	tr.Add(SpanCommit, time.Millisecond)
+	if got := tr.Span(SpanLockWait); got != 5*time.Millisecond {
+		t.Fatalf("SpanLockWait = %v, want 5ms", got)
+	}
+	s := tr.String()
+	for _, want := range []string{"trace=", "cache_hit=true", "lock_wait=5ms", "commit=1ms"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trace string %q missing %q", s, want)
+		}
+	}
+	if strings.Contains(s, "parse=") {
+		t.Errorf("trace string %q renders a zero span", s)
+	}
+	// Nil-trace adds are no-ops, so storage paths need no branches.
+	var nilTr *StmtTrace
+	nilTr.Add(SpanCommit, time.Second)
+	tr.Reset(b)
+	if tr.CacheHit || tr.Spans[SpanCommit] != 0 || tr.ID != b {
+		t.Fatalf("Reset left state behind: %+v", tr)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := NewHistogram(r, "bench_seconds", "bench")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		d := time.Duration(1)
+		for pb.Next() {
+			h.Observe(d)
+			d += 137
+		}
+	})
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := NewCounter(r, "bench_total", "bench")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}

@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// A Registry names metrics and renders them in the Prometheus text exposition
+// format. Series are registered once (normally from package init of the
+// instrumented layer) and updated lock-free thereafter; the registry lock is
+// taken only at registration and scrape time.
+//
+// Labeled series are registered under their full name including the label
+// set, e.g. `feraldb_storage_aborts_total{reason="serialization"}`. All
+// series sharing the name before the `{` form one family and share a single
+// # HELP / # TYPE header.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type series struct {
+	name string // full series name, labels included
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []*series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default is the process-wide registry every built-in instrument registers
+// into; feraldbd's /metrics endpoint scrapes it.
+func Default() *Registry { return defaultRegistry }
+
+// familyOf strips the label set: everything before the first '{'.
+func familyOf(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// validName reports whether the metric (family) name is legal Prometheus.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// register adds a series, creating its family on first sight. Registering
+// the same full name twice returns the existing instrument (so tests can
+// re-run package-level setup); a kind mismatch panics — that is a programmer
+// error, not a runtime condition.
+func (r *Registry) register(name, help string, kind metricKind, mk func() *series) *series {
+	fam := familyOf(name)
+	if !validName(fam) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[fam]
+	if f == nil {
+		f = &family{name: fam, help: help, kind: kind}
+		r.families[fam] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s, was %s", name, kind, f.kind))
+	}
+	for _, s := range f.series {
+		if s.name == name {
+			return s
+		}
+	}
+	s := mk()
+	f.series = append(f.series, s)
+	return s
+}
+
+// NewCounter registers (or returns the existing) counter under name.
+func NewCounter(r *Registry, name, help string) *Counter {
+	s := r.register(name, help, kindCounter, func() *series {
+		return &series{name: name, c: &Counter{name: name, help: help}}
+	})
+	return s.c
+}
+
+// NewGauge registers (or returns the existing) gauge under name.
+func NewGauge(r *Registry, name, help string) *Gauge {
+	s := r.register(name, help, kindGauge, func() *series {
+		return &series{name: name, g: &Gauge{name: name, help: help}}
+	})
+	return s.g
+}
+
+// NewHistogram registers (or returns the existing) histogram under name.
+// Histogram names must not carry labels: the exposition appends its own
+// `le` label to the bucket series.
+func NewHistogram(r *Registry, name, help string) *Histogram {
+	if strings.IndexByte(name, '{') >= 0 {
+		panic(fmt.Sprintf("obs: histogram %q must not be labeled", name))
+	}
+	s := r.register(name, help, kindHistogram, func() *series {
+		return &series{name: name, h: &Histogram{name: name, help: help}}
+	})
+	return s.h
+}
+
+// CounterValue returns the value of the counter registered under the full
+// series name, or 0 if absent. Scrape-path convenience for snapshots.
+func (r *Registry) CounterValue(name string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f := r.families[familyOf(name)]; f != nil {
+		for _, s := range f.series {
+			if s.name == name && s.c != nil {
+				return s.c.Value()
+			}
+		}
+	}
+	return 0
+}
+
+// HistogramSnapshot returns a snapshot of the named histogram; ok is false
+// if no histogram is registered under name.
+func (r *Registry) HistogramSnapshot(name string) (HistSnapshot, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f := r.families[name]; f != nil && f.kind == kindHistogram && len(f.series) > 0 {
+		return f.series[0].h.Snapshot(), true
+	}
+	return HistSnapshot{}, false
+}
+
+// WritePrometheus renders every registered family in the text exposition
+// format, families and series in sorted order so scrapes diff cleanly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		sorted := make([]*series, len(f.series))
+		copy(sorted, f.series)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].name < sorted[j].name })
+		for _, s := range sorted {
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(&b, "%s %d\n", s.name, s.c.Value())
+			case kindGauge:
+				fmt.Fprintf(&b, "%s %d\n", s.name, s.g.Value())
+			case kindHistogram:
+				writeHistogram(&b, s.name, s.h.Snapshot())
+			}
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders the cumulative _bucket/_sum/_count triplet.
+func writeHistogram(b *strings.Builder, name string, s HistSnapshot) {
+	var cum uint64
+	for i := 0; i < histBuckets-1; i++ {
+		cum += s.Buckets[i]
+		// Skip runs of empty leading buckets beyond the first to keep the
+		// scrape compact, but always keep monotone cumulative counts: only
+		// buckets whose cumulative value equals the previous line's can be
+		// elided without changing the histogram's meaning.
+		if s.Buckets[i] == 0 && i != 0 && i != histBuckets-2 {
+			continue
+		}
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, formatLE(BucketUpper(i)), cum)
+	}
+	cum += s.Buckets[histBuckets-1]
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(b, "%s_sum %s\n", name, formatFloat(s.Sum.Seconds()))
+	fmt.Fprintf(b, "%s_count %d\n", name, cum)
+}
+
+func formatLE(v float64) string    { return strconv.FormatFloat(v, 'g', -1, 64) }
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

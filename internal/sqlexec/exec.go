@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"feralcc/internal/obs"
 	"feralcc/internal/sqlfront"
 	"feralcc/internal/storage"
 )
@@ -19,6 +20,9 @@ type Result struct {
 	RowsAffected int64
 	// LastInsertID is the primary key assigned to the last inserted row.
 	LastInsertID int64
+	// Trace is the statement's trace record: its ID, plan-cache verdict, and
+	// per-span timings (parse, lock wait, commit, WAL append/fsync, exec).
+	Trace obs.StmtTrace
 }
 
 // Session executes SQL against a database with transaction state, in the
@@ -30,10 +34,28 @@ type Session struct {
 	// stmtDeadline bounds the statement currently executing (zero = none);
 	// set by ExecutePreparedContext from the caller's context deadline.
 	stmtDeadline time.Time
+
+	// trace is the statement trace being built; it lives in the session (not
+	// per statement) so tracing never allocates. The pending* fields stage
+	// state produced before execPlan resets the trace: a caller-supplied ID
+	// (BeginTrace), the plan-cache verdict, and parse time spent in Prepare.
+	trace           obs.StmtTrace
+	pendingTraceID  uint64
+	pendingCacheHit bool
+	pendingParse    time.Duration
 }
 
 // NewSession creates a session on db.
 func NewSession(db *storage.Database) *Session { return &Session{db: db} }
+
+// BeginTrace supplies the trace ID for the next statement this session
+// executes. The wire server calls it with the client-minted ID from the
+// request frame; statements without one mint their own.
+func (s *Session) BeginTrace(id uint64) { s.pendingTraceID = id }
+
+// Trace returns the trace record of the most recently executed statement
+// (valid even when the statement returned an error).
+func (s *Session) Trace() obs.StmtTrace { return s.trace }
 
 // DB returns the underlying database.
 func (s *Session) DB() *storage.Database { return s.db }
@@ -65,10 +87,40 @@ func (s *Session) ExecStmt(stmt sqlfront.Statement, args []storage.Value) (*Resu
 	return s.execPlan(&Prepared{stmt: stmt, nParams: sqlfront.CountPlaceholders(stmt)}, args)
 }
 
-// execPlan executes a plan: transaction control and DDL dispatch directly;
+// execPlan wraps runPlan with the statement's observability envelope: it
+// stamps the trace (caller-minted ID or a fresh one), folds in the staged
+// parse time and cache verdict, times the whole execution as the exec span,
+// and records the per-kind throughput counter. The finished trace is copied
+// into the result so it survives the trip back to the client.
+func (s *Session) execPlan(p *Prepared, args []storage.Value) (*Result, error) {
+	start := time.Now()
+	id := s.pendingTraceID
+	s.pendingTraceID = 0
+	if id == 0 {
+		id = obs.NewTraceID()
+	}
+	s.trace.Reset(id)
+	s.trace.CacheHit = s.pendingCacheHit
+	s.pendingCacheHit = false
+	s.trace.Add(obs.SpanParse, s.pendingParse)
+	s.pendingParse = 0
+
+	res, err := s.runPlan(p, args)
+
+	d := time.Since(start)
+	s.trace.Add(obs.SpanExec, d)
+	mStatementSeconds.Observe(d)
+	stmtKindCounter(p.stmt).Inc()
+	if res != nil {
+		res.Trace = s.trace
+	}
+	return res, err
+}
+
+// runPlan executes a plan: transaction control and DDL dispatch directly;
 // DML/query statements run through the plan's schema resolution inside the
 // open transaction, or autocommit.
-func (s *Session) execPlan(p *Prepared, args []storage.Value) (*Result, error) {
+func (s *Session) runPlan(p *Prepared, args []storage.Value) (*Result, error) {
 	if p.nParams > len(args) {
 		return nil, fmt.Errorf("%w: %d placeholders, %d args", ErrUnboundPlaceholder, p.nParams, len(args))
 	}
@@ -82,6 +134,7 @@ func (s *Session) execPlan(p *Prepared, args []storage.Value) (*Result, error) {
 		} else {
 			s.tx = s.db.BeginDefault()
 		}
+		s.tx.SetTrace(&s.trace)
 		return &Result{}, nil
 	case *sqlfront.CommitStmt:
 		if s.tx == nil {
@@ -120,6 +173,10 @@ func (s *Session) execPlan(p *Prepared, args []storage.Value) (*Result, error) {
 		tx = s.db.BeginDefault()
 		auto = true
 	}
+	// (Re)point the transaction at this statement's trace: for explicit
+	// transactions the same Tx spans many statements, and each statement's
+	// lock waits and (eventually) commit belong to the statement running it.
+	tx.SetTrace(&s.trace)
 	if !s.stmtDeadline.IsZero() {
 		tx.SetStmtDeadline(s.stmtDeadline)
 		defer tx.SetStmtDeadline(time.Time{})

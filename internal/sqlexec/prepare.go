@@ -45,6 +45,7 @@ func (p *Prepared) Epoch() uint64 { return p.epoch }
 // (the statement may legitimately precede its CREATE TABLE), they simply
 // stay unresolved and are looked up at execution.
 func (s *Session) Prepare(sql string) (*Prepared, error) {
+	start := time.Now()
 	stmt, err := sqlfront.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -62,6 +63,9 @@ func (s *Session) Prepare(sql string) (*Prepared, error) {
 			}
 		}
 	}
+	// Stage the parse+resolve time; the next execPlan on this session folds
+	// it into that statement's parse span.
+	s.pendingParse += time.Since(start)
 	return p, nil
 }
 
@@ -216,6 +220,8 @@ func (c *PlanCache) Get(s *Session, sql string) (*Prepared, error) {
 			sh.lru.MoveToFront(el)
 			sh.mu.Unlock()
 			atomic.AddUint64(&c.hits, 1)
+			mPlanHits.Inc()
+			s.pendingCacheHit = true
 			return e.p, nil
 		}
 		sh.lru.Remove(el)
@@ -224,6 +230,8 @@ func (c *PlanCache) Get(s *Session, sql string) (*Prepared, error) {
 	sh.mu.Unlock()
 
 	atomic.AddUint64(&c.misses, 1)
+	mPlanMisses.Inc()
+	s.pendingCacheHit = false
 	p, err := s.Prepare(sql)
 	if err != nil {
 		return nil, err
@@ -240,6 +248,7 @@ func (c *PlanCache) Get(s *Session, sql string) (*Prepared, error) {
 			sh.lru.Remove(oldest)
 			delete(sh.entries, oldest.Value.(*planEntry).sql)
 			atomic.AddUint64(&c.evictions, 1)
+			mPlanEvictions.Inc()
 		}
 	}
 	sh.mu.Unlock()

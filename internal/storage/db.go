@@ -99,7 +99,7 @@ func (db *Database) walAppend(payload []byte) error {
 	if db.wal == nil {
 		return nil
 	}
-	return db.wal.append(payload)
+	return db.wal.append(payload, nil)
 }
 
 // Options returns the options the database was opened with.

@@ -3,6 +3,8 @@ package storage
 import (
 	"sync"
 	"time"
+
+	"feralcc/internal/obs"
 )
 
 // LockMode is the mode of a row or predicate lock. The manager implements
@@ -108,7 +110,7 @@ func newLockManager(timeout time.Duration) *lockManager {
 // until compatible or until the timeout elapses, in which case it returns
 // ErrLockTimeout. Re-acquiring an already-subsumed mode is a no-op.
 func (lm *lockManager) Acquire(owner uint64, key string, mode LockMode) error {
-	return lm.acquire(owner, key, mode, time.Time{})
+	return lm.acquire(owner, key, mode, time.Time{}, nil)
 }
 
 // AcquireUntil is Acquire with a statement deadline layered on the default
@@ -116,10 +118,13 @@ func (lm *lockManager) Acquire(owner uint64, key string, mode LockMode) error {
 // ErrStmtDeadline (the caller's budget ran out) rather than ErrLockTimeout
 // (the engine's deadlock verdict).
 func (lm *lockManager) AcquireUntil(owner uint64, key string, mode LockMode, deadline time.Time) error {
-	return lm.acquire(owner, key, mode, deadline)
+	return lm.acquire(owner, key, mode, deadline, nil)
 }
 
-func (lm *lockManager) acquire(owner uint64, key string, mode LockMode, deadline time.Time) error {
+// acquire is the full-fat entry point: tr, when non-nil, accumulates queued
+// wait time into the statement's lock_wait span. Fast-path grants (the vast
+// majority) record nothing.
+func (lm *lockManager) acquire(owner uint64, key string, mode LockMode, deadline time.Time, tr *obs.StmtTrace) error {
 	wait, timeoutErr := lm.timeout, ErrLockTimeout
 	if !deadline.IsZero() {
 		if until := time.Until(deadline); until < wait {
@@ -158,14 +163,22 @@ func (lm *lockManager) acquire(owner uint64, key string, mode LockMode, deadline
 	}
 	lm.mu.Unlock()
 
+	waitStart := time.Now()
+	mLockWaits.Inc()
 	timer := time.NewTimer(wait)
 	defer timer.Stop()
 	select {
 	case <-w.granted:
+		waited := time.Since(waitStart)
+		mLockWaitSeconds.Observe(waited)
+		tr.Add(obs.SpanLockWait, waited)
 		return nil
 	case <-timer.C:
 		lm.mu.Lock()
 		defer lm.mu.Unlock()
+		waited := time.Since(waitStart)
+		mLockWaitSeconds.Observe(waited)
+		tr.Add(obs.SpanLockWait, waited)
 		if w.done { // granted while the timer fired
 			return nil
 		}
@@ -177,6 +190,7 @@ func (lm *lockManager) acquire(owner uint64, key string, mode LockMode, deadline
 			}
 		}
 		lm.promoteLocked(key, e)
+		mLockTimeouts.Inc()
 		return timeoutErr
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync/atomic"
+	"time"
 )
 
 // RecoveryStats describes what OpenDir found and replayed.
@@ -43,6 +44,7 @@ func OpenDir(opts Options) (*Database, error) {
 	if o.DataDir == "" {
 		return db, nil
 	}
+	recoverStart := time.Now()
 	hook := o.FaultHook
 	if hook != nil {
 		if err := hook("wal.recover"); err != nil {
@@ -104,6 +106,8 @@ func OpenDir(opts Options) (*Database, error) {
 	if err != nil {
 		return nil, fmt.Errorf("storage: open wal for append: %w", err)
 	}
+	mRecoverySeconds.Observe(time.Since(recoverStart))
+	mRecoveryRecords.Add(uint64(db.recovery.RecordsReplayed))
 	return db, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // A snapshot checkpoint is one CRC-framed blob (same length+crc framing as a
@@ -45,6 +46,7 @@ func (db *Database) Checkpoint() (CheckpointStats, error) {
 			return stats, err
 		}
 	}
+	start := time.Now()
 	db.catalogMu.RLock()
 	defer db.catalogMu.RUnlock()
 	db.commitMu.Lock()
@@ -106,6 +108,8 @@ func (db *Database) Checkpoint() (CheckpointStats, error) {
 	if err := db.wal.truncateAll(); err != nil {
 		return stats, err
 	}
+	mCheckpoints.Inc()
+	mCheckpointSeconds.Observe(time.Since(start))
 	return stats, nil
 }
 

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"feralcc/internal/obs"
 )
 
 // writeOp distinguishes buffered write kinds.
@@ -51,6 +53,11 @@ type Tx struct {
 	// Set from the caller's context deadline; lock waits respect it and
 	// expiry surfaces as ErrStmtDeadline.
 	stmtDeadline time.Time
+
+	// trace, when non-nil, accumulates span timings (lock wait, commit, WAL
+	// append/fsync) for the statement currently driving this transaction.
+	// StmtTrace methods are nil-safe, so untraced paths cost one nil check.
+	trace *obs.StmtTrace
 }
 
 // ID returns the transaction's unique id.
@@ -114,6 +121,10 @@ func (tx *Tx) notePredRead(key string) {
 // full lock timeout. A zero time clears the bound.
 func (tx *Tx) SetStmtDeadline(t time.Time) { tx.stmtDeadline = t }
 
+// SetTrace attaches (or detaches, with nil) the statement trace that lock
+// waits and the commit path accumulate spans into.
+func (tx *Tx) SetTrace(tr *obs.StmtTrace) { tx.trace = tr }
+
 // lock acquires a lock for this transaction, remembering that cleanup is
 // needed at finish. The engine fault hook fires first, so chaos tests can
 // nominate this transaction as a deadlock victim deterministically.
@@ -124,10 +135,7 @@ func (tx *Tx) lock(key string, mode LockMode) error {
 		}
 	}
 	tx.tookLocks = true
-	if !tx.stmtDeadline.IsZero() {
-		return tx.db.locks.AcquireUntil(tx.id, key, mode, tx.stmtDeadline)
-	}
-	return tx.db.locks.Acquire(tx.id, key, mode)
+	return tx.db.locks.acquire(tx.id, key, mode, tx.stmtDeadline, tx.trace)
 }
 
 // buildRow materializes a full row image from a column-value map, applying
@@ -562,6 +570,7 @@ func (tx *Tx) Rollback() {
 	}
 	tx.done = true
 	atomic.AddUint64(&tx.db.statAborts, 1)
+	mAbortsRollback.Inc()
 	tx.db.finish(tx)
 }
 
@@ -573,6 +582,7 @@ func (tx *Tx) Commit() error {
 	if err := tx.checkLive(); err != nil {
 		return err
 	}
+	start := time.Now()
 	db := tx.db
 	if hook := db.opts.FaultHook; hook != nil {
 		// The commit fault point: a forced serialization abort here takes the
@@ -580,6 +590,7 @@ func (tx *Tx) Commit() error {
 		if err := hook("commit"); err != nil {
 			tx.done = true
 			atomic.AddUint64(&db.statAborts, 1)
+			recordAbort(err)
 			db.finish(tx)
 			return err
 		}
@@ -594,6 +605,8 @@ func (tx *Tx) Commit() error {
 	if !hasWrites {
 		tx.done = true
 		atomic.AddUint64(&db.statCommits, 1)
+		mCommits.Inc()
+		tx.trace.Add(obs.SpanCommit, time.Since(start))
 		db.finish(tx)
 		return nil
 	}
@@ -604,6 +617,7 @@ func (tx *Tx) Commit() error {
 		db.commitMu.Unlock()
 		tx.done = true
 		atomic.AddUint64(&db.statAborts, 1)
+		recordAbort(err)
 		db.finish(tx)
 		return err
 	}
@@ -613,10 +627,11 @@ func (tx *Tx) Commit() error {
 	// commit with nothing installed — recovery can never observe a
 	// half-applied transaction, and an unlogged one was never acknowledged.
 	if db.wal != nil {
-		if werr := db.wal.append(encodeCommit(tx.writes, commitTS)); werr != nil {
+		if werr := db.wal.append(encodeCommit(tx.writes, commitTS), tx.trace); werr != nil {
 			db.commitMu.Unlock()
 			tx.done = true
 			atomic.AddUint64(&db.statAborts, 1)
+			mAbortsWAL.Inc()
 			db.finish(tx)
 			return fmt.Errorf("commit aborted: %w", werr)
 		}
@@ -629,6 +644,10 @@ func (tx *Tx) Commit() error {
 	tx.done = true
 	atomic.AddUint64(&db.statCommits, 1)
 	db.finish(tx)
+	d := time.Since(start)
+	mCommits.Inc()
+	mCommitSeconds.Observe(d)
+	tx.trace.Add(obs.SpanCommit, d)
 	return nil
 }
 

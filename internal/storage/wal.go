@@ -9,6 +9,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"feralcc/internal/obs"
 )
 
 // The write-ahead log is a single append-only file of checksummed,
@@ -130,8 +132,10 @@ func openWAL(path string, size int64, policy SyncPolicy, interval time.Duration,
 
 // append frames payload and writes it durably per the sync policy. On any
 // failure the log is rolled back to its pre-append length, so the caller can
-// abort the operation knowing recovery will never observe it.
-func (w *wal) append(payload []byte) error {
+// abort the operation knowing recovery will never observe it. tr, when
+// non-nil, receives the statement's wal_append (and nested wal_fsync) spans.
+func (w *wal) append(payload []byte, tr *obs.StmtTrace) error {
+	start := time.Now()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.broken != nil {
@@ -154,16 +158,20 @@ func (w *wal) append(payload []byte) error {
 	w.size = off + int64(len(frame))
 	w.dirty = true
 	if w.policy == SyncAlways {
-		if err := w.fsyncLocked(); err != nil {
+		if err := w.fsyncLocked(tr); err != nil {
 			w.rollbackTo(off)
 			return err
 		}
 	}
+	d := time.Since(start)
+	mWALAppends.Inc()
+	mWALAppendSeconds.Observe(d)
+	tr.Add(obs.SpanWALAppend, d)
 	return nil
 }
 
 // fsyncLocked flushes written records to stable storage. Caller holds w.mu.
-func (w *wal) fsyncLocked() error {
+func (w *wal) fsyncLocked(tr *obs.StmtTrace) error {
 	if !w.dirty {
 		return nil
 	}
@@ -172,9 +180,14 @@ func (w *wal) fsyncLocked() error {
 			return err
 		}
 	}
+	start := time.Now()
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("storage: wal fsync: %w", err)
 	}
+	d := time.Since(start)
+	mWALFsyncs.Inc()
+	mWALFsyncSeconds.Observe(d)
+	tr.Add(obs.SpanWALFsync, d)
 	w.dirty = false
 	return nil
 }
@@ -217,7 +230,7 @@ func (w *wal) syncLoop(interval time.Duration) {
 		select {
 		case <-t.C:
 			w.mu.Lock()
-			_ = w.fsyncLocked()
+			_ = w.fsyncLocked(nil)
 			w.mu.Unlock()
 		case <-w.stop:
 			return
@@ -233,7 +246,7 @@ func (w *wal) close() error {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	err := w.fsyncLocked()
+	err := w.fsyncLocked(nil)
 	if cerr := w.f.Close(); err == nil {
 		err = cerr
 	}

@@ -10,6 +10,7 @@ import (
 
 	"feralcc/internal/db"
 	"feralcc/internal/faultinject"
+	"feralcc/internal/obs"
 	"feralcc/internal/storage"
 )
 
@@ -98,6 +99,9 @@ func (c *Client) connect() error {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
+	if c.gen > 0 {
+		mClientRedials.Inc()
+	}
 	c.conn = conn
 	c.r = bufio.NewReader(conn)
 	c.w = bufio.NewWriter(conn)
@@ -154,6 +158,7 @@ func (c *Client) sendPathErr(err error) error {
 		// The budget ran out mid-send: the statement did not execute, but
 		// the caller's time is spent, so this is a deadline error (transient,
 		// not auto-retried) rather than a retryable drop.
+		mClientDeadlineExpiries.Inc()
 		return fmt.Errorf("%w: %v", storage.ErrStmtDeadline, err)
 	}
 	return fmt.Errorf("%w: %v", db.ErrConnDropped, err)
@@ -164,6 +169,7 @@ func (c *Client) sendPathErr(err error) error {
 func (c *Client) recvPathErr(err error) error {
 	c.sever()
 	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		mClientDeadlineExpiries.Inc()
 		return fmt.Errorf("%w: no response within round-trip budget: %v", storage.ErrStmtDeadline, err)
 	}
 	return &responseLostError{err: err}
@@ -181,6 +187,7 @@ func (c *Client) budgetFor(ctx context.Context) (time.Duration, error) {
 		if dl, ok := ctx.Deadline(); ok {
 			budget = time.Until(dl)
 			if budget <= 0 {
+				mClientDeadlineExpiries.Inc()
 				return 0, fmt.Errorf("%w: context deadline already passed", storage.ErrStmtDeadline)
 			}
 		}
@@ -233,10 +240,16 @@ func (c *Client) roundTrip(ctx context.Context, req *request) (*response, error)
 		return nil, err
 	}
 	req.DeadlineNanos = int64(budget)
+	// Mint the statement's trace ID at the outermost tier: it travels with
+	// the request, the server threads it through the executor and storage,
+	// and the response echoes it back with the span timings.
+	if (req.Type == MsgExec || req.Type == MsgExecute) && req.TraceID == 0 {
+		req.TraceID = obs.NewTraceID()
+	}
 
 	// Client-side send faults fire before any byte is written, so a drop
 	// here is always retry-safe.
-	if f := c.opts.Injector.Eval(faultinject.PointClientSend); f != nil {
+	if f := c.opts.Injector.EvalTraced(faultinject.PointClientSend, req.TraceID); f != nil {
 		switch f.Kind {
 		case faultinject.KindLatency:
 			time.Sleep(f.Latency)
@@ -272,7 +285,7 @@ func (c *Client) roundTrip(ctx context.Context, req *request) (*response, error)
 
 	// Past this point the request is on the wire; failures are no longer
 	// retry-safe (the statement may execute regardless).
-	if f := c.opts.Injector.Eval(faultinject.PointClientRecv); f != nil {
+	if f := c.opts.Injector.EvalTraced(faultinject.PointClientRecv, req.TraceID); f != nil {
 		switch f.Kind {
 		case faultinject.KindLatency:
 			time.Sleep(f.Latency)
@@ -308,6 +321,11 @@ func toResult(resp *response) *db.Result {
 		Columns:      resp.Columns,
 		RowsAffected: resp.RowsAffected,
 		LastInsertID: resp.LastInsertID,
+		Trace: obs.StmtTrace{
+			ID:       resp.TraceID,
+			CacheHit: resp.CacheHit,
+			Spans:    resp.Spans,
+		},
 	}
 	if len(resp.Rows) > 0 {
 		res.Rows = make([][]storage.Value, len(resp.Rows))

@@ -222,12 +222,14 @@ func encodeRequest(b []byte, req *request) []byte {
 		b = appendUvarint(b, uint64(req.DeadlineNanos))
 		b = appendString(b, req.SQL)
 		b = appendValues(b, req.Args)
+		b = appendUvarint(b, req.TraceID)
 	case MsgPrepare:
 		b = appendString(b, req.SQL)
 	case MsgExecute:
 		b = appendUvarint(b, uint64(req.DeadlineNanos))
 		b = appendUvarint(b, req.Handle)
 		b = appendValues(b, req.Args)
+		b = appendUvarint(b, req.TraceID)
 	case MsgCloseStmt:
 		b = appendUvarint(b, req.Handle)
 	}
@@ -242,12 +244,14 @@ func decodeRequest(body []byte) (*request, error) {
 		req.DeadlineNanos = int64(d.uvarint())
 		req.SQL = d.string()
 		req.Args = d.values()
+		req.TraceID = d.uvarint()
 	case MsgPrepare:
 		req.SQL = d.string()
 	case MsgExecute:
 		req.DeadlineNanos = int64(d.uvarint())
 		req.Handle = d.uvarint()
 		req.Args = d.values()
+		req.TraceID = d.uvarint()
 	case MsgCloseStmt:
 		req.Handle = d.uvarint()
 	default:
@@ -276,6 +280,27 @@ func encodeResponse(b []byte, resp *response) []byte {
 	}
 	b = appendVarint(b, resp.RowsAffected)
 	b = appendVarint(b, resp.LastInsertID)
+	b = appendUvarint(b, resp.TraceID)
+	if resp.CacheHit {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	// Spans as (id, nanos) pairs, zeroes omitted: most statements touch only
+	// two or three of the span slots.
+	nz := 0
+	for _, v := range resp.Spans {
+		if v != 0 {
+			nz++
+		}
+	}
+	b = appendUvarint(b, uint64(nz))
+	for i, v := range resp.Spans {
+		if v != 0 {
+			b = append(b, byte(i))
+			b = appendVarint(b, v)
+		}
+	}
 	return b
 }
 
@@ -313,6 +338,21 @@ func decodeResponse(body []byte) (*response, error) {
 	}
 	resp.RowsAffected = d.varint()
 	resp.LastInsertID = d.varint()
+	resp.TraceID = d.uvarint()
+	resp.CacheHit = d.byte() != 0
+	if nspans := d.uvarint(); d.err == nil && nspans > 0 {
+		if nspans > uint64(len(d.buf)-d.off) {
+			d.fail()
+		} else {
+			for i := uint64(0); i < nspans; i++ {
+				id := d.byte()
+				v := d.varint()
+				if d.err == nil && int(id) < len(resp.Spans) {
+					resp.Spans[id] = v
+				}
+			}
+		}
+	}
 	if d.err != nil {
 		return nil, d.err
 	}

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 
+	"feralcc/internal/obs"
 	"feralcc/internal/storage"
 )
 
@@ -125,6 +126,10 @@ type request struct {
 	SQL           string      // MsgExec, MsgPrepare
 	Handle        uint64      // MsgExecute, MsgCloseStmt
 	Args          []wireValue // MsgExec, MsgExecute
+	// TraceID is the client-minted statement trace ID (MsgExec, MsgExecute;
+	// 0 = let the server mint one). The server threads it through the
+	// executor so spans recorded deep in storage carry the client's ID.
+	TraceID uint64
 }
 
 // response is one server->client message.
@@ -137,4 +142,10 @@ type response struct {
 	Rows         [][]wireValue
 	RowsAffected int64
 	LastInsertID int64
+	// Trace echo (CodeOK only): the statement's trace ID, plan-cache
+	// verdict, and the server-side span timings, so the client's Result
+	// carries the same trace the server logged.
+	TraceID  uint64
+	CacheHit bool
+	Spans    [obs.NumSpans]int64
 }

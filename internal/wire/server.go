@@ -28,6 +28,9 @@ type Server struct {
 	ln    net.Listener
 	logf  func(format string, args ...any)
 	inj   *faultinject.Injector
+	// slowQuery, when positive, logs any statement whose execution exceeds
+	// it: one line with duration, trace ID, span breakdown, and SQL.
+	slowQuery time.Duration
 
 	mu       sync.Mutex
 	conns    map[net.Conn]*connState
@@ -60,6 +63,10 @@ func NewServer(store *storage.Database, logf func(string, ...any)) *Server {
 // injection points (faultinject.PointServerRead, PointServerExec,
 // PointServerWrite). Call before Serve.
 func (s *Server) SetInjector(inj *faultinject.Injector) { s.inj = inj }
+
+// SetSlowQuery installs the slow-query threshold (0 disables, the default).
+// Call before Serve.
+func (s *Server) SetSlowQuery(d time.Duration) { s.slowQuery = d }
 
 // Listen binds addr (e.g. "127.0.0.1:5442"). Use Addr to recover the chosen
 // port when addr ends in ":0".
@@ -205,6 +212,9 @@ func (s *Server) handle(conn net.Conn) {
 	if st == nil {
 		return
 	}
+	mConnsTotal.Inc()
+	mConnsInFlight.Inc()
+	defer mConnsInFlight.Dec()
 	session := sqlexec.NewSession(s.store)
 	defer session.Reset()
 
@@ -239,6 +249,7 @@ func (s *Server) handle(conn net.Conn) {
 		if !s.beginStatement(st) {
 			return
 		}
+		mBytesRead.Add(uint64(len(body)) + 4)
 		req, err := decodeRequest(body)
 		if err != nil {
 			// An undecodable frame means the stream is unframed garbage; no
@@ -247,22 +258,26 @@ func (s *Server) handle(conn net.Conn) {
 			s.endStatement(st)
 			return
 		}
+		reqStart := time.Now()
 
 		var resp response
 		switch req.Type {
 		case MsgExec:
-			if fr := s.execFault(session, &resp); fr {
+			if fr := s.execFault(session, &resp, req.TraceID); fr {
 				break
 			}
+			session.BeginTrace(req.TraceID)
 			ctx, cancel := deadlineCtx(req.DeadlineNanos)
 			args := make([]storage.Value, len(req.Args))
 			for i, a := range req.Args {
 				args[i] = fromWire(a)
 			}
 			var res *sqlexec.Result
+			execStart := time.Now()
 			p, err := s.cache.Get(session, req.SQL)
 			if err == nil {
 				res, err = session.ExecutePreparedContext(ctx, p, args...)
+				s.finishExec(session, req.SQL, &resp, time.Since(execStart))
 			}
 			cancel()
 			fillResult(&resp, res, err)
@@ -277,7 +292,7 @@ func (s *Server) handle(conn net.Conn) {
 			resp.Handle = nextHandle
 			resp.NumParams = p.NumParams()
 		case MsgExecute:
-			if fr := s.execFault(session, &resp); fr {
+			if fr := s.execFault(session, &resp, req.TraceID); fr {
 				break
 			}
 			p, ok := stmts[req.Handle]
@@ -285,6 +300,7 @@ func (s *Server) handle(conn net.Conn) {
 				fillResult(&resp, nil, fmt.Errorf("wire: unknown statement handle %d", req.Handle))
 				break
 			}
+			session.BeginTrace(req.TraceID)
 			ctx, cancel := deadlineCtx(req.DeadlineNanos)
 			// Refresh DDL-invalidated plans in the handle table so the
 			// re-parse happens once, not per execution.
@@ -300,14 +316,19 @@ func (s *Server) handle(conn net.Conn) {
 			for i, a := range req.Args {
 				args[i] = fromWire(a)
 			}
+			execStart := time.Now()
 			res, err := session.ExecutePreparedContext(ctx, p, args...)
+			s.finishExec(session, p.SQL(), &resp, time.Since(execStart))
 			cancel()
 			fillResult(&resp, res, err)
 		case MsgCloseStmt:
 			delete(stmts, req.Handle)
 		}
 
-		if f := s.inj.Eval(faultinject.PointServerWrite); f != nil {
+		requestCounter(req.Type).Inc()
+		mRequestSeconds.Observe(time.Since(reqStart))
+
+		if f := s.inj.EvalTraced(faultinject.PointServerWrite, resp.TraceID); f != nil {
 			switch f.Kind {
 			case faultinject.KindLatency:
 				time.Sleep(f.Latency)
@@ -333,6 +354,7 @@ func (s *Server) handle(conn net.Conn) {
 			s.endStatement(st)
 			return
 		}
+		mBytesWritten.Add(uint64(len(buf)) + 4)
 		if err := w.Flush(); err != nil {
 			s.endStatement(st)
 			return
@@ -348,8 +370,8 @@ func (s *Server) handle(conn net.Conn) {
 // faults are reported as a generic injected failure response rather than a
 // severed connection so that pre-execution drops stay request-path-safe for
 // the client's retry logic.
-func (s *Server) execFault(session *sqlexec.Session, resp *response) bool {
-	f := s.inj.Eval(faultinject.PointServerExec)
+func (s *Server) execFault(session *sqlexec.Session, resp *response, traceID uint64) bool {
+	f := s.inj.EvalTraced(faultinject.PointServerExec, traceID)
 	if f == nil {
 		return false
 	}
@@ -370,6 +392,20 @@ func (s *Server) execFault(session *sqlexec.Session, resp *response) bool {
 			return true
 		}
 		return false
+	}
+}
+
+// finishExec stamps the response with the session's statement trace (the
+// client's Result carries it home) and emits the slow-query log line — exactly
+// one per offending statement — when execution exceeded the threshold.
+func (s *Server) finishExec(session *sqlexec.Session, sql string, resp *response, dur time.Duration) {
+	tr := session.Trace()
+	resp.TraceID = tr.ID
+	resp.CacheHit = tr.CacheHit
+	resp.Spans = tr.Spans
+	if s.slowQuery > 0 && dur >= s.slowQuery {
+		mSlowQueries.Inc()
+		s.logf("wire: slow query dur=%s %s sql=%q", dur, tr.String(), sql)
 	}
 }
 

@@ -1,7 +1,7 @@
 GO ?= go
 BENCH ?= BENCH_3.json
 
-.PHONY: check test bench chaos obs-smoke profile clean
+.PHONY: check test bench chaos obs-smoke histcheck lint profile clean
 
 # check is the full gate: compile, vet, and the whole test suite under the
 # race detector (the plan cache, wire server, and WAL are concurrency-critical).
@@ -19,6 +19,28 @@ test:
 # fault point, the torn-write corpus), all from fixed seeds.
 chaos:
 	$(GO) test -race -count=1 -run Chaos ./internal/faultinject ./internal/wire ./internal/storage
+
+# histcheck gates recorded operation histories through the offline Adya
+# checker: seeded lost-update and write-skew shapes plus fixed-seed concurrent
+# workloads at every isolation level (TestGate*, -v so the cycle witnesses
+# print), the engine/conn/wire history suites, and a quick isolation sweep
+# driven through feralbench -check-history. Experiment histories that fail
+# the gate are saved under $(WITNESS_DIR) — CI uploads them as artifacts.
+WITNESS_DIR ?= witnesses
+histcheck:
+	$(GO) test -count=1 -v -run TestGate ./internal/histcheck
+	$(GO) test -count=1 -run 'TestHistory|TestEmbeddedConnHistorySuite|TestWireConnHistorySuite' ./internal/storage ./internal/db ./internal/wire
+	HISTCHECK_WITNESS_DIR=$(WITNESS_DIR) $(GO) run ./cmd/feralbench -experiment isolevels -quick -check-history -metrics=false
+
+# lint runs go vet always and staticcheck when the binary is present (the CI
+# lint job installs it; locally the target degrades to vet alone).
+lint:
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not installed; ran go vet only" ; \
+	fi
 
 # obs-smoke boots a real feraldbd with -metrics-addr and -slow-query, drives
 # load over the wire, and fails on malformed Prometheus text, a dead pprof
@@ -46,5 +68,5 @@ bench:
 # directories left behind by local durable runs (feraldbd -data-dir,
 # feralbench -data-dir).
 clean:
-	rm -f feralbench feraldbd feralsql corpusgen railsscan
-	rm -rf data chaos-data bench-data profiles
+	rm -f feralbench feraldbd feralsql feralcheck corpusgen railsscan
+	rm -rf data chaos-data bench-data profiles witnesses

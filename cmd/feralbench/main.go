@@ -31,6 +31,7 @@ func main() {
 		faults  = flag.String("faults", "", "fault-injection spec applied to stress experiments, e.g. drop=0.01,latency=5ms (see internal/faultinject)")
 		dataDir = flag.String("data-dir", "", "run fig2/fig3 against durable stores rooted here; anomaly counts are taken after a restart")
 		metrics = flag.Bool("metrics", true, "append a compact engine metrics snapshot to the output")
+		checkH  = flag.Bool("check-history", false, "record each experiment cell's operation history and fail the cell if the offline isolation checker (internal/histcheck) finds an anomaly its isolation level proscribes; failing histories are saved under $HISTCHECK_WITNESS_DIR")
 	)
 	flag.Parse()
 
@@ -39,8 +40,12 @@ func main() {
 	study.Quick = *quick
 	study.ThinkTime = *think
 	study.DataDir = *dataDir
+	study.CheckHistory = *checkH
 	if *dataDir != "" {
 		fmt.Printf("durable mode: per-cell stores under %s, anomaly census after recovery\n\n", *dataDir)
+	}
+	if *checkH {
+		fmt.Printf("history checking armed: every cell gated through the Adya isolation checker\n\n")
 	}
 	if *faults != "" {
 		spec, err := faultinject.ParseSpec(*faults)

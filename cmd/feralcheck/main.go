@@ -1,0 +1,86 @@
+// Command feralcheck replays a saved operation history (JSONL, as written by
+// the engine's history recorder or an experiment witness file) through the
+// offline isolation checker and prints the verdict.
+//
+// Usage:
+//
+//	feralcheck history.jsonl [more.jsonl ...]
+//	feralcheck -                      # read one history from stdin
+//	feralbench -check-history ...     # produces witness files on failure
+//
+// The exit status is 0 when every history passes (no anomaly forbidden at
+// its transactions' isolation levels), 1 when any fails, 2 on usage or I/O
+// errors. Anomalies a history's weak levels admit — the lost updates and
+// write skew the paper measures — are reported but do not fail the check;
+// pass -strict to fail on any anomaly at all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"feralcc/internal/histcheck"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("feralcheck", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	strict := fs.Bool("strict", false, "fail on any anomaly, even ones the history's isolation levels admit")
+	quiet := fs.Bool("q", false, "print only failing reports")
+	fs.Usage = func() {
+		fmt.Fprintf(errw, "usage: feralcheck [-strict] [-q] <history.jsonl ...|->\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	status := 0
+	for _, path := range paths {
+		rep, err := checkOne(path)
+		if err != nil {
+			fmt.Fprintf(errw, "feralcheck: %s: %v\n", path, err)
+			return 2
+		}
+		failed := !rep.Pass() || (*strict && len(rep.Findings) != 0)
+		if failed {
+			status = 1
+		}
+		if failed || !*quiet {
+			fmt.Fprintf(out, "%s: %s\n", path, rep)
+		}
+	}
+	return status
+}
+
+// checkOne reads one JSONL history (or stdin for "-") and checks it.
+func checkOne(path string) (*histcheck.Report, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	events, err := histcheck.ReadJSONL(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("no events")
+	}
+	return histcheck.Check(events), nil
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"feralcc/internal/histcheck"
+)
+
+// writeHistory saves events as a JSONL file under t.TempDir().
+func writeHistory(t *testing.T, name string, events []histcheck.Event) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := histcheck.WriteJSONL(f, events); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// cleanHistory is two serial transactions — no anomalies at any level.
+func cleanHistory() []histcheck.Event {
+	return []histcheck.Event{
+		{Seq: 1, Tx: 1, Kind: histcheck.KindBegin, Level: "SERIALIZABLE"},
+		{Seq: 2, Tx: 1, Kind: histcheck.KindWrite, Table: "kv", Row: 1, Op: "insert", Version: 10},
+		{Seq: 3, Tx: 1, Kind: histcheck.KindCommit},
+		{Seq: 4, Tx: 2, Kind: histcheck.KindBegin, Level: "SERIALIZABLE"},
+		{Seq: 5, Tx: 2, Kind: histcheck.KindRead, Table: "kv", Row: 1, Observed: 10},
+		{Seq: 6, Tx: 2, Kind: histcheck.KindCommit},
+	}
+}
+
+// lostUpdateHistory is the classic G-single shape at READ COMMITTED, where
+// it is admitted (the check passes but reports the finding).
+func lostUpdateHistory(level string) []histcheck.Event {
+	return []histcheck.Event{
+		{Seq: 1, Tx: 1, Kind: histcheck.KindBegin, Level: level},
+		{Seq: 2, Tx: 1, Kind: histcheck.KindWrite, Table: "kv", Row: 1, Op: "insert", Version: 10},
+		{Seq: 3, Tx: 1, Kind: histcheck.KindCommit},
+		{Seq: 4, Tx: 2, Kind: histcheck.KindBegin, Level: level},
+		{Seq: 5, Tx: 3, Kind: histcheck.KindBegin, Level: level},
+		{Seq: 6, Tx: 2, Kind: histcheck.KindRead, Table: "kv", Row: 1, Observed: 10},
+		{Seq: 7, Tx: 3, Kind: histcheck.KindWrite, Table: "kv", Row: 1, Op: "update", Version: 20},
+		{Seq: 8, Tx: 3, Kind: histcheck.KindCommit},
+		{Seq: 9, Tx: 2, Kind: histcheck.KindWrite, Table: "kv", Row: 1, Op: "update", Version: 30},
+		{Seq: 10, Tx: 2, Kind: histcheck.KindCommit},
+	}
+}
+
+func TestCleanHistoryExitsZero(t *testing.T) {
+	path := writeHistory(t, "clean.jsonl", cleanHistory())
+	var out, errw strings.Builder
+	if code := run([]string{path}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Fatalf("missing PASS: %s", out.String())
+	}
+}
+
+func TestAdmittedAnomalyPassesUnlessStrict(t *testing.T) {
+	path := writeHistory(t, "lost.jsonl", lostUpdateHistory("READ COMMITTED"))
+	var out, errw strings.Builder
+	if code := run([]string{path}, &out, &errw); code != 0 {
+		t.Fatalf("admitted G-single should exit 0, got %d: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "G-single") {
+		t.Fatalf("report should still name the anomaly: %s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-strict", path}, &out, &errw); code != 1 {
+		t.Fatalf("-strict should exit 1, got %d", code)
+	}
+}
+
+func TestForbiddenAnomalyExitsOne(t *testing.T) {
+	path := writeHistory(t, "violation.jsonl", lostUpdateHistory("SERIALIZABLE"))
+	var out, errw strings.Builder
+	if code := run([]string{path}, &out, &errw); code != 1 {
+		t.Fatalf("forbidden G-single should exit 1, got %d", code)
+	}
+	if !strings.Contains(out.String(), "FAIL") || !strings.Contains(out.String(), "FORBIDDEN") {
+		t.Fatalf("report should show FAIL + FORBIDDEN: %s", out.String())
+	}
+}
+
+func TestQuietSuppressesPassingReports(t *testing.T) {
+	pass := writeHistory(t, "clean.jsonl", cleanHistory())
+	fail := writeHistory(t, "violation.jsonl", lostUpdateHistory("SERIALIZABLE"))
+	var out, errw strings.Builder
+	if code := run([]string{"-q", pass, fail}, &out, &errw); code != 1 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.Contains(out.String(), "clean.jsonl") {
+		t.Fatalf("-q should suppress the passing file: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "violation.jsonl") {
+		t.Fatalf("-q must still print the failing file: %s", out.String())
+	}
+}
+
+func TestUsageAndMissingFile(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run(nil, &out, &errw); code != 2 {
+		t.Fatalf("no args should exit 2, got %d", code)
+	}
+	if code := run([]string{"/nonexistent/history.jsonl"}, &out, &errw); code != 2 {
+		t.Fatalf("missing file should exit 2, got %d", code)
+	}
+}

@@ -96,6 +96,24 @@ func TestObsSmoke(t *testing.T) {
 	addr := waitAddr(addrCh, "listen")
 	metricsAddr := waitAddr(metricsCh, "metrics")
 
+	// The bound address is logged before the HTTP mux necessarily accepts
+	// requests; poll until the observability listener answers rather than
+	// racing the first real GET against server startup.
+	healthDeadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(fmt.Sprintf("http://%s/statusz", metricsAddr))
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(healthDeadline) {
+			t.Fatalf("observability endpoint never became healthy: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
 	// Generate load that exercises the series the scrape must show: commits
 	// (autocommit inserts through the WAL under sync=always) and plan-cache
 	// hits (the INSERT is re-planned once, then hit repeatedly).
@@ -159,10 +177,23 @@ func TestObsSmoke(t *testing.T) {
 	}
 
 	// With -slow-query 1ns every statement is slow: exactly one line each,
-	// carrying a trace ID and at least one span.
+	// carrying a trace ID and at least one span. The lines arrive through the
+	// async stderr scanner, so poll up to a deadline instead of asserting an
+	// instantaneous count, then hold the count stable long enough to catch
+	// overshoot (duplicate logging) as well as undershoot.
+	const stmts = 11 // CREATE + 10 INSERTs
+	lineCount := func() int {
+		logMu.Lock()
+		defer logMu.Unlock()
+		return len(slowLines)
+	}
+	logDeadline := time.Now().Add(10 * time.Second)
+	for lineCount() < stmts && time.Now().Before(logDeadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond) // would catch extra, duplicated lines
 	logMu.Lock()
 	defer logMu.Unlock()
-	const stmts = 11 // CREATE + 10 INSERTs
 	if len(slowLines) != stmts {
 		t.Fatalf("expected %d slow-query lines, got %d:\n%s",
 			stmts, len(slowLines), strings.Join(slowLines, "\n"))

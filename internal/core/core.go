@@ -37,6 +37,12 @@ type Study struct {
 	// anomaly census after a close-and-recover cycle, so reported duplicates
 	// are restart-surviving ones.
 	DataDir string
+	// CheckHistory records every experiment cell's operation history and runs
+	// the offline isolation checker (internal/histcheck) over it after the
+	// workload quiesces. A cell whose history exhibits an anomaly its
+	// isolation level proscribes fails; anomalies the level admits — the ones
+	// the paper measures — pass. Enabled by feralbench -check-history.
+	CheckHistory bool
 
 	analysis *experiment.CorpusAnalysis
 }
@@ -80,6 +86,7 @@ func (s *Study) StressConfig() experiment.StressConfig {
 		}
 	}
 	cfg.DataDir = s.DataDir
+	cfg.CheckHistory = s.CheckHistory
 	return cfg
 }
 
@@ -95,6 +102,7 @@ func (s *Study) WorkloadConfig() experiment.WorkloadConfig {
 		cfg.Workers = 32
 	}
 	cfg.DataDir = s.DataDir
+	cfg.CheckHistory = s.CheckHistory
 	return cfg
 }
 
@@ -107,6 +115,7 @@ func (s *Study) AssociationStressConfig() experiment.AssociationStressConfig {
 		cfg.Departments = 25
 		cfg.InsertsPerDepartment = 32
 	}
+	cfg.CheckHistory = s.CheckHistory
 	return cfg
 }
 
@@ -121,6 +130,7 @@ func (s *Study) AssociationWorkloadConfig() experiment.AssociationWorkloadConfig
 		cfg.Ops = 50
 		cfg.Workers = 32
 	}
+	cfg.CheckHistory = s.CheckHistory
 	return cfg
 }
 
@@ -171,6 +181,7 @@ func (s *Study) RunIsolationSweep() ([]experiment.IsolationSweepPoint, error) {
 	if s.Quick {
 		cfg.Workers, cfg.Rounds, cfg.Concurrency = 8, 10, 16
 	}
+	cfg.CheckHistory = s.CheckHistory
 	return experiment.RunIsolationSweep(cfg)
 }
 

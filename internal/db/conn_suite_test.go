@@ -2,9 +2,11 @@ package db_test
 
 import (
 	"testing"
+	"time"
 
 	"feralcc/internal/db"
 	"feralcc/internal/db/conntest"
+	"feralcc/internal/histcheck"
 	"feralcc/internal/storage"
 )
 
@@ -16,5 +18,16 @@ func TestEmbeddedConnSuite(t *testing.T) {
 		conn := db.Open(storage.Options{}).Connect()
 		t.Cleanup(func() { conn.Close() })
 		return conn
+	})
+}
+
+// TestEmbeddedConnHistorySuite runs the shared history-capture suite against
+// embedded connections; internal/wire runs the same suite across the
+// protocol, so both seams feed the isolation checker identical histories.
+func TestEmbeddedConnHistorySuite(t *testing.T) {
+	conntest.RunHistory(t, func(t *testing.T) (func() db.Conn, func() []histcheck.Event) {
+		d := db.Open(storage.Options{RecordHistory: true, LockTimeout: 250 * time.Millisecond})
+		t.Cleanup(func() { d.Close() })
+		return d.Connect, d.History
 	})
 }

@@ -1,0 +1,133 @@
+package conntest
+
+import (
+	"strings"
+	"testing"
+
+	"feralcc/internal/db"
+	"feralcc/internal/histcheck"
+)
+
+// HistoryFactory provisions a fresh database opened with history recording
+// enabled. connect opens a new connection to that same database (the history
+// suite needs concurrent sessions); capture snapshots the recorded history.
+type HistoryFactory func(t *testing.T) (connect func() db.Conn, capture func() []histcheck.Event)
+
+// RunHistory exercises history capture through the Conn seam: the same SQL
+// driven through an embedded or wire connection must yield a history the
+// offline checker classifies identically.
+func RunHistory(t *testing.T, factory HistoryFactory) {
+	t.Run("CapturesCommitAndRollback", func(t *testing.T) {
+		connect, capture := factory(t)
+		conn := connect()
+		defer conn.Close()
+		mustExec(t, conn, "CREATE TABLE kv (id BIGINT PRIMARY KEY, key TEXT, value TEXT)")
+		mustExec(t, conn, "INSERT INTO kv (key, value) VALUES ('a', 'v0')")
+		mustExec(t, conn, "BEGIN")
+		mustExec(t, conn, "INSERT INTO kv (key, value) VALUES ('doomed', 'x')")
+		mustExec(t, conn, "ROLLBACK")
+		if _, err := conn.Exec("SELECT value FROM kv WHERE key = 'a'"); err != nil {
+			t.Fatal(err)
+		}
+
+		events := capture()
+		var commits, aborts, writes, reads int
+		for _, e := range events {
+			switch e.Kind {
+			case histcheck.KindCommit:
+				commits++
+			case histcheck.KindAbort:
+				aborts++
+			case histcheck.KindWrite:
+				writes++
+			case histcheck.KindRead:
+				reads++
+			}
+		}
+		if commits == 0 || aborts == 0 || writes == 0 || reads == 0 {
+			t.Fatalf("history missing event kinds: commits=%d aborts=%d writes=%d reads=%d",
+				commits, aborts, writes, reads)
+		}
+		rep := histcheck.Check(events)
+		if !rep.Pass() || len(rep.Findings) != 0 {
+			t.Fatalf("sequential workload must check clean:\n%s", rep)
+		}
+	})
+
+	t.Run("LostUpdateWitnessAtReadCommitted", func(t *testing.T) {
+		connect, capture := factory(t)
+		c1, c2 := connect(), connect()
+		defer c1.Close()
+		defer c2.Close()
+		mustExec(t, c1, "CREATE TABLE acct (id BIGINT PRIMARY KEY, owner TEXT, balance BIGINT)")
+		mustExec(t, c1, "INSERT INTO acct (owner, balance) VALUES ('a', 100)")
+
+		mustExec(t, c1, "BEGIN ISOLATION LEVEL READ COMMITTED")
+		if _, err := c1.Exec("SELECT balance FROM acct WHERE owner = 'a'"); err != nil {
+			t.Fatal(err)
+		}
+		// c2 commits a concurrent update between c1's read and c1's write.
+		mustExec(t, c2, "UPDATE acct SET balance = 150 WHERE owner = 'a'")
+		mustExec(t, c1, "UPDATE acct SET balance = 90 WHERE owner = 'a'")
+		mustExec(t, c1, "COMMIT")
+
+		rep := histcheck.Check(capture())
+		t.Logf("report:\n%s", rep)
+		if !rep.Has(histcheck.GSingle) {
+			t.Fatalf("lost update must classify as G-single:\n%s", rep)
+		}
+		if !rep.Pass() {
+			t.Fatalf("G-single is admitted at READ COMMITTED:\n%s", rep)
+		}
+		witnessed := false
+		for _, f := range rep.Findings {
+			if f.Anomaly == histcheck.GSingle && strings.Contains(f.Witness, "--rw[") {
+				witnessed = true
+			}
+		}
+		if !witnessed {
+			t.Fatal("G-single finding lacks an rw-edge witness")
+		}
+	})
+
+	t.Run("SerializableStaysClean", func(t *testing.T) {
+		connect, capture := factory(t)
+		c1, c2 := connect(), connect()
+		defer c1.Close()
+		defer c2.Close()
+		mustExec(t, c1, "CREATE TABLE duty (id BIGINT PRIMARY KEY, doctor TEXT, oncall BIGINT)")
+		mustExec(t, c1, "INSERT INTO duty (doctor, oncall) VALUES ('x', 1)")
+		mustExec(t, c1, "INSERT INTO duty (doctor, oncall) VALUES ('y', 1)")
+
+		// The write-skew shape: each side reads the other's row, then updates
+		// its own. Serializable certification must abort one side.
+		mustExec(t, c1, "BEGIN ISOLATION LEVEL SERIALIZABLE")
+		mustExec(t, c2, "BEGIN ISOLATION LEVEL SERIALIZABLE")
+		if _, err := c1.Exec("SELECT oncall FROM duty WHERE doctor = 'y'"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c2.Exec("SELECT oncall FROM duty WHERE doctor = 'x'"); err != nil {
+			t.Fatal(err)
+		}
+		mustExec(t, c1, "UPDATE duty SET oncall = 0 WHERE doctor = 'x'")
+		mustExec(t, c2, "UPDATE duty SET oncall = 0 WHERE doctor = 'y'")
+		_, err1 := c1.Exec("COMMIT")
+		_, err2 := c2.Exec("COMMIT")
+		if (err1 == nil) == (err2 == nil) {
+			t.Fatalf("serializable certification should abort exactly one side: %v / %v", err1, err2)
+		}
+		aborted := err1
+		if aborted == nil {
+			aborted = err2
+		}
+		if !strings.Contains(aborted.Error(), "serialization") {
+			t.Fatalf("abort should be a serialization failure: %v", aborted)
+		}
+
+		rep := histcheck.Check(capture())
+		t.Logf("report:\n%s", rep)
+		if !rep.Pass() || len(rep.Findings) != 0 {
+			t.Fatalf("SERIALIZABLE history must be anomaly-free:\n%s", rep)
+		}
+	})
+}

@@ -12,6 +12,7 @@ import (
 	"context"
 	"sync"
 
+	"feralcc/internal/histcheck"
 	"feralcc/internal/sqlexec"
 	"feralcc/internal/storage"
 )
@@ -90,6 +91,16 @@ func (d *DB) Store() *storage.Database { return d.store }
 
 // PlanCache exposes the shared plan cache (for stats and tests).
 func (d *DB) PlanCache() *sqlexec.PlanCache { return d.cache }
+
+// History returns the store's recorded operation history (nil unless the
+// database was opened with storage.Options.RecordHistory). Connections —
+// embedded or wire-attached — share the store, so one call captures every
+// transaction the database ran.
+func (d *DB) History() []histcheck.Event { return d.store.History() }
+
+// ResetHistory discards recorded history, e.g. between schema setup and the
+// measured workload.
+func (d *DB) ResetHistory() { d.store.ResetHistory() }
 
 // Connect opens a new connection. All connections of one DB share its plan
 // cache.

@@ -51,6 +51,9 @@ type AssociationStressConfig struct {
 	InsertsPerDepartment int
 	Isolation            storage.IsolationLevel
 	ThinkTime            time.Duration
+	// CheckHistory mirrors StressConfig.CheckHistory: record each cell's
+	// operation history and gate it through the offline isolation checker.
+	CheckHistory bool
 }
 
 // DefaultAssociationStressConfig returns the paper's parameters.
@@ -97,8 +100,12 @@ func associationTables(variant AssociationVariant) (deptModel, userModel, usersT
 	return "ValidatedDepartment", "ValidatedUser", "validated_users", "validated_department_id", "validated_departments"
 }
 
-func newAssociationStack(isolation storage.IsolationLevel, variant AssociationVariant, workers int, think time.Duration) (*db.DB, *appserver.Pool, error) {
-	d := db.Open(storage.Options{DefaultIsolation: isolation, LockTimeout: 2 * time.Second})
+func newAssociationStack(isolation storage.IsolationLevel, variant AssociationVariant, workers int, think time.Duration, recordHistory bool) (*db.DB, *appserver.Pool, error) {
+	d := db.Open(storage.Options{
+		DefaultIsolation: isolation,
+		LockTimeout:      2 * time.Second,
+		RecordHistory:    recordHistory,
+	})
 	registry, err := appserver.AssociationModels()
 	if err != nil {
 		return nil, nil, err
@@ -124,7 +131,7 @@ func newAssociationStack(isolation storage.IsolationLevel, variant AssociationVa
 }
 
 func associationStressCell(cfg AssociationStressConfig, workers int, variant AssociationVariant) (int64, error) {
-	d, pool, err := newAssociationStack(cfg.Isolation, variant, workers, cfg.ThinkTime)
+	d, pool, err := newAssociationStack(cfg.Isolation, variant, workers, cfg.ThinkTime, cfg.CheckHistory)
 	if err != nil {
 		return 0, err
 	}
@@ -177,6 +184,12 @@ func associationStressCell(cfg AssociationStressConfig, workers int, variant Ass
 		}
 		wg.Wait()
 	}
+	if cfg.CheckHistory {
+		label := fmt.Sprintf("assoc-stress-p%d-v%d-%s", workers, variant, cfg.Isolation)
+		if err := verifyHistory(d, label); err != nil {
+			return 0, err
+		}
+	}
 	conn := d.Connect()
 	defer conn.Close()
 	return appserver.CountOrphans(conn, usersTable, fkCol, deptsTable)
@@ -194,6 +207,8 @@ type AssociationWorkloadConfig struct {
 	Isolation storage.IsolationLevel
 	Seed      int64
 	ThinkTime time.Duration
+	// CheckHistory mirrors StressConfig.CheckHistory.
+	CheckHistory bool
 }
 
 // DefaultAssociationWorkloadConfig returns the paper's parameters.
@@ -236,7 +251,7 @@ func RunAssociationWorkload(cfg AssociationWorkloadConfig) ([]AssociationWorkloa
 }
 
 func associationWorkloadCell(cfg AssociationWorkloadConfig, departments int, variant AssociationVariant) (int64, error) {
-	d, pool, err := newAssociationStack(cfg.Isolation, variant, cfg.Workers, cfg.ThinkTime)
+	d, pool, err := newAssociationStack(cfg.Isolation, variant, cfg.Workers, cfg.ThinkTime, cfg.CheckHistory)
 	if err != nil {
 		return 0, err
 	}
@@ -289,6 +304,12 @@ func associationWorkloadCell(cfg AssociationWorkloadConfig, departments int, var
 		}(c)
 	}
 	wg.Wait()
+	if cfg.CheckHistory {
+		label := fmt.Sprintf("assoc-workload-d%d-v%d-%s", departments, variant, cfg.Isolation)
+		if err := verifyHistory(d, label); err != nil {
+			return 0, err
+		}
+	}
 	conn := d.Connect()
 	defer conn.Close()
 	return appserver.CountOrphans(conn, usersTable, fkCol, deptsTable)

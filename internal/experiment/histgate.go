@@ -1,0 +1,69 @@
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"feralcc/internal/db"
+	"feralcc/internal/histcheck"
+)
+
+// WitnessDirEnv names the environment variable that, when set, receives one
+// JSONL history file per failed history check — the artifact CI uploads for
+// post-mortem (`feralcheck <file>` re-runs the verdict offline).
+const WitnessDirEnv = "HISTCHECK_WITNESS_DIR"
+
+// verifyHistory runs the offline isolation checker over the operation
+// history a cell recorded and fails when the history contains an anomaly the
+// cell's isolation level proscribes. Admitted anomalies (the ones the paper
+// *measures* at weak levels) pass — the gate proves the engine delivers the
+// isolation it claims, not that weak levels are strong.
+func verifyHistory(d *db.DB, label string) error {
+	events := d.History()
+	if len(events) == 0 {
+		return nil
+	}
+	rep := histcheck.Check(events)
+	if rep.Pass() {
+		return nil
+	}
+	where := saveWitness(label, events)
+	if where != "" {
+		where = " (history saved to " + where + ")"
+	}
+	return fmt.Errorf("experiment: %s: isolation check failed%s:\n%s", label, where, rep)
+}
+
+// saveWitness writes the failing history as JSONL under $HISTCHECK_WITNESS_DIR
+// and returns the path, or "" when the variable is unset or the write fails
+// (witness capture must never mask the underlying failure).
+func saveWitness(label string, events []histcheck.Event) string {
+	dir := os.Getenv(WitnessDirEnv)
+	if dir == "" {
+		return ""
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return ""
+	}
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		default:
+			return '-'
+		}
+	}, label)
+	path := filepath.Join(dir, clean+".jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "# feralcc history witness: %s\n", label)
+	if err := histcheck.WriteJSONL(f, events); err != nil {
+		return ""
+	}
+	return path
+}

@@ -28,6 +28,10 @@ type IsolationSweepConfig struct {
 	Rounds      int
 	Concurrency int
 	ThinkTime   time.Duration
+	// CheckHistory gates every cell of the sweep through the offline
+	// isolation checker — the strongest use of the gate, since the sweep
+	// visits every level the engine implements.
+	CheckHistory bool
 }
 
 // DefaultIsolationSweepConfig returns a moderate-contention configuration.
@@ -50,11 +54,12 @@ func RunIsolationSweep(cfg IsolationSweepConfig) ([]IsolationSweepPoint, error) 
 		p := IsolationSweepPoint{Level: level}
 
 		sc := StressConfig{
-			Workers:     []int{cfg.Workers},
-			Concurrency: cfg.Concurrency,
-			Rounds:      cfg.Rounds,
-			Isolation:   level,
-			ThinkTime:   cfg.ThinkTime,
+			Workers:      []int{cfg.Workers},
+			Concurrency:  cfg.Concurrency,
+			Rounds:       cfg.Rounds,
+			Isolation:    level,
+			ThinkTime:    cfg.ThinkTime,
+			CheckHistory: cfg.CheckHistory,
 		}
 		dups, stats, err := uniquenessStressCellWithStats(sc, cfg.Workers, FeralValidation)
 		if err != nil {
@@ -69,6 +74,7 @@ func RunIsolationSweep(cfg IsolationSweepConfig) ([]IsolationSweepPoint, error) 
 			InsertsPerDepartment: cfg.Concurrency / 2,
 			Isolation:            level,
 			ThinkTime:            cfg.ThinkTime,
+			CheckHistory:         cfg.CheckHistory,
 		}
 		orphans, err := associationStressCell(ac, cfg.Workers, FeralAssociation)
 		if err != nil {
@@ -90,6 +96,12 @@ func uniquenessStressCellWithStats(cfg StressConfig, workers int, variant Unique
 	defer pool.Close()
 	if err := runStressRounds(pool, model, cfg.Rounds, cfg.Concurrency); err != nil {
 		return 0, storage.Stats{}, err
+	}
+	if cfg.CheckHistory {
+		label := fmt.Sprintf("sweep-p%d-v%d-%s", workers, variant, cfg.Isolation)
+		if err := verifyHistory(d, label); err != nil {
+			return 0, storage.Stats{}, err
+		}
 	}
 	conn := d.Connect()
 	defer conn.Close()

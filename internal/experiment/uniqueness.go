@@ -81,6 +81,11 @@ type StressConfig struct {
 	// did. The WAL runs with SyncOff: the model is process death, and the
 	// experiment's own close/reopen cycle is the crash.
 	DataDir string
+	// CheckHistory records every cell's operation history and, after the
+	// workload quiesces, runs the offline isolation checker over it
+	// (feralbench -check-history). A history containing an anomaly the
+	// cell's isolation level proscribes fails the cell.
+	CheckHistory bool
 }
 
 // DefaultStressConfig returns the paper's parameters.
@@ -132,6 +137,13 @@ func uniquenessStressCell(cfg StressConfig, workers int, variant UniquenessVaria
 		return 0, err
 	}
 	pool.Close()
+	if cfg.CheckHistory {
+		label := fmt.Sprintf("stress-p%d-v%d-%s", workers, variant, cfg.Isolation)
+		if err := verifyHistory(d, label); err != nil {
+			d.Close()
+			return 0, err
+		}
+	}
 	if cfg.DataDir != "" {
 		// Restart the database: every duplicate still counted after recovery
 		// is a durable anomaly, exactly what the paper measured.
@@ -163,6 +175,7 @@ func buildUniquenessStack(cfg StressConfig, workers int, variant UniquenessVaria
 		DefaultIsolation: cfg.Isolation,
 		PhantomBug:       cfg.PhantomBug,
 		LockTimeout:      2 * time.Second,
+		RecordHistory:    cfg.CheckHistory,
 	}
 	if !cfg.Faults.Empty() {
 		inj = cfg.Faults.Injector(cfg.FaultSeed)
@@ -268,6 +281,8 @@ type WorkloadConfig struct {
 	// DataDir mirrors StressConfig.DataDir: durable per-cell stores with the
 	// duplicate census taken after a close-and-recover cycle.
 	DataDir string
+	// CheckHistory mirrors StressConfig.CheckHistory.
+	CheckHistory bool
 }
 
 // DefaultWorkloadConfig returns the paper's parameters.
@@ -314,7 +329,11 @@ func RunUniquenessWorkload(cfg WorkloadConfig) ([]WorkloadPoint, error) {
 }
 
 func uniquenessWorkloadCell(cfg WorkloadConfig, dist string, keys int64, variant UniquenessVariant) (int64, error) {
-	opts := storage.Options{DefaultIsolation: cfg.Isolation, LockTimeout: 2 * time.Second}
+	opts := storage.Options{
+		DefaultIsolation: cfg.Isolation,
+		LockTimeout:      2 * time.Second,
+		RecordHistory:    cfg.CheckHistory,
+	}
 	if cfg.DataDir != "" {
 		opts.DataDir = fmt.Sprintf("%s/workload-%s-k%d-v%d", cfg.DataDir, dist, keys, variant)
 		opts.SyncPolicy = storage.SyncOff
@@ -372,6 +391,12 @@ func uniquenessWorkloadCell(cfg WorkloadConfig, dist string, keys int64, variant
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
+			return 0, err
+		}
+	}
+	if cfg.CheckHistory {
+		label := fmt.Sprintf("workload-%s-k%d-v%d-%s", dist, keys, variant, cfg.Isolation)
+		if err := verifyHistory(d, label); err != nil {
 			return 0, err
 		}
 	}

@@ -1,0 +1,320 @@
+package histcheck
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// hb builds synthetic histories: each helper appends events with sequential
+// Seq numbers, the way a Recorder would stamp them.
+type hb struct {
+	seq    uint64
+	events []Event
+}
+
+func (h *hb) add(e Event) {
+	h.seq++
+	e.Seq = h.seq
+	h.events = append(h.events, e)
+}
+
+func (h *hb) begin(tx uint64, level string) {
+	h.add(Event{Tx: tx, Kind: KindBegin, Level: level})
+}
+func (h *hb) read(tx uint64, table string, row, observed uint64) {
+	h.add(Event{Tx: tx, Kind: KindRead, Table: table, Row: row, Observed: observed})
+}
+func (h *hb) readOwn(tx uint64, table string, row uint64) {
+	h.add(Event{Tx: tx, Kind: KindRead, Table: table, Row: row, Own: true})
+}
+func (h *hb) write(tx uint64, table string, row, version uint64) {
+	h.add(Event{Tx: tx, Kind: KindWrite, Table: table, Row: row, Op: "update", Version: version})
+}
+func (h *hb) commit(tx uint64) { h.add(Event{Tx: tx, Kind: KindCommit}) }
+func (h *hb) abort(tx uint64)  { h.add(Event{Tx: tx, Kind: KindAbort, Reason: "test"}) }
+
+func classes(t *testing.T, rep *Report) []Anomaly {
+	t.Helper()
+	t.Logf("report:\n%s", rep)
+	return rep.Classes()
+}
+
+func wantOnly(t *testing.T, rep *Report, want ...Anomaly) {
+	t.Helper()
+	got := classes(t, rep)
+	if len(got) != len(want) {
+		t.Fatalf("anomaly classes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("anomaly classes = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCleanHistoryPasses(t *testing.T) {
+	var h hb
+	h.begin(1, "SERIALIZABLE")
+	h.write(1, "kv", 1, 10)
+	h.commit(1)
+	h.begin(2, "SERIALIZABLE")
+	h.read(2, "kv", 1, 10)
+	h.write(2, "kv", 2, 11)
+	h.commit(2)
+	rep := Check(h.events)
+	if !rep.Pass() || len(rep.Findings) != 0 {
+		t.Fatalf("clean history should pass with no findings:\n%s", rep)
+	}
+	if rep.Committed != 2 || rep.Transactions != 2 {
+		t.Fatalf("counts: %+v", rep)
+	}
+	if rep.Edges["wr"] != 1 {
+		t.Fatalf("want one wr edge, got %v", rep.Edges)
+	}
+}
+
+func TestG1aAbortedRead(t *testing.T) {
+	var h hb
+	h.begin(1, "READ COMMITTED")
+	h.write(1, "kv", 7, 5) // dirty version that never committed
+	h.abort(1)
+	h.begin(2, "READ COMMITTED")
+	h.read(2, "kv", 7, 5)
+	h.commit(2)
+	rep := Check(h.events)
+	wantOnly(t, rep, G1a)
+	if rep.Pass() {
+		t.Fatal("G1a must be forbidden at every level")
+	}
+	if !strings.Contains(rep.Findings[0].Witness, "aborted T1") {
+		t.Fatalf("witness: %s", rep.Findings[0].Witness)
+	}
+}
+
+func TestG1bIntermediateRead(t *testing.T) {
+	var h hb
+	h.begin(1, "READ COMMITTED")
+	h.write(1, "kv", 3, 5) // intermediate
+	h.write(1, "kv", 3, 6) // final
+	h.commit(1)
+	h.begin(2, "READ COMMITTED")
+	h.read(2, "kv", 3, 5)
+	h.commit(2)
+	rep := Check(h.events)
+	if !rep.Has(G1b) || rep.Pass() {
+		t.Fatalf("want forbidden G1b:\n%s", rep)
+	}
+	if !strings.Contains(rep.Findings[0].Witness, "intermediate") {
+		t.Fatalf("witness: %s", rep.Findings[0].Witness)
+	}
+}
+
+func TestG0WriteCycle(t *testing.T) {
+	var h hb
+	h.begin(1, "READ COMMITTED")
+	h.begin(2, "READ COMMITTED")
+	h.write(1, "kv", 1, 10)
+	h.write(2, "kv", 1, 11) // T1 --ww--> T2 on row 1
+	h.write(2, "kv", 2, 10)
+	h.write(1, "kv", 2, 11) // T2 --ww--> T1 on row 2
+	h.commit(1)
+	h.commit(2)
+	rep := Check(h.events)
+	wantOnly(t, rep, G0)
+	if rep.Pass() {
+		t.Fatal("G0 must be forbidden at every level")
+	}
+}
+
+func TestG1cCircularInformationFlow(t *testing.T) {
+	var h hb
+	h.begin(1, "READ COMMITTED")
+	h.begin(2, "READ COMMITTED")
+	h.write(1, "x", 1, 10)
+	h.read(2, "x", 1, 10) // wr T1 -> T2
+	h.write(2, "y", 1, 10)
+	h.read(1, "y", 1, 10) // wr T2 -> T1
+	h.commit(1)
+	h.commit(2)
+	rep := Check(h.events)
+	wantOnly(t, rep, G1c)
+	if rep.Pass() {
+		t.Fatal("G1c must be forbidden at every level")
+	}
+}
+
+// Lost update is the canonical G-single: T1 reads v1, T2 installs v2, T1
+// blindly installs v3. The cycle is T1 --rw--> T2 --ww--> T1.
+func lostUpdate(level string) []Event {
+	var h hb
+	h.begin(1, level)
+	h.begin(2, level)
+	h.read(1, "kv", 9, 1)
+	h.write(2, "kv", 9, 2)
+	h.commit(2)
+	h.write(1, "kv", 9, 3)
+	h.commit(1)
+	return h.events
+}
+
+func TestGSingleLostUpdate(t *testing.T) {
+	rep := Check(lostUpdate("READ COMMITTED"))
+	wantOnly(t, rep, GSingle)
+	if !rep.Pass() {
+		t.Fatalf("READ COMMITTED admits G-single:\n%s", rep)
+	}
+	f := rep.Findings[0]
+	if !strings.Contains(f.Witness, "--rw[") || !strings.Contains(f.Witness, "--ww[") {
+		t.Fatalf("witness should show the rw+ww cycle: %s", f.Witness)
+	}
+
+	rep = Check(lostUpdate("SNAPSHOT ISOLATION"))
+	if rep.Pass() || !rep.Has(GSingle) {
+		t.Fatalf("SNAPSHOT ISOLATION forbids G-single:\n%s", rep)
+	}
+}
+
+// Write skew is the canonical G2-item: two rw edges and no other cycle.
+func writeSkew(level string) []Event {
+	var h hb
+	h.begin(1, level)
+	h.begin(2, level)
+	h.read(1, "x", 1, 1)
+	h.read(2, "y", 1, 1)
+	h.write(1, "y", 1, 2)
+	h.write(2, "x", 1, 2)
+	h.commit(1)
+	h.commit(2)
+	return h.events
+}
+
+func TestG2ItemWriteSkew(t *testing.T) {
+	rep := Check(writeSkew("SNAPSHOT ISOLATION"))
+	wantOnly(t, rep, G2Item)
+	if !rep.Pass() {
+		t.Fatalf("SNAPSHOT ISOLATION admits G2-item:\n%s", rep)
+	}
+	if rep.Has(GSingle) {
+		t.Fatal("write skew must not classify as G-single")
+	}
+
+	rep = Check(writeSkew("SERIALIZABLE"))
+	if rep.Pass() || !rep.Has(G2Item) {
+		t.Fatalf("SERIALIZABLE forbids G2-item:\n%s", rep)
+	}
+}
+
+func TestOwnReadsAndAbsentReadsProduceNoEdges(t *testing.T) {
+	var h hb
+	h.begin(1, "SERIALIZABLE")
+	h.readOwn(1, "kv", 1)
+	h.read(1, "kv", 2, 0) // absent row
+	h.write(1, "kv", 1, 5)
+	h.commit(1)
+	h.begin(2, "SERIALIZABLE")
+	h.read(2, "kv", 1, 5)
+	h.write(2, "kv", 1, 6)
+	h.commit(2)
+	rep := Check(h.events)
+	if !rep.Pass() || rep.Edges["rw"] != 0 {
+		t.Fatalf("own/absent reads must not create rw edges:\n%s", rep)
+	}
+}
+
+func TestInFlightTransactionsIgnored(t *testing.T) {
+	var h hb
+	h.begin(1, "SERIALIZABLE")
+	h.write(1, "kv", 1, 10)
+	// no commit/abort: captured mid-flight
+	h.begin(2, "SERIALIZABLE")
+	h.read(2, "kv", 1, 10)
+	h.commit(2)
+	rep := Check(h.events)
+	if !rep.Pass() {
+		t.Fatalf("in-flight writers must not trigger findings:\n%s", rep)
+	}
+	if rep.Committed != 1 || rep.Aborted != 0 {
+		t.Fatalf("counts: %+v", rep)
+	}
+}
+
+func TestAllowedSets(t *testing.T) {
+	for _, tc := range []struct {
+		level   string
+		gsingle bool
+		g2      bool
+	}{
+		{"READ COMMITTED", true, true},
+		{"REPEATABLE READ", true, true},
+		{"SNAPSHOT ISOLATION", false, true},
+		{"SERIALIZABLE", false, false},
+		{"SERIALIZABLE 2PL", false, false},
+		{"bogus", false, false},
+	} {
+		a := Allowed(tc.level)
+		if a[GSingle] != tc.gsingle || a[G2Item] != tc.g2 {
+			t.Errorf("Allowed(%q) = %v", tc.level, a)
+		}
+		for _, always := range []Anomaly{G0, G1a, G1b, G1c} {
+			if a[always] {
+				t.Errorf("Allowed(%q) admits %s", tc.level, always)
+			}
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	events := lostUpdate("READ COMMITTED")
+	var buf bytes.Buffer
+	buf.WriteString("# provenance header\n\n")
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("roundtrip len = %d, want %d", len(got), len(events))
+	}
+	for i := range got {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got[i], events[i])
+		}
+	}
+	rep := Check(got)
+	if !rep.Has(GSingle) {
+		t.Fatalf("roundtripped history lost its anomaly:\n%s", rep)
+	}
+}
+
+func TestRecorderStampsSequence(t *testing.T) {
+	r := NewRecorder()
+	r.Append(Event{Tx: 1, Kind: KindBegin})
+	r.Append(Event{Tx: 1, Kind: KindCommit})
+	ev := r.Events()
+	if len(ev) != 2 || ev[0].Seq != 1 || ev[1].Seq != 2 {
+		t.Fatalf("events: %+v", ev)
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("reset should clear events")
+	}
+	r.Append(Event{Tx: 2, Kind: KindBegin})
+	if got := r.Events()[0].Seq; got != 3 {
+		t.Fatalf("sequence must keep counting across Reset, got %d", got)
+	}
+}
+
+func TestReportStringFormats(t *testing.T) {
+	rep := Check(lostUpdate("SERIALIZABLE"))
+	s := rep.String()
+	if !strings.HasPrefix(s, "FAIL:") || !strings.Contains(s, "FORBIDDEN") {
+		t.Fatalf("string: %s", s)
+	}
+	rep = Check(nil)
+	if !strings.Contains(rep.String(), "no anomalies") {
+		t.Fatalf("string: %s", rep.String())
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"feralcc/internal/histcheck"
 )
 
 // Database is an in-memory multi-version relational store. It is safe for
@@ -42,6 +44,10 @@ type Database struct {
 	wal      *wal
 	recovery RecoveryStats
 
+	// hist records per-transaction operation histories for the offline
+	// isolation checker; nil unless Options.RecordHistory is set.
+	hist *histcheck.Recorder
+
 	statCommits  uint64 // atomic
 	statAborts   uint64 // atomic
 	statConflict uint64 // atomic: serialization failures
@@ -74,12 +80,40 @@ func Open(opts Options) *Database {
 
 // newDatabase builds the empty in-memory shell shared by both constructors.
 func newDatabase(o Options) *Database {
-	return &Database{
+	db := &Database{
 		opts:     o,
 		tables:   make(map[string]*table),
 		childFKs: make(map[string][]fkEdge),
 		active:   make(map[uint64]uint64),
 		locks:    newLockManager(o.LockTimeout),
+	}
+	if o.RecordHistory {
+		db.hist = histcheck.NewRecorder()
+	}
+	return db
+}
+
+// History returns a copy of the recorded operation history, or nil when the
+// database was opened without Options.RecordHistory.
+func (db *Database) History() []histcheck.Event {
+	if db.hist == nil {
+		return nil
+	}
+	return db.hist.Events()
+}
+
+// ResetHistory discards recorded events so far, keeping recording enabled.
+// Useful between a setup phase and the measured workload.
+func (db *Database) ResetHistory() {
+	if db.hist != nil {
+		db.hist.Reset()
+	}
+}
+
+// histAppend records one history event; no-op when recording is disabled.
+func (db *Database) histAppend(e histcheck.Event) {
+	if db.hist != nil {
+		db.hist.Append(e)
 	}
 }
 
@@ -386,6 +420,7 @@ func (db *Database) Begin(level IsolationLevel) *Tx {
 	db.activeMu.Lock()
 	db.active[id] = start
 	db.activeMu.Unlock()
+	db.histAppend(histcheck.Event{Tx: id, Kind: histcheck.KindBegin, Level: level.String()})
 	return &Tx{
 		db:      db,
 		id:      id,

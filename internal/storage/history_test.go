@@ -1,0 +1,218 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"feralcc/internal/histcheck"
+)
+
+// histDB opens an in-memory database with history recording on and a short
+// lock timeout so 2PL conflicts resolve quickly in tests.
+func histDB(t *testing.T, level IsolationLevel) *Database {
+	t.Helper()
+	return testDB(t, Options{
+		DefaultIsolation: level,
+		RecordHistory:    true,
+		LockTimeout:      100 * time.Millisecond,
+	})
+}
+
+func getVal(t *testing.T, tx *Tx, table string, id RowID) []Value {
+	t.Helper()
+	vals, err := tx.Get(table, id)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	return vals
+}
+
+func updateVal(t *testing.T, tx *Tx, table string, id RowID, value string) {
+	t.Helper()
+	if err := tx.Update(table, id, map[string]Value{"value": Str(value)}); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+}
+
+// runLostUpdate executes the canonical lost-update interleaving against a
+// single row: both transactions read it, the second commits a new value, the
+// first blindly overwrites. Returns the first transaction's commit error.
+func runLostUpdate(t *testing.T, db *Database, id RowID) error {
+	t.Helper()
+	t1 := db.BeginDefault()
+	t2 := db.BeginDefault()
+	getVal(t, t1, "kv", id)
+	getVal(t, t2, "kv", id)
+	updateVal(t, t2, "kv", id, "t2")
+	if err := t2.Commit(); err != nil {
+		t.Fatalf("t2 commit: %v", err)
+	}
+	updateVal(t, t1, "kv", id, "t1")
+	err := t1.Commit()
+	if err != nil {
+		t1.Rollback()
+	}
+	return err
+}
+
+func TestHistoryLostUpdateAtReadCommitted(t *testing.T) {
+	db := histDB(t, ReadCommitted)
+	mustCreate(t, db, kvSchema("kv"))
+	id := insertKV(t, db, "kv", "a", "v0")
+	if err := runLostUpdate(t, db, id); err != nil {
+		t.Fatalf("READ COMMITTED should admit the blind overwrite: %v", err)
+	}
+	rep := histcheck.Check(db.History())
+	t.Logf("report:\n%s", rep)
+	if !rep.Has(histcheck.GSingle) {
+		t.Fatal("lost update must classify as G-single")
+	}
+	if !rep.Pass() {
+		t.Fatal("G-single is admitted at READ COMMITTED; report must pass")
+	}
+}
+
+func TestHistoryLostUpdatePreventedAtSnapshotIsolation(t *testing.T) {
+	db := histDB(t, SnapshotIsolation)
+	mustCreate(t, db, kvSchema("kv"))
+	id := insertKV(t, db, "kv", "a", "v0")
+	if err := runLostUpdate(t, db, id); !errors.Is(err, ErrSerialization) {
+		t.Fatalf("first-committer-wins should abort the second writer, got %v", err)
+	}
+	rep := histcheck.Check(db.History())
+	t.Logf("report:\n%s", rep)
+	if rep.Has(histcheck.GSingle) {
+		t.Fatal("SNAPSHOT ISOLATION must not exhibit G-single")
+	}
+	if !rep.Pass() {
+		t.Fatalf("aborted conflict must leave a clean history:\n%s", rep)
+	}
+	if rep.Aborted == 0 {
+		t.Fatal("the aborted writer should appear in the history")
+	}
+}
+
+// TestHistoryWriteSkewAtSnapshotIsolation drives the canonical write-skew
+// shape: disjoint write sets, crossed read sets. SI admits it; the checker
+// must classify it as G2-item and nothing stronger.
+func TestHistoryWriteSkewAtSnapshotIsolation(t *testing.T) {
+	db := histDB(t, SnapshotIsolation)
+	mustCreate(t, db, kvSchema("kv"))
+	x := insertKV(t, db, "kv", "x", "on")
+	y := insertKV(t, db, "kv", "y", "on")
+
+	t1 := db.BeginDefault()
+	t2 := db.BeginDefault()
+	getVal(t, t1, "kv", x)
+	getVal(t, t2, "kv", y)
+	updateVal(t, t1, "kv", y, "off")
+	updateVal(t, t2, "kv", x, "off")
+	if err := t1.Commit(); err != nil {
+		t.Fatalf("t1 commit: %v", err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatalf("t2 commit: %v", err)
+	}
+
+	rep := histcheck.Check(db.History())
+	t.Logf("report:\n%s", rep)
+	if !rep.Has(histcheck.G2Item) {
+		t.Fatal("write skew must classify as G2-item")
+	}
+	if rep.Has(histcheck.GSingle) {
+		t.Fatal("write skew must not classify as G-single")
+	}
+	if !rep.Pass() {
+		t.Fatal("G2-item is admitted at SNAPSHOT ISOLATION; report must pass")
+	}
+}
+
+func TestHistorySerializableStaysClean(t *testing.T) {
+	db := histDB(t, Serializable)
+	mustCreate(t, db, kvSchema("kv"))
+	x := insertKV(t, db, "kv", "x", "on")
+	y := insertKV(t, db, "kv", "y", "on")
+
+	t1 := db.BeginDefault()
+	t2 := db.BeginDefault()
+	getVal(t, t1, "kv", x)
+	getVal(t, t2, "kv", y)
+	updateVal(t, t1, "kv", y, "off")
+	updateVal(t, t2, "kv", x, "off")
+	err1 := t1.Commit()
+	err2 := t2.Commit()
+	if (err1 == nil) == (err2 == nil) {
+		t.Fatalf("serializable certification should abort exactly one side: %v / %v", err1, err2)
+	}
+
+	rep := histcheck.Check(db.History())
+	t.Logf("report:\n%s", rep)
+	if len(rep.Findings) != 0 || !rep.Pass() {
+		t.Fatalf("SERIALIZABLE history must be anomaly-free:\n%s", rep)
+	}
+}
+
+func TestHistoryScanRecordsPredicateAndOwnReads(t *testing.T) {
+	db := histDB(t, ReadCommitted)
+	mustCreate(t, db, kvSchema("kv"))
+	insertKV(t, db, "kv", "a", "v0")
+
+	tx := db.BeginDefault()
+	if _, _, err := tx.Insert("kv", map[string]Value{"key": Str("b"), "value": Str("mine")}); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := tx.Scan("kv", ScanOptions{}, func(RowID, []Value) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("scan saw %d rows, want 2", n)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	var preds, ownReads, committedReads int
+	for _, e := range db.History() {
+		switch {
+		case e.Kind == histcheck.KindPredRead:
+			preds++
+		case e.Kind == histcheck.KindRead && e.Own:
+			ownReads++
+		case e.Kind == histcheck.KindRead && e.Observed > 0:
+			committedReads++
+		}
+	}
+	if preds == 0 || ownReads == 0 || committedReads == 0 {
+		t.Fatalf("want predicate, own, and committed reads recorded; got preds=%d own=%d committed=%d",
+			preds, ownReads, committedReads)
+	}
+	if rep := histcheck.Check(db.History()); !rep.Pass() {
+		t.Fatalf("clean workload:\n%s", rep)
+	}
+}
+
+func TestHistoryDisabledByDefaultAndResettable(t *testing.T) {
+	plain := testDB(t, Options{})
+	mustCreate(t, plain, kvSchema("kv"))
+	insertKV(t, plain, "kv", "a", "v0")
+	if h := plain.History(); h != nil {
+		t.Fatalf("recording off should yield a nil history, got %d events", len(h))
+	}
+
+	db := histDB(t, ReadCommitted)
+	mustCreate(t, db, kvSchema("kv"))
+	insertKV(t, db, "kv", "a", "v0")
+	if len(db.History()) == 0 {
+		t.Fatal("setup events should be recorded")
+	}
+	db.ResetHistory()
+	if len(db.History()) != 0 {
+		t.Fatal("reset should discard recorded events")
+	}
+	insertKV(t, db, "kv", "b", "v1")
+	if len(db.History()) == 0 {
+		t.Fatal("recording should continue after reset")
+	}
+}

@@ -151,6 +151,12 @@ type Options struct {
 	// SyncInterval is the background fsync period under SyncInterval policy.
 	// Defaults to 50ms.
 	SyncInterval time.Duration
+	// RecordHistory, when true, makes every transaction emit an operation
+	// history (begins, reads with observed versions, predicate reads,
+	// installed writes, commits, aborts) into an in-memory recorder readable
+	// via Database.History. The histcheck package checks such histories
+	// offline against Adya's isolation model; see internal/histcheck.
+	RecordHistory bool
 }
 
 // withDefaults fills unset options.

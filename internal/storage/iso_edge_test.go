@@ -1,0 +1,193 @@
+package storage
+
+import (
+	"testing"
+
+	"feralcc/internal/histcheck"
+)
+
+// These tests pin the isolation edge cases the history checker exposes:
+// what aborted write buffers leave behind (the engine has no savepoints, so
+// an abort discards the whole buffer), and when the snapshot is acquired
+// relative to Begin and the first statement.
+
+// TestAbortDiscardsOwnWritesEntirely: reads inside a transaction see its own
+// buffered writes; after a savepoint-free abort nothing of them survives —
+// not in later transactions' reads, not as installed versions, and not as
+// write events in the history (which is what makes G1a structurally
+// impossible in this engine).
+func TestAbortDiscardsOwnWritesEntirely(t *testing.T) {
+	for _, level := range []IsolationLevel{ReadCommitted, RepeatableRead, SnapshotIsolation, Serializable, Serializable2PL} {
+		t.Run(level.String(), func(t *testing.T) {
+			db := histDB(t, level)
+			mustCreate(t, db, kvSchema("kv"))
+			id := insertKV(t, db, "kv", "a", "committed")
+
+			tx := db.BeginDefault()
+			updateVal(t, tx, "kv", id, "dirty")
+			nid, _, err := tx.Insert("kv", map[string]Value{"key": Str("b"), "value": Str("dirty-insert")})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Read-own-writes: the transaction observes its buffered images.
+			if got := getVal(t, tx, "kv", id); got[2].S != "dirty" {
+				t.Fatalf("own update invisible to own read: %v", got[2])
+			}
+			if got := getVal(t, tx, "kv", nid); got[2].S != "dirty-insert" {
+				t.Fatalf("own insert invisible to own read: %v", got[2])
+			}
+			tx.Rollback()
+
+			after := db.Begin(ReadCommitted)
+			defer after.Rollback()
+			if got := getVal(t, after, "kv", id); got[2].S != "committed" {
+				t.Fatalf("aborted update leaked: %v", got[2])
+			}
+			if got := getVal(t, after, "kv", nid); got != nil {
+				t.Fatalf("aborted insert leaked: %v", got)
+			}
+
+			// The aborted transaction's own reads are flagged Own and it emits
+			// no write events, so no later reader can form a G1a.
+			ownReads, abortWrites := 0, 0
+			var abortedTx uint64
+			for _, e := range db.History() {
+				if e.Kind == histcheck.KindAbort {
+					abortedTx = e.Tx
+				}
+			}
+			if abortedTx == 0 {
+				t.Fatal("no abort event recorded")
+			}
+			for _, e := range db.History() {
+				if e.Tx != abortedTx {
+					continue
+				}
+				switch e.Kind {
+				case histcheck.KindRead:
+					if e.Own {
+						ownReads++
+					}
+				case histcheck.KindWrite:
+					abortWrites++
+				}
+			}
+			if ownReads != 2 {
+				t.Fatalf("want 2 own reads by the aborted tx, got %d", ownReads)
+			}
+			if abortWrites != 0 {
+				t.Fatalf("aborted tx must emit no write events, got %d", abortWrites)
+			}
+			if rep := histcheck.Check(db.History()); rep.Has(histcheck.G1a) {
+				t.Fatalf("G1a detected:\n%s", rep)
+			}
+		})
+	}
+}
+
+// TestSnapshotAcquiredAtBegin pins the engine's snapshot acquisition point:
+// Begin, not the first statement. PostgreSQL acquires the snapshot lazily at
+// the first statement; this engine's readTS for snapshot levels is the clock
+// value captured in Begin, so a commit that lands between Begin and the
+// first read is already invisible. The history checker depends on this — a
+// transaction's observed versions must all be consistent with one snapshot
+// point, or rw-edge construction would misattribute anti-dependencies.
+func TestSnapshotAcquiredAtBegin(t *testing.T) {
+	for _, tc := range []struct {
+		level       IsolationLevel
+		seesMidTxn  bool // does a commit after Begin become visible?
+		description string
+	}{
+		{ReadCommitted, true, "statement-level reads track the clock"},
+		{RepeatableRead, false, "snapshot fixed at Begin"},
+		{SnapshotIsolation, false, "snapshot fixed at Begin"},
+		{Serializable, false, "snapshot fixed at Begin"},
+	} {
+		t.Run(tc.level.String(), func(t *testing.T) {
+			db := testDB(t, Options{})
+			mustCreate(t, db, kvSchema("kv"))
+			id := insertKV(t, db, "kv", "a", "before")
+
+			tx := db.Begin(tc.level)
+			defer tx.Rollback()
+			// A concurrent writer commits after Begin but before tx's first read.
+			w := db.Begin(ReadCommitted)
+			updateVal(t, w, "kv", id, "after")
+			if err := w.Commit(); err != nil {
+				t.Fatal(err)
+			}
+
+			got := getVal(t, tx, "kv", id)[2].S
+			want := "before"
+			if tc.seesMidTxn {
+				want = "after"
+			}
+			if got != want {
+				t.Fatalf("%s (%s): first read saw %q, want %q", tc.level, tc.description, got, want)
+			}
+
+			// Second read after another commit: RC moves again, snapshots don't.
+			w2 := db.Begin(ReadCommitted)
+			updateVal(t, w2, "kv", id, "later")
+			if err := w2.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			got = getVal(t, tx, "kv", id)[2].S
+			want = "before"
+			if tc.seesMidTxn {
+				want = "later"
+			}
+			if got != want {
+				t.Fatalf("%s: second read saw %q, want %q", tc.level, got, want)
+			}
+		})
+	}
+}
+
+// TestSnapshotOrderingConsistentAcrossRows: both rows of a snapshot read
+// must come from the same snapshot even when a concurrent commit lands
+// between the two Gets — the torn read RC permits and RR forbids.
+func TestSnapshotOrderingConsistentAcrossRows(t *testing.T) {
+	db := testDB(t, Options{})
+	mustCreate(t, db, kvSchema("kv"))
+	x := insertKV(t, db, "kv", "x", "v0")
+	y := insertKV(t, db, "kv", "y", "v0")
+
+	for _, tc := range []struct {
+		level IsolationLevel
+		torn  bool
+	}{
+		{ReadCommitted, true},
+		{RepeatableRead, false},
+		{SnapshotIsolation, false},
+	} {
+		t.Run(tc.level.String(), func(t *testing.T) {
+			reset := db.Begin(ReadCommitted)
+			updateVal(t, reset, "kv", x, "v0")
+			updateVal(t, reset, "kv", y, "v0")
+			if err := reset.Commit(); err != nil {
+				t.Fatal(err)
+			}
+
+			tx := db.Begin(tc.level)
+			defer tx.Rollback()
+			gotX := getVal(t, tx, "kv", x)[2].S
+
+			w := db.Begin(ReadCommitted)
+			updateVal(t, w, "kv", x, "v1")
+			updateVal(t, w, "kv", y, "v1")
+			if err := w.Commit(); err != nil {
+				t.Fatal(err)
+			}
+
+			gotY := getVal(t, tx, "kv", y)[2].S
+			if tc.torn {
+				if gotX != "v0" || gotY != "v1" {
+					t.Fatalf("READ COMMITTED should tear: x=%q y=%q", gotX, gotY)
+				}
+			} else if gotX != gotY {
+				t.Fatalf("%s tore the read: x=%q y=%q", tc.level, gotX, gotY)
+			}
+		})
+	}
+}

@@ -247,6 +247,25 @@ func (t *table) readVisible(id RowID, ts uint64) []Value {
 	return out
 }
 
+// readVisibleVersion is readVisible plus the begin timestamp of the version
+// returned (0 when nothing is visible) — the "observed version" history
+// recording needs to build rw/wr edges.
+func (t *table) readVisibleVersion(id RowID, ts uint64) ([]Value, uint64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	c := t.rows[id]
+	if c == nil {
+		return nil, 0
+	}
+	v := c.visible(ts)
+	if v == nil {
+		return nil, 0
+	}
+	out := make([]Value, len(v.vals))
+	copy(out, v.vals)
+	return out, v.beginTS
+}
+
 // latestCommitted returns a copy of the newest committed version of id and
 // whether that version is live (not deleted).
 func (t *table) latestCommitted(id RowID) ([]Value, bool) {
@@ -263,4 +282,22 @@ func (t *table) latestCommitted(id RowID) ([]Value, bool) {
 	out := make([]Value, len(v.vals))
 	copy(out, v.vals)
 	return out, v.endTS == 0
+}
+
+// latestCommittedVersion is latestCommitted plus the version's begin
+// timestamp, for history recording on locked re-reads (SELECT ... FOR UPDATE).
+func (t *table) latestCommittedVersion(id RowID) ([]Value, uint64, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	c := t.rows[id]
+	if c == nil {
+		return nil, 0, false
+	}
+	v := c.latest()
+	if v == nil {
+		return nil, 0, false
+	}
+	out := make([]Value, len(v.vals))
+	copy(out, v.vals)
+	return out, v.beginTS, v.endTS == 0
 }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"feralcc/internal/histcheck"
 	"feralcc/internal/obs"
 )
 
@@ -124,6 +125,42 @@ func (tx *Tx) SetStmtDeadline(t time.Time) { tx.stmtDeadline = t }
 // SetTrace attaches (or detaches, with nil) the statement trace that lock
 // waits and the commit path accumulate spans into.
 func (tx *Tx) SetTrace(tr *obs.StmtTrace) { tx.trace = tr }
+
+// histRead records an item read in the operation history. observed is the
+// begin timestamp of the version the read returned (0 = absent/invisible);
+// own marks reads served from the transaction's own write buffer.
+func (tx *Tx) histRead(lower string, id RowID, observed uint64, own bool) {
+	tx.db.histAppend(histcheck.Event{
+		Tx: tx.id, Kind: histcheck.KindRead,
+		Table: lower, Row: uint64(id), Observed: observed, Own: own,
+	})
+}
+
+// histAbort records the end of an unsuccessfully finished transaction.
+func (tx *Tx) histAbort(reason string) {
+	tx.db.histAppend(histcheck.Event{Tx: tx.id, Kind: histcheck.KindAbort, Reason: reason})
+}
+
+// recordInstallsLocked emits one write event per installed row. Called under
+// commitMu immediately after installLocked, so a history snapshot can never
+// observe an installed version before the event that explains it.
+func (tx *Tx) recordInstallsLocked(commitTS uint64) {
+	for lower, rows := range tx.writes {
+		for id, w := range rows {
+			op := "insert"
+			switch w.op {
+			case opUpdate:
+				op = "update"
+			case opDelete:
+				op = "delete"
+			}
+			tx.db.hist.Append(histcheck.Event{
+				Tx: tx.id, Kind: histcheck.KindWrite,
+				Table: lower, Row: uint64(id), Op: op, Version: commitTS,
+			})
+		}
+	}
+}
 
 // lock acquires a lock for this transaction, remembering that cleanup is
 // needed at finish. The engine fault hook fires first, so chaos tests can
@@ -423,11 +460,15 @@ func (tx *Tx) Scan(tableName string, opts ScanOptions, fn func(RowID, []Value) b
 	}
 
 	// Predicate footprint: record for certification, and lock under 2PL.
+	predKey := "t\x00" + lower
 	if filterPos >= 0 {
-		tx.notePredRead("p\x00" + lower + "\x00" + strings.ToLower(s.Columns[filterPos].Name) + "\x00" + filterKey)
-	} else {
-		tx.notePredRead("t\x00" + lower)
+		predKey = "p\x00" + lower + "\x00" + strings.ToLower(s.Columns[filterPos].Name) + "\x00" + filterKey
 	}
+	tx.notePredRead(predKey)
+	tx.db.histAppend(histcheck.Event{
+		Tx: tx.id, Kind: histcheck.KindPredRead, Table: lower,
+		Pred: strings.ReplaceAll(predKey, "\x00", "/"),
+	})
 	if tx.level.locking() {
 		if tx.db.opts.PredicateLocks == TableGranularity || filterPos < 0 {
 			if err := tx.lock(tableLockKey(lower), LockS); err != nil {
@@ -464,7 +505,7 @@ func (tx *Tx) Scan(tableName string, opts ScanOptions, fn func(RowID, []Value) b
 		return Equal(v, opts.Filter.Value)
 	}
 
-	emit := func(id RowID, vals []Value) (bool, error) {
+	emit := func(id RowID, vals []Value, observed uint64, own bool) (bool, error) {
 		if opts.ForUpdate {
 			if err := tx.lock(rowLockKey(lower, id), LockX); err != nil {
 				return false, err
@@ -473,11 +514,11 @@ func (tx *Tx) Scan(tableName string, opts ScanOptions, fn func(RowID, []Value) b
 			// a concurrent writer may have committed while we waited. Rows
 			// written by this transaction keep their buffered image.
 			if _, ours := writes[id]; !ours {
-				latest, live := t.latestCommitted(id)
+				latest, ver, live := t.latestCommittedVersion(id)
 				if latest == nil || !live || !matches(latest) {
 					return true, nil
 				}
-				vals = latest
+				vals, observed = latest, ver
 			}
 		}
 		tx.noteRowRead(lower, id)
@@ -486,6 +527,7 @@ func (tx *Tx) Scan(tableName string, opts ScanOptions, fn func(RowID, []Value) b
 				return false, err
 			}
 		}
+		tx.histRead(lower, id, observed, own)
 		cp := make([]Value, len(vals))
 		copy(cp, vals)
 		return fn(id, cp), nil
@@ -495,13 +537,15 @@ func (tx *Tx) Scan(tableName string, opts ScanOptions, fn func(RowID, []Value) b
 	for _, id := range candidates {
 		seen[id] = struct{}{}
 		var vals []Value
+		var observed uint64
+		own := false
 		if w, ok := writes[id]; ok {
 			if w.op == opDelete {
 				continue
 			}
-			vals = w.vals
+			vals, own = w.vals, true
 		} else {
-			vals = t.readVisible(id, ts)
+			vals, observed = t.readVisibleVersion(id, ts)
 			if vals == nil {
 				continue
 			}
@@ -509,7 +553,7 @@ func (tx *Tx) Scan(tableName string, opts ScanOptions, fn func(RowID, []Value) b
 		if !matches(vals) {
 			continue
 		}
-		cont, err := emit(id, vals)
+		cont, err := emit(id, vals, observed, own)
 		if err != nil {
 			return err
 		}
@@ -525,7 +569,7 @@ func (tx *Tx) Scan(tableName string, opts ScanOptions, fn func(RowID, []Value) b
 		if w.op == opDelete || w.vals == nil || !matches(w.vals) {
 			continue
 		}
-		cont, err := emit(id, w.vals)
+		cont, err := emit(id, w.vals, 0, true)
 		if err != nil {
 			return err
 		}
@@ -554,12 +598,14 @@ func (tx *Tx) Get(tableName string, id RowID) ([]Value, error) {
 		out := make([]Value, len(w.vals))
 		copy(out, w.vals)
 		tx.noteRowRead(lower, id)
+		tx.histRead(lower, id, 0, true)
 		return out, nil
 	}
-	vals := t.readVisible(id, tx.readTS())
+	vals, observed := t.readVisibleVersion(id, tx.readTS())
 	if vals != nil {
 		tx.noteRowRead(lower, id)
 	}
+	tx.histRead(lower, id, observed, false)
 	return vals, nil
 }
 
@@ -571,6 +617,7 @@ func (tx *Tx) Rollback() {
 	tx.done = true
 	atomic.AddUint64(&tx.db.statAborts, 1)
 	mAbortsRollback.Inc()
+	tx.histAbort("rollback")
 	tx.db.finish(tx)
 }
 
@@ -591,6 +638,7 @@ func (tx *Tx) Commit() error {
 			tx.done = true
 			atomic.AddUint64(&db.statAborts, 1)
 			recordAbort(err)
+			tx.histAbort(err.Error())
 			db.finish(tx)
 			return err
 		}
@@ -607,6 +655,7 @@ func (tx *Tx) Commit() error {
 		atomic.AddUint64(&db.statCommits, 1)
 		mCommits.Inc()
 		tx.trace.Add(obs.SpanCommit, time.Since(start))
+		db.histAppend(histcheck.Event{Tx: tx.id, Kind: histcheck.KindCommit})
 		db.finish(tx)
 		return nil
 	}
@@ -618,6 +667,7 @@ func (tx *Tx) Commit() error {
 		tx.done = true
 		atomic.AddUint64(&db.statAborts, 1)
 		recordAbort(err)
+		tx.histAbort(err.Error())
 		db.finish(tx)
 		return err
 	}
@@ -632,11 +682,16 @@ func (tx *Tx) Commit() error {
 			tx.done = true
 			atomic.AddUint64(&db.statAborts, 1)
 			mAbortsWAL.Inc()
+			tx.histAbort(werr.Error())
 			db.finish(tx)
 			return fmt.Errorf("commit aborted: %w", werr)
 		}
 	}
 	summary := tx.installLocked(commitTS)
+	if db.hist != nil {
+		tx.recordInstallsLocked(commitTS)
+		db.hist.Append(histcheck.Event{Tx: tx.id, Kind: histcheck.KindCommit})
+	}
 	atomic.StoreUint64(&db.clock, commitTS)
 	db.commitMu.Unlock()
 

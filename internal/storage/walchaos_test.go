@@ -20,6 +20,7 @@ import (
 	"testing"
 
 	"feralcc/internal/faultinject"
+	"feralcc/internal/histcheck"
 	"feralcc/internal/storage"
 )
 
@@ -140,7 +141,13 @@ func assertRecovered(t *testing.T, dir, want, label string) {
 		t.Fatalf("%s: integrity after recovery: %v", label, err)
 	}
 	db.Close()
-	again := reopen(t, dir)
+	// The second recovery also runs with history recording on, so the
+	// recovered state is additionally replayed through the offline isolation
+	// checker (a read-only SERIALIZABLE pass must be anomaly-free).
+	again, err := storage.OpenDir(storage.Options{DataDir: dir, RecordHistory: true})
+	if err != nil {
+		t.Fatalf("%s: reopen with history: %v", label, err)
+	}
 	st := again.Recovery()
 	if st.TornTailBytes != 0 || st.CorruptTail {
 		t.Fatalf("%s: second recovery still saw damage: %+v", label, st)
@@ -148,7 +155,29 @@ func assertRecovered(t *testing.T, dir, want, label string) {
 	if got := dumpState(t, again); got != want {
 		t.Fatalf("%s: second recovery diverged:\n%s\nwant:\n%s", label, got, want)
 	}
+	replayHistcheck(t, again, label)
 	again.Close()
+}
+
+// replayHistcheck drives one read-only SERIALIZABLE transaction over every
+// table of a history-recording database and requires the resulting history
+// to check clean — the histcheck half of the post-recovery oracle, next to
+// CheckIntegrity.
+func replayHistcheck(t *testing.T, db *storage.Database, label string) {
+	t.Helper()
+	tx := db.Begin(storage.Serializable)
+	for _, s := range db.Tables() {
+		if err := tx.Scan(s.Name, storage.ScanOptions{}, func(storage.RowID, []storage.Value) bool { return true }); err != nil {
+			t.Fatalf("%s: histcheck replay scan %s: %v", label, s.Name, err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("%s: histcheck replay commit: %v", label, err)
+	}
+	rep := histcheck.Check(db.History())
+	if !rep.Pass() || len(rep.Findings) != 0 {
+		t.Fatalf("%s: histcheck over recovered state:\n%s", label, rep)
+	}
 }
 
 // TestChaosTornWriteCorpus is the exhaustive torn-tail sweep: the log is cut

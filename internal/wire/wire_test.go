@@ -11,6 +11,7 @@ import (
 
 	"feralcc/internal/db"
 	"feralcc/internal/db/conntest"
+	"feralcc/internal/histcheck"
 	"feralcc/internal/storage"
 )
 
@@ -199,6 +200,18 @@ func TestWireConnSuite(t *testing.T) {
 	conntest.Run(t, func(t *testing.T) db.Conn {
 		store := storage.Open(storage.Options{})
 		return dialT(t, startServer(t, store))
+	})
+}
+
+// TestWireConnHistorySuite runs the shared history-capture suite across the
+// protocol: clients drive SQL over TCP while the history is read from the
+// backing store, proving wire-attached sessions feed the isolation checker
+// exactly like embedded ones.
+func TestWireConnHistorySuite(t *testing.T) {
+	conntest.RunHistory(t, func(t *testing.T) (func() db.Conn, func() []histcheck.Event) {
+		store := storage.Open(storage.Options{RecordHistory: true, LockTimeout: 250 * time.Millisecond})
+		addr := startServer(t, store)
+		return func() db.Conn { return dialT(t, addr) }, store.History
 	})
 }
 

@@ -1,7 +1,8 @@
 GO ?= go
 BENCH ?= BENCH_3.json
+BENCH_COMMIT ?= BENCH_6.json
 
-.PHONY: check test bench chaos obs-smoke histcheck lint profile clean
+.PHONY: check test bench bench-commit chaos obs-smoke histcheck lint profile profile-mutex clean
 
 # check is the full gate: compile, vet, and the whole test suite under the
 # race detector (the plan cache, wire server, and WAL are concurrency-critical).
@@ -59,10 +60,29 @@ profile:
 	curl -fsS -o profiles/heap.pprof "http://$(METRICS_ADDR)/debug/pprof/heap"
 	@echo "wrote profiles/cpu.pprof and profiles/heap.pprof"
 
+# profile-mutex captures mutex-contention and CPU profiles of the hottest
+# commit-pipeline cell (pipeline mode, sync=always, 8 committers) — the view
+# that shows where commit-path serialization remains. Inspect with
+# `go tool pprof profiles/commit-mutex.pprof`.
+profile-mutex:
+	mkdir -p profiles
+	$(GO) test -bench 'BenchmarkCommitThroughput/mode=pipeline/sync=always/goroutines=8$$' \
+		-run '^$$' -benchtime=2s -timeout 10m \
+		-mutexprofile profiles/commit-mutex.pprof -cpuprofile profiles/commit-cpu.pprof .
+	@echo "wrote profiles/commit-mutex.pprof and profiles/commit-cpu.pprof"
+
 # bench records the benchmark suite as a test2json event stream; the committed
 # BENCH_<n>.json snapshots (one per PR) are referenced by DESIGN.md.
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' -json . > $(BENCH)
+
+# bench-commit records the commit-throughput curve (BenchmarkCommitThroughput:
+# serial vs pipeline commit path x sync policy x committer count, with p99
+# commit latency) — the headline artifact for the staged commit pipeline. The
+# serial cells are the pre-pipeline baseline (Options.SerialCommit), so the
+# one file carries both sides of the comparison.
+bench-commit:
+	$(GO) test -bench BenchmarkCommitThroughput -run '^$$' -benchtime=1s -timeout 30m -json . > $(BENCH_COMMIT)
 
 # clean removes every cmd/ binary built into the repo root plus any data
 # directories left behind by local durable runs (feraldbd -data-dir,

@@ -20,6 +20,7 @@ import (
 	"feralcc/internal/core"
 	"feralcc/internal/faultinject"
 	"feralcc/internal/obs"
+	"feralcc/internal/storage"
 )
 
 func main() {
@@ -30,6 +31,7 @@ func main() {
 		think   = flag.Duration("think", time.Millisecond, "simulated application-tier latency per request")
 		faults  = flag.String("faults", "", "fault-injection spec applied to stress experiments, e.g. drop=0.01,latency=5ms (see internal/faultinject)")
 		dataDir = flag.String("data-dir", "", "run fig2/fig3 against durable stores rooted here; anomaly counts are taken after a restart")
+		syncPol = flag.String("sync", "off", "WAL sync policy for durable experiment cells: always|interval|off (only meaningful with -data-dir)")
 		metrics = flag.Bool("metrics", true, "append a compact engine metrics snapshot to the output")
 		checkH  = flag.Bool("check-history", false, "record each experiment cell's operation history and fail the cell if the offline isolation checker (internal/histcheck) finds an anomaly its isolation level proscribes; failing histories are saved under $HISTCHECK_WITNESS_DIR")
 	)
@@ -41,8 +43,13 @@ func main() {
 	study.ThinkTime = *think
 	study.DataDir = *dataDir
 	study.CheckHistory = *checkH
+	if _, err := storage.ParseSyncPolicy(*syncPol); err != nil {
+		fmt.Fprintf(os.Stderr, "feralbench: %v\n", err)
+		os.Exit(2)
+	}
+	study.Sync = *syncPol
 	if *dataDir != "" {
-		fmt.Printf("durable mode: per-cell stores under %s, anomaly census after recovery\n\n", *dataDir)
+		fmt.Printf("durable mode: per-cell stores under %s (wal sync %s), anomaly census after recovery\n\n", *dataDir, *syncPol)
 	}
 	if *checkH {
 		fmt.Printf("history checking armed: every cell gated through the Adya isolation checker\n\n")
@@ -96,6 +103,8 @@ func printMetricsSnapshot(w io.Writer) {
 		"feraldb_storage_lock_timeouts_total",
 		"feraldb_storage_wal_appends_total",
 		"feraldb_storage_wal_fsyncs_total",
+		"feraldb_storage_group_commit_frames_total",
+		"feraldb_storage_group_commit_txns_total",
 		"feraldb_plancache_hits_total",
 		"feraldb_plancache_misses_total",
 		"feraldb_db_retries_total",
@@ -107,15 +116,27 @@ func printMetricsSnapshot(w io.Writer) {
 			fmt.Fprintf(w, "%-52s %d\n", name, v)
 		}
 	}
-	hists := []string{
-		"feraldb_statement_seconds",
-		"feraldb_storage_commit_seconds",
-		"feraldb_storage_lock_wait_seconds",
-		"feraldb_storage_wal_fsync_seconds",
+	// The batch-size histogram counts transactions per group-commit frame,
+	// not durations — render its quantiles as plain integers.
+	hists := []struct {
+		name     string
+		unitless bool
+	}{
+		{name: "feraldb_statement_seconds"},
+		{name: "feraldb_storage_commit_seconds"},
+		{name: "feraldb_storage_lock_wait_seconds"},
+		{name: "feraldb_storage_wal_fsync_seconds"},
+		{name: "feraldb_storage_group_commit_batch_txns", unitless: true},
 	}
-	for _, name := range hists {
-		if s, ok := r.HistogramSnapshot(name); ok && s.Count > 0 {
-			fmt.Fprintf(w, "%-52s count=%d p50=%v p95=%v p99=%v\n", name, s.Count, s.P50, s.P95, s.P99)
+	for _, h := range hists {
+		s, ok := r.HistogramSnapshot(h.name)
+		if !ok || s.Count == 0 {
+			continue
+		}
+		if h.unitless {
+			fmt.Fprintf(w, "%-52s count=%d p50=%d p95=%d p99=%d\n", h.name, s.Count, int64(s.P50), int64(s.P95), int64(s.P99))
+		} else {
+			fmt.Fprintf(w, "%-52s count=%d p50=%v p95=%v p99=%v\n", h.name, s.Count, s.P50, s.P95, s.P99)
 		}
 	}
 }

@@ -156,6 +156,14 @@ func TestObsSmoke(t *testing.T) {
 		"feraldb_plancache_hits_total",
 		"feraldb_wire_connections_total",
 		`feraldb_statements_total{kind="insert"}`,
+		// The commit pipeline's group-commit instruments: every autocommit
+		// insert flows through the log writer (sync=always is the default),
+		// so frames, batched transactions, the batch-size histogram, and the
+		// fsyncs-per-commit ratio must all be live after the load.
+		"feraldb_storage_group_commit_frames_total",
+		"feraldb_storage_group_commit_txns_total",
+		"feraldb_storage_group_commit_batch_txns_count",
+		"feraldb_storage_wal_fsyncs_per_commit_milli",
 	} {
 		if !nonZeroSeries(scrape, series) {
 			t.Errorf("series %s missing or zero after load:\n%s", series, scrape)
@@ -201,6 +209,23 @@ func TestObsSmoke(t *testing.T) {
 	for _, line := range slowLines {
 		if !strings.Contains(line, "trace=") || !strings.Contains(line, "exec=") {
 			t.Fatalf("slow-query line missing trace ID or span breakdown: %s", line)
+		}
+	}
+	// The INSERT traces must break the commit down into the pipeline stages:
+	// validation, writer-queue wait, group-fsync wait, and ordered install.
+	for _, span := range []string{
+		"commit_validate=", "commit_enqueue=", "commit_fsync_wait=", "commit_install=",
+	} {
+		found := false
+		for _, line := range slowLines {
+			if strings.Contains(line, span) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no slow-query line carries the %s pipeline span:\n%s",
+				strings.TrimSuffix(span, "="), strings.Join(slowLines, "\n"))
 		}
 	}
 }

@@ -37,6 +37,12 @@ type Study struct {
 	// anomaly census after a close-and-recover cycle, so reported duplicates
 	// are restart-surviving ones.
 	DataDir string
+	// Sync is the WAL sync policy for those durable stores ("always",
+	// "interval", "off"; feralbench -sync). Empty keeps the historical
+	// default, off — the experiments model process death, and the
+	// close-and-recover cycle is the crash. With the group-commit WAL,
+	// "always" is now a realistic setting for the throughput sweeps.
+	Sync string
 	// CheckHistory records every experiment cell's operation history and runs
 	// the offline isolation checker (internal/histcheck) over it after the
 	// workload quiesces. A cell whose history exhibits an anomaly its
@@ -86,6 +92,7 @@ func (s *Study) StressConfig() experiment.StressConfig {
 		}
 	}
 	cfg.DataDir = s.DataDir
+	cfg.Sync = s.Sync
 	cfg.CheckHistory = s.CheckHistory
 	return cfg
 }
@@ -102,6 +109,7 @@ func (s *Study) WorkloadConfig() experiment.WorkloadConfig {
 		cfg.Workers = 32
 	}
 	cfg.DataDir = s.DataDir
+	cfg.Sync = s.Sync
 	cfg.CheckHistory = s.CheckHistory
 	return cfg
 }

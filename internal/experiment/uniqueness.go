@@ -78,9 +78,13 @@ type StressConfig struct {
 	// per-cell subdirectory, and the duplicate count is taken only after
 	// closing and reopening the database — so the anomalies Figure 2 reports
 	// are ones that survive a server restart, as the paper's PostgreSQL ones
-	// did. The WAL runs with SyncOff: the model is process death, and the
-	// experiment's own close/reopen cycle is the crash.
+	// did.
 	DataDir string
+	// Sync selects the WAL sync policy for durable cells ("always",
+	// "interval", "off"; feralbench -sync). Empty keeps the historical
+	// default, SyncOff: the model is process death, and the experiment's own
+	// close/reopen cycle is the crash. Ignored without DataDir.
+	Sync string
 	// CheckHistory records every cell's operation history and, after the
 	// workload quiesces, runs the offline isolation checker over it
 	// (feralbench -check-history). A history containing an anomaly the
@@ -161,6 +165,16 @@ func uniquenessStressCell(cfg StressConfig, workers int, variant UniquenessVaria
 	return countDuplicatesOn(conn, table)
 }
 
+// cellSyncPolicy resolves a config's Sync string for durable cells. Empty
+// keeps the historical default, SyncOff — the experiments model process
+// death, not power loss, and their own close/reopen cycle is the crash.
+func cellSyncPolicy(s string) (storage.SyncPolicy, error) {
+	if s == "" {
+		return storage.SyncOff, nil
+	}
+	return storage.ParseSyncPolicy(s)
+}
+
 // stressCellDir is the per-cell durable directory, kept stable between the
 // stack build and the post-run reopen.
 func stressCellDir(base string, workers int, variant UniquenessVariant) string {
@@ -185,7 +199,11 @@ func buildUniquenessStack(cfg StressConfig, workers int, variant UniquenessVaria
 	}
 	if cfg.DataDir != "" {
 		opts.DataDir = stressCellDir(cfg.DataDir, workers, variant)
-		opts.SyncPolicy = storage.SyncOff
+		pol, err := cellSyncPolicy(cfg.Sync)
+		if err != nil {
+			return nil, nil, "", "", err
+		}
+		opts.SyncPolicy = pol
 	}
 	d, err := db.OpenDir(opts)
 	if err != nil {
@@ -281,6 +299,8 @@ type WorkloadConfig struct {
 	// DataDir mirrors StressConfig.DataDir: durable per-cell stores with the
 	// duplicate census taken after a close-and-recover cycle.
 	DataDir string
+	// Sync mirrors StressConfig.Sync.
+	Sync string
 	// CheckHistory mirrors StressConfig.CheckHistory.
 	CheckHistory bool
 }
@@ -336,7 +356,11 @@ func uniquenessWorkloadCell(cfg WorkloadConfig, dist string, keys int64, variant
 	}
 	if cfg.DataDir != "" {
 		opts.DataDir = fmt.Sprintf("%s/workload-%s-k%d-v%d", cfg.DataDir, dist, keys, variant)
-		opts.SyncPolicy = storage.SyncOff
+		pol, err := cellSyncPolicy(cfg.Sync)
+		if err != nil {
+			return 0, err
+		}
+		opts.SyncPolicy = pol
 	}
 	d, err := db.OpenDir(opts)
 	if err != nil {

@@ -26,17 +26,33 @@ const (
 	SpanWALAppend
 	// SpanWALFsync covers the fsync itself.
 	SpanWALFsync
+	// SpanCommitValidate covers commit-pipeline validation: latch waits,
+	// conflict checks, constraint verification, and conflict-retry loops.
+	SpanCommitValidate
+	// SpanCommitQueue covers time a commit record spent queued before the
+	// group-commit log writer picked it up into a batch.
+	SpanCommitQueue
+	// SpanCommitFsyncWait covers time parked waiting for the batch holding
+	// this commit's record to become durable.
+	SpanCommitFsyncWait
+	// SpanCommitInstall covers waiting for the commit's CSN install turn plus
+	// installing its versions.
+	SpanCommitInstall
 	// NumSpans sizes the span array.
 	NumSpans
 )
 
 var spanNames = [NumSpans]string{
-	SpanParse:     "parse",
-	SpanExec:      "exec",
-	SpanLockWait:  "lock_wait",
-	SpanCommit:    "commit",
-	SpanWALAppend: "wal_append",
-	SpanWALFsync:  "wal_fsync",
+	SpanParse:           "parse",
+	SpanExec:            "exec",
+	SpanLockWait:        "lock_wait",
+	SpanCommit:          "commit",
+	SpanWALAppend:       "wal_append",
+	SpanWALFsync:        "wal_fsync",
+	SpanCommitValidate:  "commit_validate",
+	SpanCommitQueue:     "commit_enqueue",
+	SpanCommitFsyncWait: "commit_fsync_wait",
+	SpanCommitInstall:   "commit_install",
 }
 
 // String returns the span's wire/log name.

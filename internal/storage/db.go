@@ -12,10 +12,12 @@ import (
 // Database is an in-memory multi-version relational store. It is safe for
 // concurrent use by any number of transactions.
 //
-// Commits serialize through a single validation/install critical section, so
-// in-database constraints (unique indexes, foreign keys) are enforced
-// race-free — which is precisely why the paper recommends them over feral
-// application-level checks.
+// Commits run through a staged pipeline (commitpipeline.go): validation under
+// per-table latches, a group-commit WAL append, and an install strictly
+// ordered by commit sequence number. In-database constraints (unique indexes,
+// foreign keys) are still enforced race-free — which is precisely why the
+// paper recommends them over feral application-level checks — but commits
+// touching disjoint table groups no longer serialize against each other.
 type Database struct {
 	opts Options
 
@@ -31,7 +33,10 @@ type Database struct {
 	// prepared at epoch E is stale once the epoch moves past E.
 	schemaEpoch uint64 // atomic
 
-	commitMu sync.Mutex // serializes commit validation + install
+	// pipe is the staged commit pipeline: per-table validation latches, the
+	// commit-intent registry, the group-commit log writer, and the quiesce
+	// gate that Checkpoint/Vacuum/DDL take exclusively.
+	pipe *commitPipeline
 
 	activeMu  sync.Mutex
 	active    map[uint64]uint64 // tx id -> start timestamp
@@ -87,6 +92,7 @@ func newDatabase(o Options) *Database {
 		active:   make(map[uint64]uint64),
 		locks:    newLockManager(o.LockTimeout),
 	}
+	db.pipe = newCommitPipeline(db)
 	if o.RecordHistory {
 		db.hist = histcheck.NewRecorder()
 	}
@@ -117,13 +123,15 @@ func (db *Database) histAppend(e histcheck.Event) {
 	}
 }
 
-// Close flushes and closes the write-ahead log. In-memory databases (no
-// DataDir) have nothing to release and Close is a no-op. The caller must have
-// quiesced transactions; commits racing Close may fail with a write error.
+// Close stops the group-commit log writer, then flushes and closes the
+// write-ahead log. In-memory databases (no DataDir) have nothing to release
+// and Close is a no-op. The caller must have quiesced transactions; commits
+// racing Close may fail with a write error.
 func (db *Database) Close() error {
 	if db.wal == nil {
 		return nil
 	}
+	db.pipe.stopWriter()
 	return db.wal.close()
 }
 
@@ -232,8 +240,12 @@ func (db *Database) AddUniqueIndex(tableName, column string) error {
 }
 
 // AddIndex adds a secondary index to an existing table. When unique is set,
-// existing live rows are verified duplicate-free first.
+// existing live rows are verified duplicate-free first. Runs under the
+// exclusive pipeline gate (taken before catalogMu, per the lock order), so
+// no commit can validate against the half-changed index set.
 func (db *Database) AddIndex(tableName, column string, unique bool) error {
+	db.pipe.gate.Lock()
+	defer db.pipe.gate.Unlock()
 	db.catalogMu.Lock()
 	defer db.catalogMu.Unlock()
 	t, ok := db.tables[strings.ToLower(tableName)]
@@ -244,8 +256,6 @@ func (db *Database) AddIndex(tableName, column string, unique bool) error {
 	if pos < 0 {
 		return fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, tableName, column)
 	}
-	db.commitMu.Lock()
-	defer db.commitMu.Unlock()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if existing := t.indexOn(column); existing != nil {
@@ -288,7 +298,7 @@ func (db *Database) AddIndex(tableName, column string, unique bool) error {
 }
 
 // checkExistingUniqueLocked verifies live rows have no duplicate values in
-// column pos. Caller holds commitMu and t.mu.
+// column pos. Caller holds the exclusive pipeline gate and t.mu.
 func (db *Database) checkExistingUniqueLocked(t *table, pos int) error {
 	seen := make(map[string]RowID)
 	for id, chain := range t.rows {
@@ -314,6 +324,11 @@ func (db *Database) checkExistingUniqueLocked(t *table, pos int) error {
 // table — the migration remedy of the paper's footnote 13. Existing rows are
 // verified: every non-NULL value in column must reference a live parent row.
 func (db *Database) AddForeignKey(tableName, column, parentTable string, onDelete ReferentialAction) error {
+	// The exclusive gate (ordered before catalogMu) quiesces commits: FK
+	// edges — and with them the pipeline's latch components — never change
+	// while a commit is in flight.
+	db.pipe.gate.Lock()
+	defer db.pipe.gate.Unlock()
 	db.catalogMu.Lock()
 	defer db.catalogMu.Unlock()
 	child, ok := db.tables[strings.ToLower(tableName)]
@@ -335,8 +350,6 @@ func (db *Database) AddForeignKey(tableName, column, parentTable string, onDelet
 	}
 	pkPos := parent.schema.ColumnIndex(pkCol)
 
-	db.commitMu.Lock()
-	defer db.commitMu.Unlock()
 	// Validate existing rows against the live parent set.
 	parentKeys := make(map[string]struct{})
 	parent.mu.RLock()

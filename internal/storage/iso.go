@@ -151,6 +151,12 @@ type Options struct {
 	// SyncInterval is the background fsync period under SyncInterval policy.
 	// Defaults to 50ms.
 	SyncInterval time.Duration
+	// SerialCommit, when true, disables the staged commit pipeline: every
+	// commit runs its whole validate-log-install sequence alone under the
+	// exclusive pipeline gate and pays its own fsync, reproducing the
+	// pre-pipeline engine. This is the ablation baseline for the commit
+	// throughput benchmarks and the vocabulary-equivalence tests.
+	SerialCommit bool
 	// RecordHistory, when true, makes every transaction emit an operation
 	// history (begins, reads with observed versions, predicate reads,
 	// installed writes, commits, aborts) into an in-memory recorder readable

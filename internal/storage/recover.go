@@ -106,6 +106,10 @@ func OpenDir(opts Options) (*Database, error) {
 	if err != nil {
 		return nil, fmt.Errorf("storage: open wal for append: %w", err)
 	}
+	// Continue the CSN sequence from the recovered clock and start the
+	// group-commit log writer now that the log accepts appends.
+	db.pipe.setBase(atomic.LoadUint64(&db.clock))
+	db.pipe.startWriter(db.wal)
 	mRecoverySeconds.Observe(time.Since(recoverStart))
 	mRecoveryRecords.Add(uint64(db.recovery.RecordsReplayed))
 	return db, nil
@@ -120,6 +124,27 @@ func (db *Database) replayRecord(payload []byte) error {
 	switch typ := d.byteVal(); typ {
 	case recCommit:
 		return db.replayCommit(d)
+	case recGroupCommit:
+		// A group-commit frame: replay each embedded commit record in order.
+		// The frame is covered by one checksum, so a torn batch was already
+		// discarded whole by scanWAL — sub-records are never partially valid.
+		n := d.u64()
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			subLen := d.u64()
+			if d.err != nil || uint64(len(d.b)) < subLen {
+				d.fail("group commit record")
+				return d.err
+			}
+			sub := &walDecoder{b: d.b[:subLen]}
+			d.b = d.b[subLen:]
+			if sub.byteVal() != recCommit {
+				return fmt.Errorf("storage: wal group commit: unexpected sub-record type")
+			}
+			if err := db.replayCommit(sub); err != nil {
+				return err
+			}
+		}
+		return d.err
 	case recCreateTable:
 		s := d.schema()
 		if d.err != nil {
@@ -228,10 +253,12 @@ func (db *Database) replayCommit(d *walDecoder) error {
 // references a live parent row. It is the post-recovery invariant the crash
 // suites assert; an error here after a clean replay indicates a WAL bug.
 func (db *Database) CheckIntegrity() error {
+	// Quiesce the commit pipeline so no intent is mid-install while the
+	// constraint scan walks the tables.
+	db.pipe.gate.Lock()
+	defer db.pipe.gate.Unlock()
 	db.catalogMu.RLock()
 	defer db.catalogMu.RUnlock()
-	db.commitMu.Lock()
-	defer db.commitMu.Unlock()
 	for _, t := range db.tables {
 		t.mu.RLock()
 		for col, ix := range t.indexes {

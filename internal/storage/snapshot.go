@@ -32,7 +32,8 @@ type CheckpointStats struct {
 }
 
 // Checkpoint writes a snapshot of the committed state and truncates the WAL.
-// It holds the catalog read lock and the commit lock for the full pass —
+// It quiesces the commit pipeline (exclusive gate: every in-flight commit
+// drains, new ones block) and holds the catalog read lock for the full pass —
 // including the truncation — so no commit or DDL record can land in the
 // window between the snapshot capture and the log reset. A no-op (nil error,
 // zero stats) on in-memory databases.
@@ -47,10 +48,10 @@ func (db *Database) Checkpoint() (CheckpointStats, error) {
 		}
 	}
 	start := time.Now()
+	db.pipe.gate.Lock()
+	defer db.pipe.gate.Unlock()
 	db.catalogMu.RLock()
 	defer db.catalogMu.RUnlock()
-	db.commitMu.Lock()
-	defer db.commitMu.Unlock()
 
 	payload := []byte{snapVersion}
 	payload = binary.AppendUvarint(payload, db.Clock())

@@ -1,0 +1,198 @@
+// Torn group-commit frame chaos: the group-commit WAL packs several
+// transactions into one CRC-framed record, so a crash mid-frame must discard
+// the whole batch — the durable state after any torn tail is exactly the
+// transactions of the complete frames before it, never a partial batch.
+package storage_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"feralcc/internal/storage"
+)
+
+// walFrame is one decoded log frame: its byte range in the file and the
+// record type byte of its payload. The header layout (u32BE length, u32BE
+// CRC) and the type values (1 = commit, 6 = group commit) are the on-disk
+// contract pinned by this suite.
+type walFrame struct {
+	start, end int64
+	typ        byte
+	subCount   int // commits inside a group frame; 1 otherwise
+}
+
+func parseWALFrames(t *testing.T, raw []byte) []walFrame {
+	t.Helper()
+	const headerSize = 8
+	var frames []walFrame
+	off := int64(0)
+	for off < int64(len(raw)) {
+		if int64(len(raw))-off < headerSize {
+			t.Fatalf("trailing garbage at %d: %d bytes", off, int64(len(raw))-off)
+		}
+		length := int64(binary.BigEndian.Uint32(raw[off : off+4]))
+		payload := raw[off+headerSize : off+headerSize+length]
+		f := walFrame{start: off, end: off + headerSize + length, typ: payload[0], subCount: 1}
+		if f.typ == 6 { // group commit
+			n, used := binary.Uvarint(payload[1:])
+			if used <= 0 {
+				t.Fatalf("frame at %d: bad group count", off)
+			}
+			f.subCount = int(n)
+		}
+		frames = append(frames, f)
+		off = f.end
+	}
+	return frames
+}
+
+// TestChaosTornGroupCommitFrame forces a multi-transaction group-commit frame
+// to be the log's final record, then sweeps a crash over every byte offset of
+// that frame (and flips every byte of it). Every torn or corrupt variant must
+// recover exactly the durable prefix — all commits of the complete frames,
+// none of the torn batch — and the intact file must recover the whole batch.
+func TestChaosTornGroupCommitFrame(t *testing.T) {
+	ref := t.TempDir()
+	// The hook stalls the log writer's first armed fsync long enough for the
+	// concurrent committers below to queue behind it, so they are batched
+	// into one group frame.
+	var armed, stalled atomic.Bool
+	hook := func(point string) error {
+		if point == "wal.fsync" && armed.CompareAndSwap(true, false) {
+			stalled.Store(true)
+			time.Sleep(300 * time.Millisecond)
+		}
+		return nil
+	}
+	db, err := storage.OpenDir(storage.Options{
+		DataDir:    ref,
+		SyncPolicy: storage.SyncAlways,
+		FaultHook:  hook,
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	orgs, users := chaosSchema()
+	if err := db.CreateTable(orgs); err != nil {
+		t.Fatalf("create orgs: %v", err)
+	}
+	if err := db.CreateTable(users); err != nil {
+		t.Fatalf("create users: %v", err)
+	}
+	commitUser := func(email string) error {
+		tx := db.Begin(storage.ReadCommitted)
+		if _, _, err := tx.Insert("users", map[string]storage.Value{
+			"email": storage.Str(email), "org_id": storage.Int(1)}); err != nil {
+			tx.Rollback()
+			return err
+		}
+		return tx.Commit()
+	}
+	tx := db.Begin(storage.ReadCommitted)
+	if _, _, err := tx.Insert("orgs", map[string]storage.Value{"id": storage.Int(1), "name": storage.Str("acme")}); err != nil {
+		t.Fatalf("insert org: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit org: %v", err)
+	}
+	if err := commitUser("baseline@acme.test"); err != nil {
+		t.Fatalf("baseline commit: %v", err)
+	}
+
+	// Warm-up commit: its fsync stalls in the hook while the batch commits
+	// pile up in the writer's queue, so they all land in the next frame.
+	const batchSize = 6
+	armed.Store(true)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := commitUser("warmup@acme.test"); err != nil {
+			t.Errorf("warmup commit: %v", err)
+		}
+	}()
+	for !stalled.Load() {
+		time.Sleep(time.Millisecond)
+	}
+	errs := make([]error, batchSize)
+	for i := 0; i < batchSize; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = commitUser(fmt.Sprintf("batch%d@acme.test", i))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("batch commit %d: %v", i, err)
+		}
+	}
+	fullDump := dumpState(t, db)
+	db.Close()
+
+	raw, err := os.ReadFile(walPath(ref))
+	if err != nil {
+		t.Fatalf("read wal: %v", err)
+	}
+	frames := parseWALFrames(t, raw)
+	last := frames[len(frames)-1]
+	if last.typ != 6 || last.subCount < 2 {
+		t.Fatalf("final frame is not a multi-transaction group commit: type=%d subs=%d (frames: %+v)",
+			last.typ, last.subCount, frames)
+	}
+	committed := 0
+	for _, f := range frames {
+		if f.typ == 1 || f.typ == 6 {
+			committed += f.subCount
+		}
+	}
+	if committed != 2+1+batchSize { // org + baseline + warmup + batch
+		t.Fatalf("log carries %d commits, want %d", committed, 2+1+batchSize)
+	}
+
+	// The durable prefix: everything up to (not including) the final group
+	// frame. Its recovered state is the oracle every torn variant must match.
+	prevDir := copyDir(t, ref)
+	if err := os.Truncate(walPath(prevDir), last.start); err != nil {
+		t.Fatalf("truncate prefix: %v", err)
+	}
+	prev := reopen(t, prevDir)
+	prevDump := dumpState(t, prev)
+	prev.Close()
+	if prevDump == fullDump {
+		t.Fatal("prefix state equals full state; batch commits are not in the final frame")
+	}
+
+	// Truncation sweep: a cut anywhere inside the group frame loses the whole
+	// batch and nothing else; the complete file keeps every commit.
+	for cut := last.start; cut <= last.end; cut++ {
+		dir := copyDir(t, ref)
+		if err := os.Truncate(walPath(dir), cut); err != nil {
+			t.Fatalf("truncate: %v", err)
+		}
+		want := prevDump
+		if cut == last.end {
+			want = fullDump
+		}
+		assertRecovered(t, dir, want, fmt.Sprintf("group-truncate@%d", cut))
+	}
+
+	// Corruption sweep: a flipped byte anywhere in the frame (header or any
+	// sub-record) fails the frame's checksum and discards the batch whole —
+	// no partially applied batch, no resurrected garbage.
+	for pos := last.start; pos < last.end; pos++ {
+		dir := copyDir(t, ref)
+		bad := append([]byte(nil), raw...)
+		bad[pos] ^= 0xa5
+		if err := os.WriteFile(walPath(dir), bad, 0o644); err != nil {
+			t.Fatalf("write corrupted wal: %v", err)
+		}
+		assertRecovered(t, dir, prevDump, fmt.Sprintf("group-flip@%d", pos))
+	}
+}

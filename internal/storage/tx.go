@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -47,6 +48,13 @@ type Tx struct {
 	// Read footprint, tracked only when the level certifies reads.
 	readRows  map[string]struct{}
 	readPreds map[string]struct{}
+
+	// probes records the committed-state lookups commit validation performed
+	// (unique-key probes, FK parent probes, cascade child probes), in summary
+	// predicate-key format. The pipeline's registration conflict check tests
+	// them against pending commit intents: a pending install that would change
+	// a probe's answer forces this transaction to wait and revalidate.
+	probes map[string]struct{}
 
 	tookLocks bool
 
@@ -117,6 +125,19 @@ func (tx *Tx) notePredRead(key string) {
 	tx.readPreds[key] = struct{}{}
 }
 
+// noteProbe records one committed-state validation lookup, keyed exactly like
+// a summary predicate key. Skipped in serial-commit mode, where the exclusive
+// gate makes validation atomic without conflict tracking.
+func (tx *Tx) noteProbe(lowerTable, lowerCol, key string) {
+	if tx.db.opts.SerialCommit {
+		return
+	}
+	if tx.probes == nil {
+		tx.probes = make(map[string]struct{})
+	}
+	tx.probes["p\x00"+lowerTable+"\x00"+lowerCol+"\x00"+key] = struct{}{}
+}
+
 // SetStmtDeadline bounds the next statement(s) run in this transaction: lock
 // waits stop at the deadline with ErrStmtDeadline instead of waiting out the
 // full lock timeout. A zero time clears the bound.
@@ -141,10 +162,11 @@ func (tx *Tx) histAbort(reason string) {
 	tx.db.histAppend(histcheck.Event{Tx: tx.id, Kind: histcheck.KindAbort, Reason: reason})
 }
 
-// recordInstallsLocked emits one write event per installed row. Called under
-// commitMu immediately after installLocked, so a history snapshot can never
-// observe an installed version before the event that explains it.
-func (tx *Tx) recordInstallsLocked(commitTS uint64) {
+// recordInstalls emits one write event per installed row. Called immediately
+// after install, inside the commit's install turn (or under the exclusive
+// gate on the serial path), so a history snapshot can never observe an
+// installed version before the event that explains it.
+func (tx *Tx) recordInstalls(commitTS uint64) {
 	for lower, rows := range tx.writes {
 		for id, w := range rows {
 			op := "insert"
@@ -625,6 +647,12 @@ func (tx *Tx) Rollback() {
 // On any validation error the transaction is rolled back and the error
 // returned; ErrSerialization and ErrUniqueViolation/-ForeignKeyViolation are
 // the interesting cases for the layers above.
+//
+// The default path is the staged commit pipeline (see commitpipeline.go):
+// validation under per-table latches, a group-commit WAL append, and an
+// install strictly ordered by commit sequence number. Options.SerialCommit
+// selects the pre-pipeline behavior — one global critical section per commit
+// and one fsync per transaction — as the ablation baseline.
 func (tx *Tx) Commit() error {
 	if err := tx.checkLive(); err != nil {
 		return err
@@ -635,12 +663,7 @@ func (tx *Tx) Commit() error {
 		// The commit fault point: a forced serialization abort here takes the
 		// same path a first-committer-wins conflict would.
 		if err := hook("commit"); err != nil {
-			tx.done = true
-			atomic.AddUint64(&db.statAborts, 1)
-			recordAbort(err)
-			tx.histAbort(err.Error())
-			db.finish(tx)
-			return err
+			return tx.abortCommit(err)
 		}
 	}
 	hasWrites := false
@@ -659,17 +682,36 @@ func (tx *Tx) Commit() error {
 		db.finish(tx)
 		return nil
 	}
+	if db.opts.SerialCommit {
+		return tx.commitSerial(start)
+	}
+	return tx.commitPipelined(start)
+}
 
-	db.commitMu.Lock()
-	err := tx.validateLocked()
+// abortCommit applies the standard failed-commit bookkeeping and returns err.
+func (tx *Tx) abortCommit(err error) error {
+	db := tx.db
+	tx.done = true
+	atomic.AddUint64(&db.statAborts, 1)
+	recordAbort(err)
+	tx.histAbort(err.Error())
+	db.finish(tx)
+	return err
+}
+
+// commitSerial is the pre-pipeline commit path: the whole
+// validate-log-install sequence runs under the exclusive pipeline gate, so
+// commits are fully serialized and each pays its own fsync.
+func (tx *Tx) commitSerial(start time.Time) error {
+	db := tx.db
+	p := db.pipe
+	p.gate.Lock()
+	vstart := time.Now()
+	err := tx.validate(true)
+	tx.trace.Add(obs.SpanCommitValidate, time.Since(vstart))
 	if err != nil {
-		db.commitMu.Unlock()
-		tx.done = true
-		atomic.AddUint64(&db.statAborts, 1)
-		recordAbort(err)
-		tx.histAbort(err.Error())
-		db.finish(tx)
-		return err
+		p.gate.Unlock()
+		return tx.abortCommit(err)
 	}
 	commitTS := atomic.LoadUint64(&db.clock) + 1
 	// Write-ahead: the commit record must be durable (per the sync policy)
@@ -678,7 +720,7 @@ func (tx *Tx) Commit() error {
 	// half-applied transaction, and an unlogged one was never acknowledged.
 	if db.wal != nil {
 		if werr := db.wal.append(encodeCommit(tx.writes, commitTS), tx.trace); werr != nil {
-			db.commitMu.Unlock()
+			p.gate.Unlock()
 			tx.done = true
 			atomic.AddUint64(&db.statAborts, 1)
 			mAbortsWAL.Inc()
@@ -687,13 +729,14 @@ func (tx *Tx) Commit() error {
 			return fmt.Errorf("commit aborted: %w", werr)
 		}
 	}
-	summary := tx.installLocked(commitTS)
+	summary := tx.buildSummary(commitTS)
+	tx.install(commitTS)
 	if db.hist != nil {
-		tx.recordInstallsLocked(commitTS)
+		tx.recordInstalls(commitTS)
 		db.hist.Append(histcheck.Event{Tx: tx.id, Kind: histcheck.KindCommit})
 	}
 	atomic.StoreUint64(&db.clock, commitTS)
-	db.commitMu.Unlock()
+	p.gate.Unlock()
 
 	db.recordCommit(summary)
 	tx.done = true
@@ -706,10 +749,170 @@ func (tx *Tx) Commit() error {
 	return nil
 }
 
-// validateLocked runs commit-time validation under commitMu: write-write
-// conflicts, serializable read certification, in-database unique and foreign
-// key constraints (expanding cascades into the write set).
-func (tx *Tx) validateLocked() error {
+// commitPipelined runs the staged commit pipeline.
+//
+// Stage 1 — validate: under the latches of the write set's FK-connected
+// component, run first-committer-wins, cascade expansion, and constraint
+// checks, then (still latched) register a commit intent. Registration fails
+// three ways: a footprint overlap with a pending intent means a not-yet-
+// installed commit could invalidate what validation just observed, so the
+// transaction waits for those intents to resolve and revalidates from its
+// original write set; a serializable certification conflict aborts; otherwise
+// the intent is admitted with the next CSN.
+//
+// Stage 2 — group-commit WAL: the encoded record is handed to the log writer
+// goroutine and the committer parks until its batch is durable. A log failure
+// aborts the commit, consuming its CSN turn so later commits never stall.
+//
+// Stage 3 — ordered install: strictly in CSN order, install versions under
+// the write tables' latches, emit history events, publish the clock, and
+// expose the summary for certification before leaving the pending set.
+func (tx *Tx) commitPipelined(start time.Time) error {
+	db := tx.db
+	p := db.pipe
+	p.gate.RLock()
+
+	vstart := time.Now()
+	names := p.latchFor(tx.writes)
+	// Cascade expansion mutates the write set; retries must restart from the
+	// transaction's own writes or a prior round's cascade targets would be
+	// double-applied against a changed committed state.
+	var origWrites map[string]map[RowID]struct{}
+	if tx.hasDeletes() {
+		origWrites = tx.writeKeySnapshot()
+	}
+	var intent *commitIntent
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			tx.pruneWrites(origWrites)
+		}
+		tx.probes = nil
+		latches := p.latch(names)
+		err := tx.validate(false)
+		var waits []chan struct{}
+		if err == nil {
+			intent, waits, err = p.register(tx, tx.buildSummary(0))
+		}
+		p.unlatch(latches)
+		if err != nil {
+			tx.trace.Add(obs.SpanCommitValidate, time.Since(vstart))
+			p.gate.RUnlock()
+			return tx.abortCommit(err)
+		}
+		if intent != nil {
+			break
+		}
+		for _, ch := range waits {
+			<-ch
+		}
+	}
+	tx.trace.Add(obs.SpanCommitValidate, time.Since(vstart))
+
+	csn := intent.csn
+	if db.wal != nil {
+		if werr := p.submit(encodeCommit(tx.writes, csn), tx.trace); werr != nil {
+			p.abortIntent(intent)
+			p.gate.RUnlock()
+			tx.done = true
+			atomic.AddUint64(&db.statAborts, 1)
+			mAbortsWAL.Inc()
+			tx.histAbort(werr.Error())
+			db.finish(tx)
+			return fmt.Errorf("commit aborted: %w", werr)
+		}
+	}
+
+	istart := time.Now()
+	p.awaitTurn(csn)
+	latches := p.latch(tx.writeTableNames())
+	tx.install(csn)
+	if db.hist != nil {
+		tx.recordInstalls(csn)
+		db.hist.Append(histcheck.Event{Tx: tx.id, Kind: histcheck.KindCommit})
+	}
+	atomic.StoreUint64(&db.clock, csn)
+	p.unlatch(latches)
+	// Publish the summary for certification before resolving the intent, so a
+	// registering transaction always sees this commit in exactly one of the
+	// two conflict sources (pending intents or recorded summaries).
+	db.recordCommit(intent.summary)
+	p.finish(intent)
+	p.gate.RUnlock()
+	tx.trace.Add(obs.SpanCommitInstall, time.Since(istart))
+
+	tx.done = true
+	atomic.AddUint64(&db.statCommits, 1)
+	db.finish(tx)
+	d := time.Since(start)
+	mCommits.Inc()
+	mCommitSeconds.Observe(d)
+	tx.trace.Add(obs.SpanCommit, d)
+	return nil
+}
+
+// hasDeletes reports whether any buffered write is a delete (the only op that
+// can trigger cascade expansion).
+func (tx *Tx) hasDeletes() bool {
+	for _, rows := range tx.writes {
+		for _, w := range rows {
+			if w.op == opDelete {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// writeKeySnapshot captures the current write-set keys, so conflict-wait
+// retries can discard cascade-added writes from a previous validation round.
+func (tx *Tx) writeKeySnapshot() map[string]map[RowID]struct{} {
+	snap := make(map[string]map[RowID]struct{}, len(tx.writes))
+	for lower, rows := range tx.writes {
+		m := make(map[RowID]struct{}, len(rows))
+		for id := range rows {
+			m[id] = struct{}{}
+		}
+		snap[lower] = m
+	}
+	return snap
+}
+
+// pruneWrites drops writes not present in the original-key snapshot.
+func (tx *Tx) pruneWrites(orig map[string]map[RowID]struct{}) {
+	if orig == nil {
+		return
+	}
+	for lower, rows := range tx.writes {
+		keep := orig[lower]
+		for id := range rows {
+			if _, ok := keep[id]; !ok {
+				delete(rows, id)
+			}
+		}
+	}
+}
+
+// writeTableNames returns the sorted lower-cased names of tables with
+// buffered writes.
+func (tx *Tx) writeTableNames() []string {
+	names := make([]string, 0, len(tx.writes))
+	for lower, rows := range tx.writes {
+		if len(rows) > 0 {
+			names = append(names, lower)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// validate runs commit-time validation: write-write conflicts, in-database
+// unique and foreign key constraints (expanding cascades into the write set),
+// and — only when certInline is set (the serial path) — serializable read
+// certification. The pipeline instead certifies during intent registration,
+// where the registry lock closes the race against concurrently publishing
+// commits. Caller holds either the table latches of the write set's FK
+// component or the exclusive gate.
+func (tx *Tx) validate(certInline bool) error {
 	db := tx.db
 
 	// First-committer-wins: abort if any written row has a committed version
@@ -741,45 +944,54 @@ func (tx *Tx) validateLocked() error {
 		}
 	}
 
-	// Serializable read certification: our reads must not overlap writes
-	// committed after our snapshot. With PhantomBug set, predicate reads are
-	// not certified — PostgreSQL bug #11732's observable behavior.
-	if tx.level.certifiesReads() {
-		for _, c := range db.conflictingSummaries(tx.startTS) {
-			for rk := range tx.readRows {
-				if _, hit := c.rowKeys[rk]; hit {
-					atomic.AddUint64(&db.statConflict, 1)
-					return fmt.Errorf("%w: read-write conflict on row", ErrSerialization)
-				}
+	if certInline && tx.level.certifiesReads() {
+		if err := tx.certify(); err != nil {
+			return err
+		}
+	}
+
+	if err := tx.expandCascades(); err != nil {
+		return err
+	}
+	if err := tx.checkUnique(); err != nil {
+		return err
+	}
+	return tx.checkForeignKeys()
+}
+
+// certify runs serializable read certification: the transaction's reads must
+// not overlap writes committed after its snapshot. With PhantomBug set,
+// predicate reads are not certified — PostgreSQL bug #11732's observable
+// behavior.
+func (tx *Tx) certify() error {
+	db := tx.db
+	for _, c := range db.conflictingSummaries(tx.startTS) {
+		for rk := range tx.readRows {
+			if _, hit := c.rowKeys[rk]; hit {
+				atomic.AddUint64(&db.statConflict, 1)
+				return fmt.Errorf("%w: read-write conflict on row", ErrSerialization)
 			}
-			if !db.opts.PhantomBug {
-				for pk := range tx.readPreds {
-					if _, hit := c.predKeys[pk]; hit {
-						atomic.AddUint64(&db.statConflict, 1)
-						return fmt.Errorf("%w: phantom conflict on predicate", ErrSerialization)
-					}
+		}
+		if !db.opts.PhantomBug {
+			for pk := range tx.readPreds {
+				if _, hit := c.predKeys[pk]; hit {
+					atomic.AddUint64(&db.statConflict, 1)
+					return fmt.Errorf("%w: phantom conflict on predicate", ErrSerialization)
 				}
 			}
 		}
 	}
-
-	if err := tx.expandCascadesLocked(); err != nil {
-		return err
-	}
-	if err := tx.checkUniqueLocked(); err != nil {
-		return err
-	}
-	return tx.checkForeignKeysLocked()
+	return nil
 }
 
-// expandCascadesLocked applies in-database ON DELETE actions: for every
-// buffered delete of a row in a table referenced by foreign keys, child rows
-// are deleted (CASCADE), nulled (SET NULL), or cause an abort (NO ACTION).
-// Runs to a fixpoint so cascades chain across tables. Operates on the
-// latest committed state — under commitMu this is the authoritative state,
-// which is exactly why in-database cascades never orphan rows while feral
-// (application-level) cascades do.
-func (tx *Tx) expandCascadesLocked() error {
+// expandCascades applies in-database ON DELETE actions: for every buffered
+// delete of a row in a table referenced by foreign keys, child rows are
+// deleted (CASCADE), nulled (SET NULL), or cause an abort (NO ACTION). Runs
+// to a fixpoint so cascades chain across tables. Operates on the latest
+// committed state — under the component latches (or exclusive gate) this is
+// the authoritative state, which is exactly why in-database cascades never
+// orphan rows while feral (application-level) cascades do.
+func (tx *Tx) expandCascades() error {
 	db := tx.db
 	work := make([]struct {
 		table string
@@ -829,6 +1041,7 @@ func (tx *Tx) expandCascadesLocked() error {
 			if fkPos < 0 {
 				return fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, e.childTable, e.fk.Column)
 			}
+			tx.noteProbe(e.childTable, strings.ToLower(child.schema.Columns[fkPos].Name), pkVal.Key())
 			candidates, _ := child.candidateRows(e.fk.Column, pkVal.Key())
 			childWrites := tx.tableWrites(e.childTable)
 			for _, cid := range candidates {
@@ -887,9 +1100,9 @@ func (tx *Tx) expandCascadesLocked() error {
 	return nil
 }
 
-// checkUniqueLocked enforces in-database unique indexes against the latest
+// checkUnique enforces in-database unique indexes against the latest
 // committed state plus this transaction's own writes.
-func (tx *Tx) checkUniqueLocked() error {
+func (tx *Tx) checkUnique() error {
 	db := tx.db
 	for lower, rows := range tx.writes {
 		t, err := db.lookupTable(lower)
@@ -922,6 +1135,7 @@ func (tx *Tx) checkUniqueLocked() error {
 				}
 				newKeys[key] = id
 
+				tx.noteProbe(lower, strings.ToLower(s.Columns[pos].Name), key)
 				candidates, _ := t.candidateRows(spec.Column, key)
 				for _, cid := range candidates {
 					if cid == id {
@@ -948,10 +1162,10 @@ func (tx *Tx) checkUniqueLocked() error {
 	return nil
 }
 
-// checkForeignKeysLocked verifies every inserted/updated child row's parent
+// checkForeignKeys verifies every inserted/updated child row's parent
 // exists (in committed state or in this transaction's writes) and is not
 // being deleted by this transaction.
-func (tx *Tx) checkForeignKeysLocked() error {
+func (tx *Tx) checkForeignKeys() error {
 	db := tx.db
 	for lower, rows := range tx.writes {
 		t, err := db.lookupTable(lower)
@@ -978,7 +1192,8 @@ func (tx *Tx) checkForeignKeysLocked() error {
 				if ref.IsNull() {
 					continue
 				}
-				if tx.parentExistsLocked(parent, parentLower, pkPos, ref) {
+				tx.noteProbe(parentLower, strings.ToLower(parent.schema.Columns[pkPos].Name), ref.Key())
+				if tx.parentExists(parent, parentLower, pkPos, ref) {
 					continue
 				}
 				return fmt.Errorf("%w: %s.%s = %s has no parent in %s",
@@ -989,9 +1204,9 @@ func (tx *Tx) checkForeignKeysLocked() error {
 	return nil
 }
 
-// parentExistsLocked reports whether a live parent row with primary key ref
+// parentExists reports whether a live parent row with primary key ref
 // exists, accounting for this transaction's own inserts and deletes.
-func (tx *Tx) parentExistsLocked(parent *table, parentLower string, pkPos int, ref Value) bool {
+func (tx *Tx) parentExists(parent *table, parentLower string, pkPos int, ref Value) bool {
 	parentWrites := tx.writes[parentLower]
 	candidates, _ := parent.candidateRows(parent.schema.Columns[pkPos].Name, ref.Key())
 	for _, pid := range candidates {
@@ -1015,11 +1230,12 @@ func (tx *Tx) parentExistsLocked(parent *table, parentLower string, pkPos int, r
 	return false
 }
 
-// installLocked writes all buffered changes as committed versions with the
-// given timestamp and returns the certification summary. Caller holds
-// commitMu; the clock is published by the caller after install completes so
-// readers never observe a partially installed commit.
-func (tx *Tx) installLocked(commitTS uint64) *txSummary {
+// buildSummary computes the certification footprint of the transaction's
+// write set: its row keys plus the full column-value predicate fan-out of
+// every old and new image. The pipeline builds the summary at intent
+// registration (commitTS is stamped there); the serial path builds it at
+// install time.
+func (tx *Tx) buildSummary(commitTS uint64) *txSummary {
 	db := tx.db
 	summary := &txSummary{
 		commitTS: commitTS,
@@ -1042,16 +1258,13 @@ func (tx *Tx) installLocked(commitTS uint64) *txSummary {
 			}
 			switch w.op {
 			case opInsert:
-				t.installInsert(id, w.vals, commitTS)
 				addPreds(w.vals)
 			case opUpdate:
-				t.installUpdate(id, w.vals, commitTS)
 				addPreds(w.vals)
 				if w.old != nil {
 					addPreds(w.old)
 				}
 			case opDelete:
-				t.installDelete(id, commitTS)
 				if w.old != nil {
 					addPreds(w.old)
 				}
@@ -1059,4 +1272,28 @@ func (tx *Tx) installLocked(commitTS uint64) *txSummary {
 		}
 	}
 	return summary
+}
+
+// install writes all buffered changes as committed versions with the given
+// timestamp. Caller holds the write tables' latches (or the exclusive gate);
+// the clock is published by the caller after install completes so readers
+// never observe a partially installed commit.
+func (tx *Tx) install(commitTS uint64) {
+	db := tx.db
+	for lower, rows := range tx.writes {
+		t, err := db.lookupTable(lower)
+		if err != nil {
+			continue // table dropped mid-transaction; nothing to install
+		}
+		for id, w := range rows {
+			switch w.op {
+			case opInsert:
+				t.installInsert(id, w.vals, commitTS)
+			case opUpdate:
+				t.installUpdate(id, w.vals, commitTS)
+			case opDelete:
+				t.installDelete(id, commitTS)
+			}
+		}
+	}
 }

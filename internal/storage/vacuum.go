@@ -23,16 +23,16 @@ type VacuumStats struct {
 // versions (the scan path treats buckets as supersets, so this is purely a
 // space/speed optimization, never a correctness requirement).
 //
-// Vacuum takes the commit lock, so it serializes with writers the way a
-// stop-the-world VACUUM FULL would; it is intended for quiescent or
-// low-traffic moments in long-running processes.
+// Vacuum quiesces the commit pipeline (exclusive gate), so it serializes with
+// writers the way a stop-the-world VACUUM FULL would; it is intended for
+// quiescent or low-traffic moments in long-running processes.
 func (db *Database) Vacuum() VacuumStats {
 	db.activeMu.Lock()
 	horizon := db.minActiveStartLocked()
 	db.activeMu.Unlock()
 
-	db.commitMu.Lock()
-	defer db.commitMu.Unlock()
+	db.pipe.gate.Lock()
+	defer db.pipe.gate.Unlock()
 
 	stats := VacuumStats{Horizon: horizon}
 	db.catalogMu.RLock()

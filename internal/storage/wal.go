@@ -19,10 +19,10 @@ import (
 //	length:uint32BE  crc:uint32BE(Castagnoli, over payload)  payload
 //
 // and the payload's first byte is a record type. Commit records are appended
-// inside the commit critical section (commitMu) after validation and before
-// install, so a record reaches the log if and only if the commit will be
-// acknowledged; DDL records are appended under catalogMu before the catalog
-// mutation becomes visible. Recovery scans the log until the first torn or
+// by the group-commit log writer after validation and before install, so a
+// record reaches the log if and only if the commit will be acknowledged; DDL
+// records are appended under catalogMu before the catalog mutation becomes
+// visible. Recovery scans the log until the first torn or
 // checksum-corrupt record, replays the valid prefix, and truncates the rest —
 // so the recovered state is always exactly a committed prefix, never a
 // half-applied transaction.
@@ -44,6 +44,13 @@ const (
 	recDropTable     byte = 3
 	recAddIndex      byte = 4
 	recAddForeignKey byte = 5
+	// recGroupCommit frames a whole group-commit batch: a uvarint transaction
+	// count followed by length-prefixed complete recCommit payloads (type byte
+	// included), in CSN order. One frame, one checksum, one fsync for the
+	// batch; recovery replays the sub-records as if each had its own frame, so
+	// a torn frame discards the batch atomically — acknowledged commits are
+	// exactly the durable frames.
+	recGroupCommit byte = 6
 )
 
 // crcTable is the Castagnoli polynomial, hardware-accelerated on amd64/arm64.
@@ -180,6 +187,17 @@ func (w *wal) fsyncLocked(tr *obs.StmtTrace) error {
 			return err
 		}
 	}
+	return w.syncFileLocked(tr)
+}
+
+// syncFileLocked is the hook-free fsync: the group-commit path fires the
+// wal.fsync fault point once per batched transaction before calling this, so
+// chaos suites keep their per-transaction coverage while the file itself is
+// synced once per batch.
+func (w *wal) syncFileLocked(tr *obs.StmtTrace) error {
+	if !w.dirty {
+		return nil
+	}
 	start := time.Now()
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("storage: wal fsync: %w", err)
@@ -190,6 +208,91 @@ func (w *wal) fsyncLocked(tr *obs.StmtTrace) error {
 	tr.Add(obs.SpanWALFsync, d)
 	w.dirty = false
 	return nil
+}
+
+// appendGroup writes a batch of commit records as one frame — a plain
+// recCommit frame for a batch of one (byte-identical to the serial path), a
+// recGroupCommit frame otherwise — and fsyncs once per the policy.
+//
+// Fault-point semantics stay per-transaction: the wal.append hook fires for
+// every submission (a failure drops just that submission from the frame with
+// its error delivered immediately), and under SyncAlways the wal.fsync hook
+// fires once per surviving submission before the single real fsync. Any frame
+// write or fsync failure rolls the file back to the pre-frame offset and the
+// error is returned for every survivor: none of the batch was acknowledged,
+// none will be replayed.
+//
+// The returned slice holds the submissions whose outcome is the returned
+// error; submissions rejected by the append hook have already received their
+// individual errors.
+func (w *wal) appendGroup(batch []*walSubmission) ([]*walSubmission, error) {
+	start := time.Now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.broken != nil {
+		return batch, w.broken
+	}
+	survivors := make([]*walSubmission, 0, len(batch))
+	for _, s := range batch {
+		if w.hook != nil {
+			if err := w.hook("wal.append"); err != nil {
+				s.res <- err
+				continue
+			}
+		}
+		survivors = append(survivors, s)
+	}
+	if len(survivors) == 0 {
+		return nil, nil
+	}
+	var payload []byte
+	if len(survivors) == 1 {
+		payload = survivors[0].payload
+	} else {
+		payload = []byte{recGroupCommit}
+		payload = binary.AppendUvarint(payload, uint64(len(survivors)))
+		for _, s := range survivors {
+			payload = binary.AppendUvarint(payload, uint64(len(s.payload)))
+			payload = append(payload, s.payload...)
+		}
+	}
+	frame := make([]byte, walHeaderSize+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
+	copy(frame[walHeaderSize:], payload)
+	off := w.size
+	if _, err := w.f.WriteAt(frame, off); err != nil {
+		w.rollbackTo(off)
+		return survivors, fmt.Errorf("storage: wal append: %w", err)
+	}
+	w.size = off + int64(len(frame))
+	w.dirty = true
+	if w.policy == SyncAlways {
+		if w.hook != nil {
+			for range survivors {
+				if err := w.hook("wal.fsync"); err != nil {
+					w.rollbackTo(off)
+					return survivors, err
+				}
+			}
+		}
+		fstart := time.Now()
+		if err := w.syncFileLocked(nil); err != nil {
+			w.rollbackTo(off)
+			return survivors, err
+		}
+		fd := time.Since(fstart)
+		for _, s := range survivors {
+			s.tr.Add(obs.SpanWALFsync, fd)
+		}
+	}
+	d := time.Since(start)
+	mWALAppends.Add(uint64(len(survivors)))
+	mWALAppendSeconds.Observe(d)
+	for _, s := range survivors {
+		s.tr.Add(obs.SpanWALAppend, d)
+	}
+	return survivors, nil
 }
 
 // rollbackTo truncates the file back to off after a failed append or fsync.
@@ -204,8 +307,8 @@ func (w *wal) rollbackTo(off int64) {
 }
 
 // truncateAll resets the log after a checkpoint made its contents redundant.
-// Caller must have quiesced commits and DDL (Checkpoint holds commitMu and
-// catalogMu).
+// Caller must have quiesced commits and DDL (Checkpoint holds the pipeline
+// gate exclusively, plus catalogMu).
 func (w *wal) truncateAll() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()

@@ -2,7 +2,7 @@ GO ?= go
 BENCH ?= BENCH_3.json
 BENCH_COMMIT ?= BENCH_6.json
 
-.PHONY: check test bench bench-commit chaos obs-smoke histcheck lint profile profile-mutex clean
+.PHONY: check test bench bench-commit chaos obs-smoke histcheck hunt-regress hunt-smoke lint profile profile-mutex clean
 
 # check is the full gate: compile, vet, and the whole test suite under the
 # race detector (the plan cache, wire server, and WAL are concurrency-critical).
@@ -32,6 +32,22 @@ histcheck:
 	$(GO) test -count=1 -v -run TestGate ./internal/histcheck
 	$(GO) test -count=1 -run 'TestHistory|TestEmbeddedConnHistorySuite|TestWireConnHistorySuite' ./internal/storage ./internal/db ./internal/wire
 	HISTCHECK_WITNESS_DIR=$(WITNESS_DIR) $(GO) run ./cmd/feralbench -experiment isolevels -quick -check-history -metrics=false
+
+# hunt-regress replays the seeded witness corpus under testdata/hunt/ through
+# the Adya checker (each file must classify as exactly the anomaly it was
+# minimized for) and reruns the scheduler determinism suite — same (seed,
+# workload) must produce byte-identical histories — under the race detector.
+hunt-regress:
+	$(GO) test -count=1 -run 'TestHuntRegress' ./cmd/feralhunt
+	$(GO) test -race -count=1 -run 'TestHuntSchedDeterminism' ./internal/experiment
+	$(GO) test -race -count=1 ./internal/sched
+
+# hunt-smoke runs the directed anomaly search from fixed seeds on a small
+# budget: lost update must fall at READ COMMITTED and write skew at SNAPSHOT
+# ISOLATION within the schedule bound (both take 2 schedules today), and the
+# same workloads must certify clean at SERIALIZABLE. Under two minutes.
+hunt-smoke:
+	$(GO) test -count=1 -run 'TestHuntSmoke|TestHuntDirected' -v ./cmd/feralhunt ./internal/experiment
 
 # lint runs go vet always and staticcheck when the binary is present (the CI
 # lint job installs it; locally the target degrades to vet alone).

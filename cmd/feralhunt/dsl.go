@@ -1,0 +1,325 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"feralcc/internal/experiment"
+	"feralcc/internal/storage"
+)
+
+// The workload DSL: a line-based format for custom transaction templates, so
+// a hunt does not require recompiling the catalog. One file declares tables,
+// seed rows, and tasks; each task is one transaction template executed by one
+// scheduler task.
+//
+//	# lost update, spelled out
+//	table accounts id:int:pk balance:int
+//	row accounts balance=100
+//	task
+//	  read accounts 1 balance
+//	  add accounts 1 balance 10
+//	task
+//	  read accounts 1 balance
+//	  add accounts 1 balance 25
+//
+// Statements:
+//
+//	table <name> <col>:<kind>[:pk] ...   kinds: int, string
+//	row <table> <col>=<value> ...        seed row, inserted at setup
+//	task                                 starts the next transaction template
+//	  read <table> <rowid> <col>         Get; remembers the column value
+//	  add <table> <rowid> <col> <delta>  Update col = remembered + delta
+//	  set <table> <rowid> <col> <value>  Update col = value
+//	  insert <table> <col>=<value> ...   unconditional insert
+//	  insert-unless <table> <col>=<val>  feral validation: scan, insert if absent
+//	  delete <table> <rowid>
+//
+// Every task commits after its last op; engine aborts surface as that task's
+// outcome. Values parse as int64 first, strings otherwise. Row ids are the
+// engine's dense allocation order: the Nth `row` line across all tables of
+// one table is row N of that table (allocation starts at 1 per table).
+type dslOp struct {
+	verb  string
+	table string
+	row   storage.RowID
+	col   string
+	delta int64
+	vals  map[string]storage.Value
+}
+
+type dslTask struct {
+	ops []dslOp
+}
+
+type dslFile struct {
+	schemas []*storage.Schema
+	rows    []struct {
+		table string
+		vals  map[string]storage.Value
+	}
+	tasks []dslTask
+}
+
+// parseDSL reads a workload file.
+func parseDSL(r io.Reader, name string) (experiment.HuntWorkload, error) {
+	f := &dslFile{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	var cur *dslTask
+	fail := func(format string, args ...any) (experiment.HuntWorkload, error) {
+		return experiment.HuntWorkload{}, fmt.Errorf("dsl line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "table":
+			if len(fields) < 3 {
+				return fail("table needs a name and at least one column")
+			}
+			s := &storage.Schema{Name: fields[1]}
+			for _, spec := range fields[2:] {
+				parts := strings.Split(spec, ":")
+				if len(parts) < 2 {
+					return fail("column %q: want name:kind[:pk]", spec)
+				}
+				c := storage.Column{Name: parts[0]}
+				switch parts[1] {
+				case "int":
+					c.Kind = storage.KindInt
+				case "string":
+					c.Kind = storage.KindString
+				default:
+					return fail("column %q: unknown kind %q", spec, parts[1])
+				}
+				if len(parts) == 3 {
+					if parts[2] != "pk" {
+						return fail("column %q: unknown flag %q", spec, parts[2])
+					}
+					c.PrimaryKey = true
+				}
+				s.Columns = append(s.Columns, c)
+			}
+			f.schemas = append(f.schemas, s)
+		case "row":
+			if len(fields) < 2 {
+				return fail("row needs a table")
+			}
+			vals, err := parseAssignments(fields[2:])
+			if err != nil {
+				return fail("%v", err)
+			}
+			f.rows = append(f.rows, struct {
+				table string
+				vals  map[string]storage.Value
+			}{table: fields[1], vals: vals})
+		case "task":
+			f.tasks = append(f.tasks, dslTask{})
+			cur = &f.tasks[len(f.tasks)-1]
+		case "read", "add", "set", "insert", "insert-unless", "delete":
+			if cur == nil {
+				return fail("%q before any task", fields[0])
+			}
+			op, err := parseOp(fields)
+			if err != nil {
+				return fail("%v", err)
+			}
+			cur.ops = append(cur.ops, op)
+		default:
+			return fail("unknown statement %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return experiment.HuntWorkload{}, err
+	}
+	if len(f.tasks) < 2 {
+		return experiment.HuntWorkload{}, fmt.Errorf("dsl: need at least 2 tasks for a concurrency hunt, got %d", len(f.tasks))
+	}
+	return f.workload(name), nil
+}
+
+// parseOp parses one task statement.
+func parseOp(fields []string) (dslOp, error) {
+	op := dslOp{verb: fields[0]}
+	switch op.verb {
+	case "read":
+		if len(fields) != 4 {
+			return op, fmt.Errorf("read <table> <rowid> <col>")
+		}
+		op.table = fields[1]
+		id, err := strconv.ParseUint(fields[2], 10, 64)
+		if err != nil {
+			return op, fmt.Errorf("bad row id %q", fields[2])
+		}
+		op.row = storage.RowID(id)
+		op.col = fields[3]
+	case "add", "set":
+		if len(fields) != 5 {
+			return op, fmt.Errorf("%s <table> <rowid> <col> <value>", op.verb)
+		}
+		op.table = fields[1]
+		id, err := strconv.ParseUint(fields[2], 10, 64)
+		if err != nil {
+			return op, fmt.Errorf("bad row id %q", fields[2])
+		}
+		op.row = storage.RowID(id)
+		op.col = fields[3]
+		n, err := strconv.ParseInt(fields[4], 10, 64)
+		if err != nil {
+			if op.verb == "add" {
+				return op, fmt.Errorf("add needs an integer delta, got %q", fields[4])
+			}
+			op.vals = map[string]storage.Value{op.col: storage.Str(fields[4])}
+		} else {
+			op.delta = n
+			op.vals = map[string]storage.Value{op.col: storage.Int(n)}
+		}
+	case "insert", "insert-unless":
+		if len(fields) < 3 {
+			return op, fmt.Errorf("%s <table> <col>=<value> ...", op.verb)
+		}
+		op.table = fields[1]
+		vals, err := parseAssignments(fields[2:])
+		if err != nil {
+			return op, err
+		}
+		op.vals = vals
+	case "delete":
+		if len(fields) != 3 {
+			return op, fmt.Errorf("delete <table> <rowid>")
+		}
+		op.table = fields[1]
+		id, err := strconv.ParseUint(fields[2], 10, 64)
+		if err != nil {
+			return op, fmt.Errorf("bad row id %q", fields[2])
+		}
+		op.row = storage.RowID(id)
+	}
+	return op, nil
+}
+
+// parseAssignments parses col=value pairs; integers become Int values.
+func parseAssignments(fields []string) (map[string]storage.Value, error) {
+	vals := map[string]storage.Value{}
+	for _, kv := range fields {
+		eq := strings.IndexByte(kv, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("want col=value, got %q", kv)
+		}
+		col, raw := kv[:eq], kv[eq+1:]
+		if n, err := strconv.ParseInt(raw, 10, 64); err == nil {
+			vals[col] = storage.Int(n)
+		} else {
+			vals[col] = storage.Str(raw)
+		}
+	}
+	return vals, nil
+}
+
+// workload compiles the parsed file into a HuntWorkload.
+func (f *dslFile) workload(name string) experiment.HuntWorkload {
+	colIndex := map[string]map[string]int{}
+	for _, s := range f.schemas {
+		m := map[string]int{}
+		for i, c := range s.Columns {
+			m[strings.ToLower(c.Name)] = i
+		}
+		colIndex[strings.ToLower(s.Name)] = m
+	}
+	tasks := make([]experiment.HuntTask, len(f.tasks))
+	for ti := range f.tasks {
+		ops := f.tasks[ti].ops
+		tasks[ti] = func(db *storage.Database, level storage.IsolationLevel) (uint64, error) {
+			tx := db.Begin(level)
+			var reg int64 // the `read` register `add` consumes
+			for _, op := range ops {
+				switch op.verb {
+				case "read":
+					vals, err := tx.Get(op.table, op.row)
+					if err != nil {
+						tx.Rollback()
+						return tx.ID(), err
+					}
+					if vals != nil {
+						if ci, ok := colIndex[strings.ToLower(op.table)][strings.ToLower(op.col)]; ok && ci < len(vals) {
+							reg = vals[ci].I
+						}
+					}
+				case "add":
+					if err := tx.Update(op.table, op.row, map[string]storage.Value{op.col: storage.Int(reg + op.delta)}); err != nil {
+						tx.Rollback()
+						return tx.ID(), err
+					}
+				case "set":
+					if err := tx.Update(op.table, op.row, op.vals); err != nil {
+						tx.Rollback()
+						return tx.ID(), err
+					}
+				case "insert":
+					if _, _, err := tx.Insert(op.table, op.vals); err != nil {
+						tx.Rollback()
+						return tx.ID(), err
+					}
+				case "insert-unless":
+					found := false
+					for col, v := range op.vals {
+						err := tx.Scan(op.table, storage.ScanOptions{
+							Filter: &storage.EqFilter{Column: col, Value: v},
+						}, func(storage.RowID, []storage.Value) bool {
+							found = true
+							return false
+						})
+						if err != nil {
+							tx.Rollback()
+							return tx.ID(), err
+						}
+						break // feral validations check one column
+					}
+					if found {
+						tx.Rollback()
+						return tx.ID(), nil
+					}
+					if _, _, err := tx.Insert(op.table, op.vals); err != nil {
+						tx.Rollback()
+						return tx.ID(), err
+					}
+				case "delete":
+					if err := tx.Delete(op.table, op.row); err != nil {
+						tx.Rollback()
+						return tx.ID(), err
+					}
+				}
+			}
+			return tx.ID(), tx.Commit()
+		}
+	}
+	return experiment.HuntWorkload{
+		Name:        name,
+		Description: "custom DSL workload",
+		Setup: func(db *storage.Database) error {
+			for _, s := range f.schemas {
+				// Re-validate per run: CreateTable mutates nothing on error.
+				if err := db.CreateTable(s); err != nil {
+					return err
+				}
+			}
+			tx := db.Begin(storage.ReadCommitted)
+			for _, r := range f.rows {
+				if _, _, err := tx.Insert(r.table, r.vals); err != nil {
+					tx.Rollback()
+					return err
+				}
+			}
+			return tx.Commit()
+		},
+		Tasks: tasks,
+	}
+}

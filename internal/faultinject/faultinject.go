@@ -11,6 +11,18 @@
 // chaos run replays exactly from its seed regardless of goroutine scheduling
 // (the multiset of decisions per point is fixed; only their assignment to
 // racing callers varies).
+//
+// Evaluation order is part of the contract, pinned by order_test.go. Within
+// one point, rules are evaluated in Arm order and at most one fires per
+// evaluation — first firing rule wins. When one statement crosses several
+// points, they are consulted in the engine's execution order: a commit
+// evaluates storage.commit before validation, then storage.wal.append inside
+// the log critical section, then storage.wal.fsync (under SyncAlways); a
+// failing fault at an earlier point aborts the statement before later points
+// are evaluated at all, so their sequence numbers do not advance. At every
+// shared site the engine consults the fault hook before the scheduler yield
+// point, so injected faults depend only on (seed, point, n) — never on the
+// schedule a deterministic hunt chooses.
 package faultinject
 
 import (

@@ -1,0 +1,198 @@
+package histcheck
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AlmostCycle is a wr edge in a history's direct serialization graph that has
+// no answering rw edge back: Writer installed a version of (Table, Row) that
+// Reader observed, and nothing Reader did was invalidated by a concurrent
+// install. It is the directed hunter's steering signal — one rw edge short of
+// a G-single or G2-item cycle, and the missing edge appears exactly when the
+// reader's read is made stale before it commits. Re-running the workload with
+// the writer's commit held until the reader reaches its own commit is the
+// perturbation that closes it.
+type AlmostCycle struct {
+	Writer uint64 // tx id that installed the observed version
+	Reader uint64 // tx id that read it and was never anti-depended back
+	Table  string
+	Row    uint64
+}
+
+// String renders the almost-cycle for hunt logs.
+func (a AlmostCycle) String() string {
+	return fmt.Sprintf("T%d --wr[%s r%d]--> T%d (no rw back-edge)", a.Writer, a.Table, a.Row, a.Reader)
+}
+
+// AlmostCycles scans a history for wr edges with no rw edge in the opposite
+// direction, deduplicated on (writer, reader) with the first (table, row)
+// witness kept, and returned in deterministic (writer, reader) order. The
+// writer must have committed (only installed versions define edges); the
+// reader need only have terminated — a reader that observed the writer's
+// install and then rolled back is the strongest steering signal of all, since
+// a feral validation that refused because it saw the install will proceed
+// once the writer's commit is held back. An empty result means the schedule
+// kept every read isolated from every concurrent writer — nothing to steer
+// toward, so the hunter falls back to random schedules.
+func AlmostCycles(events []Event) []AlmostCycle {
+	committed := map[uint64]bool{}
+	terminated := map[uint64]bool{}
+	for i := range events {
+		switch events[i].Kind {
+		case KindCommit:
+			committed[events[i].Tx] = true
+			terminated[events[i].Tx] = true
+		case KindAbort:
+			terminated[events[i].Tx] = true
+		}
+	}
+
+	rowKey := func(e *Event) string { return e.Table + "\x00" + fmt.Sprint(e.Row) }
+
+	// Version writers and the committed install order per row, mirroring
+	// Check's reconstruction.
+	writerOf := map[string]map[uint64]uint64{}
+	type inst struct {
+		version uint64
+		tx      uint64
+		seq     uint64
+	}
+	installs := map[string][]inst{}
+	for i := range events {
+		e := &events[i]
+		if e.Kind != KindWrite || e.Version == 0 || !committed[e.Tx] {
+			continue
+		}
+		rk := rowKey(e)
+		if writerOf[rk] == nil {
+			writerOf[rk] = map[uint64]uint64{}
+		}
+		if _, dup := writerOf[rk][e.Version]; !dup {
+			writerOf[rk][e.Version] = e.Tx
+		}
+		installs[rk] = append(installs[rk], inst{version: e.Version, tx: e.Tx, seq: e.Seq})
+	}
+	for _, list := range installs {
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].version != list[j].version {
+				return list[i].version < list[j].version
+			}
+			return list[i].seq < list[j].seq
+		})
+	}
+
+	type pair struct{ from, to uint64 }
+	wr := map[pair]AlmostCycle{}
+	rw := map[pair]bool{}
+	var order []pair
+	for i := range events {
+		e := &events[i]
+		if e.Kind != KindRead || e.Own || e.Observed == 0 || !terminated[e.Tx] {
+			continue
+		}
+		rk := rowKey(e)
+		if w, known := writerOf[rk][e.Observed]; known && w != e.Tx {
+			p := pair{from: w, to: e.Tx}
+			if _, dup := wr[p]; !dup {
+				wr[p] = AlmostCycle{Writer: w, Reader: e.Tx, Table: e.Table, Row: e.Row}
+				order = append(order, p)
+			}
+		}
+		if list := installs[rk]; list != nil {
+			idx := sort.Search(len(list), func(i int) bool { return list[i].version > e.Observed })
+			if idx < len(list) && list[idx].tx != e.Tx {
+				rw[pair{from: e.Tx, to: list[idx].tx}] = true
+			}
+		}
+	}
+
+	var out []AlmostCycle
+	for _, p := range order {
+		if !rw[pair{from: p.to, to: p.from}] {
+			out = append(out, wr[p])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Writer != out[j].Writer {
+			return out[i].Writer < out[j].Writer
+		}
+		return out[i].Reader < out[j].Reader
+	})
+	return out
+}
+
+// MinimizeWitness shrinks a history that exhibits target down to a locally
+// minimal sub-history that still exhibits it, by greedy delta debugging:
+// first whole transactions are dropped (every tx removed one at a time, to a
+// fixpoint), then individual read/write events of the survivors. The result
+// replays through Check — and therefore cmd/feralcheck — with the anomaly
+// intact. Relative event order is preserved, so the minimized history remains
+// a plausible execution prefix projection.
+func MinimizeWitness(events []Event, target Anomaly) []Event {
+	cur := append([]Event(nil), events...)
+	if !Check(cur).Has(target) {
+		return cur
+	}
+
+	// Pass 1: drop whole transactions to a fixpoint.
+	for {
+		shrunk := false
+		for _, id := range txIDs(cur) {
+			cand := dropTx(cur, id)
+			if len(cand) < len(cur) && Check(cand).Has(target) {
+				cur = cand
+				shrunk = true
+			}
+		}
+		if !shrunk {
+			break
+		}
+	}
+
+	// Pass 2: drop individual read/write events. Begin/commit/abort events
+	// stay — they carry the level and outcome the classification depends on.
+	for {
+		shrunk := false
+		for i := 0; i < len(cur); i++ {
+			if cur[i].Kind != KindRead && cur[i].Kind != KindWrite && cur[i].Kind != KindPredRead {
+				continue
+			}
+			cand := append(append([]Event(nil), cur[:i]...), cur[i+1:]...)
+			if Check(cand).Has(target) {
+				cur = cand
+				shrunk = true
+				i--
+			}
+		}
+		if !shrunk {
+			break
+		}
+	}
+	return cur
+}
+
+// txIDs returns the distinct transaction ids in events, ascending.
+func txIDs(events []Event) []uint64 {
+	seen := map[uint64]bool{}
+	var out []uint64
+	for i := range events {
+		if !seen[events[i].Tx] {
+			seen[events[i].Tx] = true
+			out = append(out, events[i].Tx)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// dropTx returns events without any event of transaction id.
+func dropTx(events []Event, id uint64) []Event {
+	out := make([]Event, 0, len(events))
+	for i := range events {
+		if events[i].Tx != id {
+			out = append(out, events[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,23 @@
+package sched
+
+import "runtime"
+
+// curGID returns the current goroutine's id, parsed from the runtime stack
+// header ("goroutine 123 [running]:"). The stdlib exposes no direct API; the
+// header format has been stable since Go 1.0 and one 64-byte stack capture
+// per yield is cheap next to the scheduling mutex work around it. Tasks are
+// keyed by goroutine id so the engine's yield calls need no context threading
+// through every storage-layer signature.
+func curGID() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	// Skip "goroutine " (10 bytes) and read digits.
+	var id uint64
+	for _, c := range buf[10:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}

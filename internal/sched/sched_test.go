@@ -1,0 +1,173 @@
+package sched
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// runTrace executes n tasks of `steps` yields each under schedule and returns
+// the interleaving trace. Shared state needs no mutex: the scheduler's baton
+// serializes all task code between yield points.
+func runTrace(n, steps int, schedule Schedule) []string {
+	s := New(n, schedule)
+	var trace []string
+	bodies := make([]func(), n)
+	for i := 0; i < n; i++ {
+		i := i
+		bodies[i] = func() {
+			for st := 0; st < steps; st++ {
+				trace = append(trace, fmt.Sprintf("%d:%d", i, st))
+				s.Yield("step")
+			}
+		}
+	}
+	s.Run(bodies...)
+	return trace
+}
+
+func TestRunSerializesAndCompletes(t *testing.T) {
+	trace := runTrace(3, 5, Schedule{})
+	if len(trace) != 15 {
+		t.Fatalf("got %d entries, want 15: %v", len(trace), trace)
+	}
+	// Default priorities run tasks in index order to completion.
+	want := []string{"0:0", "0:1", "0:2", "0:3", "0:4", "1:0", "1:1", "1:2", "1:3", "1:4", "2:0", "2:1", "2:2", "2:3", "2:4"}
+	if !reflect.DeepEqual(trace, want) {
+		t.Fatalf("default schedule order:\n got %v\nwant %v", trace, want)
+	}
+}
+
+func TestPrioritiesControlOrder(t *testing.T) {
+	trace := runTrace(2, 2, Schedule{Priorities: []int{0, 1}})
+	want := []string{"1:0", "1:1", "0:0", "0:1"}
+	if !reflect.DeepEqual(trace, want) {
+		t.Fatalf("priority inversion:\n got %v\nwant %v", trace, want)
+	}
+}
+
+func TestSameScheduleSameTrace(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		sc := RandomSchedule(seed, 3, 6, 3)
+		a := runTrace(3, 6, sc)
+		b := runTrace(3, 6, sc)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: nondeterministic trace:\n a=%v\n b=%v", seed, a, b)
+		}
+	}
+}
+
+func TestChangePointsPreempt(t *testing.T) {
+	// A change point at decision 2 demotes the running task; with two tasks
+	// this forces a visible preemption relative to the no-change-point run.
+	base := runTrace(2, 4, Schedule{})
+	cp := runTrace(2, 4, Schedule{ChangePoints: []uint64{2}})
+	if len(cp) != len(base) {
+		t.Fatalf("change-point run lost steps: %v", cp)
+	}
+	if reflect.DeepEqual(base, cp) {
+		t.Fatalf("change point had no effect: %v", cp)
+	}
+}
+
+func TestDelayHoldsUntilTarget(t *testing.T) {
+	// Task 0 has the higher default priority but is held at "a" until task 1
+	// reaches "b" — which is after task 1's record, so the records must
+	// invert relative to plain priority order.
+	s := New(2, Schedule{Delays: []Delay{{Task: 0, Point: "a", Until: Until{Task: 1, Point: "b"}}}})
+	var trace []string
+	s.Run(
+		func() { s.Yield("a"); trace = append(trace, "0:post") },
+		func() { s.Yield("a"); trace = append(trace, "1:post"); s.Yield("b") },
+	)
+	want := []string{"1:post", "0:post"}
+	if !reflect.DeepEqual(trace, want) {
+		t.Fatalf("hold not honored:\n got %v\nwant %v", trace, want)
+	}
+}
+
+func TestUnsatisfiableHoldReleases(t *testing.T) {
+	// The hold waits for a visit count task 1 never reaches; once task 1
+	// finishes, the hold is unsatisfiable and must release rather than stall.
+	s := New(2, Schedule{Delays: []Delay{{Task: 0, Point: "a", Until: Until{Task: 1, Point: "a", Visit: 99}}}})
+	done := [2]bool{}
+	s.Run(
+		func() { s.Yield("a"); done[0] = true },
+		func() { s.Yield("a"); done[1] = true },
+	)
+	if !done[0] || !done[1] {
+		t.Fatalf("run stalled: %v", done)
+	}
+}
+
+func TestDeadlockVictimNomination(t *testing.T) {
+	// Classic wait cycle: each task parks (victim-eligible) until the other
+	// finishes. The scheduler must nominate exactly one victim; the survivor
+	// then completes normally.
+	s := New(2, Schedule{})
+	var flag [2]bool
+	victims := 0
+	body := func(me, other int) func() {
+		return func() {
+			for !flag[other] {
+				if err := s.Park("lock.wait", true); err != nil {
+					victims++
+					break
+				}
+			}
+			flag[me] = true
+		}
+	}
+	s.Run(body(0, 1), body(1, 0))
+	if victims != 1 {
+		t.Fatalf("got %d victims, want exactly 1", victims)
+	}
+	if s.DeadlockVictims() != 1 {
+		t.Fatalf("DeadlockVictims() = %d, want 1", s.DeadlockVictims())
+	}
+}
+
+func TestParkRetriesAfterProgress(t *testing.T) {
+	// Task 1 parks until task 0 flips a flag; the park must be retried after
+	// task 0's yield (epoch advance), not spin or stall.
+	s := New(2, Schedule{Priorities: []int{1, 0}})
+	ready := false
+	got := false
+	s.Run(
+		func() { s.Yield("warm"); ready = true; s.Yield("flip") },
+		func() {
+			for !ready {
+				if err := s.Park("wait", false); err != nil {
+					t.Errorf("unexpected park error: %v", err)
+					return
+				}
+			}
+			got = true
+		},
+	)
+	if !got {
+		t.Fatal("parked task never observed the flag")
+	}
+}
+
+func TestUnregisteredGoroutineNoops(t *testing.T) {
+	s := New(1, Schedule{})
+	// Calls from a goroutine that never adopted must not block or panic.
+	s.Yield("x")
+	if err := s.Park("x", true); err != nil {
+		t.Fatalf("unregistered Park returned %v", err)
+	}
+	s.ParkExternal("x")
+	s.Run(func() { s.Yield("a") })
+}
+
+func TestRandomScheduleDeterministic(t *testing.T) {
+	a := RandomSchedule(42, 4, 10, 3)
+	b := RandomSchedule(42, 4, 10, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("RandomSchedule not a pure function of its inputs:\n a=%+v\n b=%+v", a, b)
+	}
+	if len(a.Priorities) != 4 || len(a.ChangePoints) != 3 {
+		t.Fatalf("unexpected shape: %+v", a)
+	}
+}

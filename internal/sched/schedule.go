@@ -1,0 +1,81 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Until names a progress condition on another task: "task Task has reached
+// yield point Point at least Visit times" (Visit 0 means 1), or, with an
+// empty Point, "task Task has finished".
+type Until struct {
+	Task  int
+	Point string
+	Visit int
+}
+
+// Delay is a directed-scheduling directive: when task Task arrives at yield
+// point Point for the Visit-th time (0 means first), hold it there until the
+// Until condition is met. Holds are best effort — when honoring one would
+// stall the whole run, the scheduler releases it and proceeds — which makes
+// them safe to derive mechanically from almost-cycles.
+type Delay struct {
+	Task  int
+	Point string
+	Visit int
+	Until Until
+}
+
+// Schedule fully determines one deterministic execution: per-task priorities
+// (higher runs first; ties to the lower index), PCT-style change points
+// (decision counts at which the currently winning task is demoted below all
+// others, forcing a preemption), and directed Delay directives.
+type Schedule struct {
+	Seed         int64
+	Priorities   []int
+	ChangePoints []uint64
+	Delays       []Delay
+}
+
+// String renders the schedule compactly for run summaries and certificates.
+func (sc Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d prio=%v", sc.Seed, sc.Priorities)
+	if len(sc.ChangePoints) > 0 {
+		fmt.Fprintf(&b, " cp=%v", sc.ChangePoints)
+	}
+	for _, d := range sc.Delays {
+		fmt.Fprintf(&b, " hold[T%d@%s#%d until T%d@%s#%d]",
+			d.Task, d.Point, max1(d.Visit), d.Until.Task, d.Until.Point, max1(d.Until.Visit))
+	}
+	return b.String()
+}
+
+func max1(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// RandomSchedule derives a PCT-style random schedule from a seed: a random
+// priority permutation over tasks plus depth change points drawn uniformly
+// over an expected steps*tasks decision horizon. This is the fallback
+// exploration strategy when no almost-cycle suggests a directed Delay.
+// math/rand's generator is sequence-stable for a fixed seed, so the same
+// (seed, tasks, steps, depth) always yields the same schedule.
+func RandomSchedule(seed int64, tasks, steps, depth int) Schedule {
+	r := rand.New(rand.NewSource(seed))
+	sc := Schedule{Seed: seed, Priorities: r.Perm(tasks)}
+	horizon := steps * tasks
+	if horizon < 1 {
+		horizon = 1
+	}
+	for i := 0; i < depth; i++ {
+		sc.ChangePoints = append(sc.ChangePoints, uint64(r.Intn(horizon)+1))
+	}
+	sort.Slice(sc.ChangePoints, func(i, j int) bool { return sc.ChangePoints[i] < sc.ChangePoints[j] })
+	return sc
+}

@@ -171,6 +171,7 @@ func (p *commitPipeline) latchFor(writes map[string]map[RowID]*txWrite) []string
 
 // latch acquires the named table latches; names must be sorted.
 func (p *commitPipeline) latch(names []string) []*sync.Mutex {
+	y := p.db.opts.Yielder
 	ms := make([]*sync.Mutex, len(names))
 	for i, name := range names {
 		p.latchMu.Lock()
@@ -180,10 +181,44 @@ func (p *commitPipeline) latch(names []string) []*sync.Mutex {
 			p.latches[name] = m
 		}
 		p.latchMu.Unlock()
-		m.Lock()
+		if y != nil {
+			// Under the scheduler the single baton makes latch contention
+			// impossible between scheduled tasks (no yield point sits inside a
+			// latched section), but an unscheduled background goroutine could
+			// still hold one — spin via ParkExternal rather than block.
+			for !m.TryLock() {
+				y.ParkExternal(ParkLatch)
+			}
+		} else {
+			m.Lock()
+		}
 		ms[i] = m
 	}
 	return ms
+}
+
+// gateLock and gateRLock acquire the quiesce gate, parking instead of blocking
+// when a scheduler is attached: an exclusive holder may be an unscheduled
+// goroutine (Checkpoint, Vacuum, DDL from setup code), and a blocked scheduled
+// task would otherwise freeze the baton.
+func (p *commitPipeline) gateLock() {
+	if y := p.db.opts.Yielder; y != nil {
+		for !p.gate.TryLock() {
+			y.ParkExternal(ParkGate)
+		}
+		return
+	}
+	p.gate.Lock()
+}
+
+func (p *commitPipeline) gateRLock() {
+	if y := p.db.opts.Yielder; y != nil {
+		for !p.gate.TryRLock() {
+			y.ParkExternal(ParkGate)
+		}
+		return
+	}
+	p.gate.RLock()
 }
 
 // unlatch releases latches in reverse acquisition order.
@@ -267,6 +302,20 @@ func intentConflicts(in *commitIntent, rows, readRows, probes, readPreds map[str
 
 // awaitTurn blocks until every earlier CSN has installed or aborted.
 func (p *commitPipeline) awaitTurn(csn uint64) {
+	if y := p.db.opts.Yielder; y != nil {
+		// Scheduler mode: poll-and-park instead of cond.Wait, so the earlier
+		// CSN's holder can be granted the baton to take its turn. Not
+		// victim-eligible — an assigned CSN always resolves.
+		for {
+			p.mu.Lock()
+			ready := p.installed == csn-1
+			p.mu.Unlock()
+			if ready {
+				return
+			}
+			_ = y.Park(ParkTurn, false)
+		}
+	}
 	p.mu.Lock()
 	for p.installed != csn-1 {
 		p.cond.Wait()
@@ -304,6 +353,18 @@ func (p *commitPipeline) submit(payload []byte, tr *obs.StmtTrace) error {
 	case <-p.stopCh:
 		mCommitQueueDepth.Dec()
 		return errPipelineClosed
+	}
+	if y := p.db.opts.Yielder; y != nil {
+		// The group-commit writer is an unscheduled goroutine; park externally
+		// between polls so it gets real CPU time to drain the batch.
+		for {
+			select {
+			case err := <-s.res:
+				return err
+			default:
+				y.ParkExternal(ParkFsyncWait)
+			}
+		}
 	}
 	return <-s.res
 }

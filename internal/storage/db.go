@@ -90,7 +90,7 @@ func newDatabase(o Options) *Database {
 		tables:   make(map[string]*table),
 		childFKs: make(map[string][]fkEdge),
 		active:   make(map[uint64]uint64),
-		locks:    newLockManager(o.LockTimeout),
+		locks:    newLockManager(o.LockTimeout, o.Yielder),
 	}
 	db.pipe = newCommitPipeline(db)
 	if o.RecordHistory {
@@ -121,6 +121,24 @@ func (db *Database) histAppend(e histcheck.Event) {
 	if db.hist != nil {
 		db.hist.Append(e)
 	}
+}
+
+// yield hands control to the deterministic scheduler at a named progress
+// point; a single nil check when no scheduler is attached.
+func (db *Database) yield(point string) {
+	if y := db.opts.Yielder; y != nil {
+		y.Yield(point)
+	}
+}
+
+// yieldFunc adapts the optional Yielder to the bare func the WAL carries
+// (nil when no scheduler is attached, so the WAL pays nothing).
+func (db *Database) yieldFunc() func(string) {
+	y := db.opts.Yielder
+	if y == nil {
+		return nil
+	}
+	return y.Yield
 }
 
 // Close stops the group-commit log writer, then flushes and closes the
@@ -428,6 +446,10 @@ func (db *Database) Tables() []*Schema {
 
 // Begin starts a transaction at the given isolation level.
 func (db *Database) Begin(level IsolationLevel) *Tx {
+	// Under the scheduler the begin yield orders both transaction-id
+	// allocation and snapshot acquisition: ids and startTS are assigned in
+	// scheduling order, which is what makes recorded histories byte-stable.
+	db.yield(YieldBegin)
 	id := atomic.AddUint64(&db.txSeq, 1)
 	start := atomic.LoadUint64(&db.clock)
 	db.activeMu.Lock()
@@ -469,6 +491,9 @@ func (db *Database) finish(tx *Tx) {
 	db.activeMu.Unlock()
 	if tx.tookLocks {
 		db.locks.ReleaseAll(tx.id)
+		// Releasing locks is the progress peers blocked on; the yield gives
+		// the scheduler a decision point right after it.
+		db.yield(YieldLockRelease)
 	}
 }
 

@@ -163,7 +163,64 @@ type Options struct {
 	// via Database.History. The histcheck package checks such histories
 	// offline against Adya's isolation model; see internal/histcheck.
 	RecordHistory bool
+	// Yielder, when non-nil, puts the engine under a deterministic scheduler
+	// (internal/sched) for directed concurrency testing: the engine calls
+	// Yield at the Yield* progress points below and replaces its blocking
+	// waits (lock queues, commit-intent conflicts, CSN turns, pipeline
+	// latches, the quiesce gate) with try-then-Park retry loops, so which
+	// goroutine progresses between any two points is the scheduler's decision
+	// rather than the runtime's. At every site shared with FaultHook the
+	// fault hook is consulted first — a fault that aborts an operation
+	// suppresses its yield (pinned by internal/faultinject's ordering test).
+	// Production paths carry one nil check per point and nothing else.
+	Yielder Yielder
 }
+
+// Yielder is the deterministic-scheduler seam (implemented by
+// internal/sched.Scheduler; declared here as an interface so storage does not
+// depend on the scheduler package). Calls from goroutines the scheduler does
+// not manage must be no-ops (Park degrading to a bounded sleep), because
+// setup code and background engine goroutines share these code paths.
+type Yielder interface {
+	// Yield marks arrival at a named progress point and lets the scheduler
+	// pick who runs next.
+	Yield(point string)
+	// Park suspends until peer progress warrants a retry of whatever
+	// operation just failed. victim marks the wait abortable; a non-nil
+	// return means this task was nominated to break a deadlock and must
+	// abandon the wait.
+	Park(point string, victim bool) error
+	// ParkExternal suspends pending progress by an unscheduled goroutine
+	// (e.g. the group-commit log writer).
+	ParkExternal(point string)
+}
+
+// Yield-point names passed to Options.Yielder.Yield, mirroring the FaultHook
+// op vocabulary at shared sites. Together they are the scheduler's yield
+// catalog: begin, snapshot/item read, lock acquire/release, commit entry,
+// commit-intent enqueue, install, and the WAL seams.
+const (
+	YieldBegin       = "begin"
+	YieldRead        = "read"
+	YieldLock        = "lock"
+	YieldLockRelease = "lock.release"
+	YieldCommit      = "commit"
+	YieldEnqueue     = "commit.enqueue"
+	YieldInstall     = "commit.install"
+	YieldWALAppend   = "wal.append"
+	YieldWALFsync    = "wal.fsync"
+)
+
+// Park-point names passed to Options.Yielder.Park/ParkExternal, identifying
+// which blocking wait was replaced by a scheduler-visible retry loop.
+const (
+	ParkLockWait  = "lock.wait"
+	ParkLatch     = "commit.latch"
+	ParkConflict  = "commit.conflict"
+	ParkTurn      = "commit.turn"
+	ParkFsyncWait = "commit.fsyncwait"
+	ParkGate      = "commit.gate"
+)
 
 // withDefaults fills unset options.
 func (o Options) withDefaults() Options {

@@ -354,6 +354,38 @@ func TestSerializable2PLBlocksConflictingInsert(t *testing.T) {
 	}
 }
 
+func TestSerializable2PLGetTakesSharedLock(t *testing.T) {
+	// A 2PL point read must take a shared row lock, exactly as scans do.
+	// Without it, a Get-then-Update read-modify-write bypasses the lock
+	// protocol and loses updates even at the engine's strongest level — a gap
+	// the deterministic scheduler found on its first directed schedule.
+	db := testDB(t, Options{LockTimeout: 100 * time.Millisecond})
+	mustCreate(t, db, kvSchema("kv"))
+	id := insertKV(t, db, "kv", "a", "1")
+
+	t1 := db.Begin(Serializable2PL)
+	if _, err := t1.Get("kv", id); err != nil {
+		t.Fatal(err)
+	}
+	if !db.locks.Holds(t1.id, rowLockKey("kv", id), LockS) {
+		t.Fatal("2PL Get left the row unlocked")
+	}
+	// The shared lock must block a concurrent writer until t1 finishes.
+	t2 := db.Begin(Serializable2PL)
+	if err := t2.Update("kv", id, map[string]Value{"value": Str("2")}); !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("write against a read-locked row should time out, got %v", err)
+	}
+	t2.Rollback()
+	t1.Rollback()
+	t3 := db.Begin(Serializable2PL)
+	if err := t3.Update("kv", id, map[string]Value{"value": Str("2")}); err != nil {
+		t.Fatalf("update after release: %v", err)
+	}
+	if err := t3.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSerializable2PLTableGranularity(t *testing.T) {
 	db := testDB(t, Options{LockTimeout: 100 * time.Millisecond, PredicateLocks: TableGranularity})
 	mustCreate(t, db, kvSchema("kv"))

@@ -100,10 +100,13 @@ type lockManager struct {
 	mu      sync.Mutex
 	entries map[string]*lockEntry
 	timeout time.Duration
+	// yielder, when non-nil, replaces queue-and-block waits with
+	// try-then-Park retry loops under the deterministic scheduler.
+	yielder Yielder
 }
 
-func newLockManager(timeout time.Duration) *lockManager {
-	return &lockManager{entries: make(map[string]*lockEntry), timeout: timeout}
+func newLockManager(timeout time.Duration, yielder Yielder) *lockManager {
+	return &lockManager{entries: make(map[string]*lockEntry), timeout: timeout, yielder: yielder}
 }
 
 // Acquire takes (or upgrades to) the given mode on key for owner, blocking
@@ -125,6 +128,9 @@ func (lm *lockManager) AcquireUntil(owner uint64, key string, mode LockMode, dea
 // wait time into the statement's lock_wait span. Fast-path grants (the vast
 // majority) record nothing.
 func (lm *lockManager) acquire(owner uint64, key string, mode LockMode, deadline time.Time, tr *obs.StmtTrace) error {
+	if lm.yielder != nil {
+		return lm.acquireSched(owner, key, mode)
+	}
 	wait, timeoutErr := lm.timeout, ErrLockTimeout
 	if !deadline.IsZero() {
 		if until := time.Until(deadline); until < wait {
@@ -192,6 +198,46 @@ func (lm *lockManager) acquire(owner uint64, key string, mode LockMode, deadline
 		lm.promoteLocked(key, e)
 		mLockTimeouts.Inc()
 		return timeoutErr
+	}
+}
+
+// acquireSched is the deterministic-scheduler acquire path: no FIFO queue,
+// no timers. The caller's task tries the grant on its own scheduled turns and
+// Parks between attempts, so who wins a contended lock is the scheduler's
+// decision, and wait cycles are broken by victim nomination instead of
+// wall-clock timeout (the verdict is the same ErrLockTimeout). Upgrades fold
+// into the same loop: the combined mode is re-tried until compatible.
+func (lm *lockManager) acquireSched(owner uint64, key string, mode LockMode) error {
+	waited := false
+	for {
+		lm.mu.Lock()
+		e := lm.entries[key]
+		if e == nil {
+			e = &lockEntry{holders: make(map[uint64]LockMode, 1)}
+			lm.entries[key] = e
+		}
+		m := mode
+		if held, ok := e.holders[owner]; ok {
+			if lockSubsumes[held][m] {
+				lm.mu.Unlock()
+				return nil
+			}
+			m = combineLockModes(held, m)
+		}
+		if e.grantable(owner, m) {
+			e.holders[owner] = m
+			lm.mu.Unlock()
+			return nil
+		}
+		lm.mu.Unlock()
+		if !waited {
+			waited = true
+			mLockWaits.Inc()
+		}
+		if err := lm.yielder.Park(ParkLockWait, true); err != nil {
+			mLockTimeouts.Inc()
+			return ErrLockTimeout
+		}
 	}
 }
 

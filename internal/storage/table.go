@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -210,6 +211,9 @@ func (t *table) candidateRows(col string, key string) ([]RowID, bool) {
 		for id := range b {
 			out = append(out, id)
 		}
+		// Sorted so scans visit rows in a map-iteration-independent order —
+		// required for byte-stable histories under the deterministic scheduler.
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 		return out, true
 	}
 	return t.allRowsLocked(), false
@@ -227,6 +231,7 @@ func (t *table) allRowsLocked() []RowID {
 	for id := range t.rows {
 		out = append(out, id)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

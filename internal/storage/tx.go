@@ -167,20 +167,33 @@ func (tx *Tx) histAbort(reason string) {
 // gate on the serial path), so a history snapshot can never observe an
 // installed version before the event that explains it.
 func (tx *Tx) recordInstalls(commitTS uint64) {
+	type rec struct {
+		lower string
+		id    RowID
+		w     *txWrite
+	}
+	recs := make([]rec, 0, 8)
 	for lower, rows := range tx.writes {
 		for id, w := range rows {
-			op := "insert"
-			switch w.op {
-			case opUpdate:
-				op = "update"
-			case opDelete:
-				op = "delete"
-			}
-			tx.db.hist.Append(histcheck.Event{
-				Tx: tx.id, Kind: histcheck.KindWrite,
-				Table: lower, Row: uint64(id), Op: op, Version: commitTS,
-			})
+			recs = append(recs, rec{lower: lower, id: id, w: w})
 		}
+	}
+	// Emit in execution order (txWrite.seq), not map order: recorded
+	// histories must be byte-stable for a fixed schedule, which is what the
+	// deterministic-scheduler determinism test pins.
+	sort.Slice(recs, func(i, j int) bool { return recs[i].w.seq < recs[j].w.seq })
+	for _, r := range recs {
+		op := "insert"
+		switch r.w.op {
+		case opUpdate:
+			op = "update"
+		case opDelete:
+			op = "delete"
+		}
+		tx.db.hist.Append(histcheck.Event{
+			Tx: tx.id, Kind: histcheck.KindWrite,
+			Table: r.lower, Row: uint64(r.id), Op: op, Version: commitTS,
+		})
 	}
 }
 
@@ -193,6 +206,7 @@ func (tx *Tx) lock(key string, mode LockMode) error {
 			return err
 		}
 	}
+	tx.db.yield(YieldLock)
 	tx.tookLocks = true
 	return tx.db.locks.acquire(tx.id, key, mode, tx.stmtDeadline, tx.trace)
 }
@@ -464,6 +478,7 @@ func (tx *Tx) Scan(tableName string, opts ScanOptions, fn func(RowID, []Value) b
 	if err := tx.checkLive(); err != nil {
 		return err
 	}
+	tx.db.yield(YieldRead)
 	t, err := tx.db.lookupTable(tableName)
 	if err != nil {
 		return err
@@ -608,6 +623,7 @@ func (tx *Tx) Get(tableName string, id RowID) ([]Value, error) {
 	if err := tx.checkLive(); err != nil {
 		return nil, err
 	}
+	tx.db.yield(YieldRead)
 	t, err := tx.db.lookupTable(tableName)
 	if err != nil {
 		return nil, err
@@ -622,6 +638,16 @@ func (tx *Tx) Get(tableName string, id RowID) ([]Value, error) {
 		tx.noteRowRead(lower, id)
 		tx.histRead(lower, id, 0, true)
 		return out, nil
+	}
+	// Point reads lock under 2PL exactly as scans do (Scan takes LockS per
+	// visited row): without this, a Get-then-Update read-modify-write slips
+	// through the lock protocol and loses updates even at Serializable2PL.
+	// The gap survived every wall-clock stress run — the deterministic
+	// scheduler's almost-cycle-closing delay found it in one schedule.
+	if tx.level.locking() {
+		if err := tx.lock(rowLockKey(lower, id), LockS); err != nil {
+			return nil, err
+		}
 	}
 	vals, observed := t.readVisibleVersion(id, tx.readTS())
 	if vals != nil {
@@ -666,6 +692,10 @@ func (tx *Tx) Commit() error {
 			return tx.abortCommit(err)
 		}
 	}
+	// The pre-validation commit yield: the scheduler's main handle for
+	// directed exploration (holding a writer here keeps its installs
+	// invisible to concurrent readers — the almost-cycle-closing move).
+	db.yield(YieldCommit)
 	hasWrites := false
 	for _, m := range tx.writes {
 		if len(m) > 0 {
@@ -705,7 +735,7 @@ func (tx *Tx) abortCommit(err error) error {
 func (tx *Tx) commitSerial(start time.Time) error {
 	db := tx.db
 	p := db.pipe
-	p.gate.Lock()
+	p.gateLock()
 	vstart := time.Now()
 	err := tx.validate(true)
 	tx.trace.Add(obs.SpanCommitValidate, time.Since(vstart))
@@ -730,6 +760,10 @@ func (tx *Tx) commitSerial(start time.Time) error {
 		}
 	}
 	summary := tx.buildSummary(commitTS)
+	// Yielding here (under the exclusive gate) is safe: every other gate
+	// acquisition is park-wrapped when a scheduler is attached, so peers
+	// retry on their own turns instead of blocking the runtime.
+	db.yield(YieldInstall)
 	tx.install(commitTS)
 	if db.hist != nil {
 		tx.recordInstalls(commitTS)
@@ -770,7 +804,7 @@ func (tx *Tx) commitSerial(start time.Time) error {
 func (tx *Tx) commitPipelined(start time.Time) error {
 	db := tx.db
 	p := db.pipe
-	p.gate.RLock()
+	p.gateRLock()
 
 	vstart := time.Now()
 	names := p.latchFor(tx.writes)
@@ -787,6 +821,7 @@ func (tx *Tx) commitPipelined(start time.Time) error {
 			tx.pruneWrites(origWrites)
 		}
 		tx.probes = nil
+		db.yield(YieldEnqueue)
 		latches := p.latch(names)
 		err := tx.validate(false)
 		var waits []chan struct{}
@@ -801,6 +836,13 @@ func (tx *Tx) commitPipelined(start time.Time) error {
 		}
 		if intent != nil {
 			break
+		}
+		if y := db.opts.Yielder; y != nil {
+			// Scheduler mode: instead of blocking on the conflicting intents'
+			// channels, park and revalidate on our own next turn. The park is
+			// not victim-eligible — a registered intent always resolves.
+			_ = y.Park(ParkConflict, false)
+			continue
 		}
 		for _, ch := range waits {
 			<-ch
@@ -823,6 +865,7 @@ func (tx *Tx) commitPipelined(start time.Time) error {
 	}
 
 	istart := time.Now()
+	db.yield(YieldInstall)
 	p.awaitTurn(csn)
 	latches := p.latch(tx.writeTableNames())
 	tx.install(csn)

@@ -114,6 +114,7 @@ type wal struct {
 	size   int64
 	policy SyncPolicy
 	hook   func(op string) error // Options.FaultHook, consulted at wal.* points
+	yield  func(point string)    // scheduler yield, fired after the hook passes
 	dirty  bool                  // bytes written since the last fsync
 	broken error                 // sticky poison after an unrecoverable failure
 
@@ -123,12 +124,12 @@ type wal struct {
 
 // openWAL opens (creating if absent) the log file and positions the writer at
 // size, which recovery has already truncated to the last valid record.
-func openWAL(path string, size int64, policy SyncPolicy, interval time.Duration, hook func(string) error) (*wal, error) {
+func openWAL(path string, size int64, policy SyncPolicy, interval time.Duration, hook func(string) error, yield func(string)) (*wal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	w := &wal{f: f, size: size, policy: policy, hook: hook}
+	w := &wal{f: f, size: size, policy: policy, hook: hook, yield: yield}
 	if policy == SyncInterval {
 		w.stop = make(chan struct{})
 		w.done = make(chan struct{})
@@ -152,6 +153,9 @@ func (w *wal) append(payload []byte, tr *obs.StmtTrace) error {
 		if err := w.hook("wal.append"); err != nil {
 			return err
 		}
+	}
+	if w.yield != nil {
+		w.yield(YieldWALAppend)
 	}
 	frame := make([]byte, walHeaderSize+len(payload))
 	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
@@ -186,6 +190,9 @@ func (w *wal) fsyncLocked(tr *obs.StmtTrace) error {
 		if err := w.hook("wal.fsync"); err != nil {
 			return err
 		}
+	}
+	if w.yield != nil {
+		w.yield(YieldWALFsync)
 	}
 	return w.syncFileLocked(tr)
 }
@@ -239,6 +246,9 @@ func (w *wal) appendGroup(batch []*walSubmission) ([]*walSubmission, error) {
 				s.res <- err
 				continue
 			}
+		}
+		if w.yield != nil {
+			w.yield(YieldWALAppend)
 		}
 		survivors = append(survivors, s)
 	}

@@ -2,7 +2,7 @@ GO ?= go
 BENCH ?= BENCH_3.json
 BENCH_COMMIT ?= BENCH_6.json
 
-.PHONY: check test bench bench-commit chaos obs-smoke histcheck hunt-regress hunt-smoke lint profile profile-mutex clean
+.PHONY: check test bench bench-commit chaos obs-smoke histcheck hunt-regress hunt-smoke overload-smoke lint profile profile-mutex clean
 
 # check is the full gate: compile, vet, and the whole test suite under the
 # race detector (the plan cache, wire server, and WAL are concurrency-critical).
@@ -48,6 +48,18 @@ hunt-regress:
 # same workloads must certify clean at SERIALIZABLE. Under two minutes.
 hunt-smoke:
 	$(GO) test -count=1 -run 'TestHuntSmoke|TestHuntDirected' -v ./cmd/feralhunt ./internal/experiment
+
+# overload-smoke pins the overload-robustness story from fixed seeds: the
+# virtual-time simulator must show metastable collapse with the protection
+# stack off and ride-through plus ≥95% recovery with it on (with retry
+# amplification ≤2×), the retry-budget/backoff/shed-classification contracts
+# must hold on both the embedded and wire seams, and a quick live open-loop
+# spike runs against a real wire server for the wall-clock artifact.
+overload-smoke:
+	$(GO) test -race -count=1 ./internal/overload
+	$(GO) test -count=1 -run 'TestRetry|TestFullJitter|TestBackoffFor|TestEmbeddedConnOverloadSuite' ./internal/db
+	$(GO) test -count=1 -run 'TestMaxConns|TestAdmission|TestShedVerdict|TestWireConnOverloadSuite' ./internal/wire
+	$(GO) run ./cmd/feralbench -experiment overload -quick -metrics=false
 
 # lint runs go vet always and staticcheck when the binary is present (the CI
 # lint job installs it; locally the target degrades to vet alone).

@@ -6,7 +6,7 @@
 //	feralbench -experiment fig2 -quick    # one artifact, scaled down
 //
 // Experiments: table1, table2, fig1, fig2, fig3, fig4, fig5, fig6, fig7,
-// safety, ssibug, frameworks, all.
+// safety, ssibug, frameworks, overload, all.
 package main
 
 import (
@@ -18,14 +18,16 @@ import (
 	"time"
 
 	"feralcc/internal/core"
+	"feralcc/internal/experiment"
 	"feralcc/internal/faultinject"
 	"feralcc/internal/obs"
+	"feralcc/internal/overload"
 	"feralcc/internal/storage"
 )
 
 func main() {
 	var (
-		which   = flag.String("experiment", "all", "experiment id (table1,table2,fig1..fig7,safety,ssibug,frameworks,isolevels,all)")
+		which   = flag.String("experiment", "all", "experiment id (table1,table2,fig1..fig7,safety,ssibug,frameworks,isolevels,overload,all)")
 		quick   = flag.Bool("quick", false, "scale experiment parameters down ~10x")
 		seed    = flag.Int64("seed", 2015, "corpus and workload seed")
 		think   = flag.Duration("think", time.Millisecond, "simulated application-tier latency per request")
@@ -67,7 +69,7 @@ func main() {
 	ids := strings.Split(*which, ",")
 	if *which == "all" {
 		ids = []string{"table2", "fig1", "table1", "safety", "fig6", "fig7",
-			"fig2", "fig3", "fig4", "fig5", "ssibug", "frameworks", "isolevels"}
+			"fig2", "fig3", "fig4", "fig5", "ssibug", "frameworks", "isolevels", "overload"}
 	}
 	for i, id := range ids {
 		if i > 0 {
@@ -141,6 +143,65 @@ func printMetricsSnapshot(w io.Writer) {
 	}
 }
 
+// runOverloadBench renders the overload artifact in two parts: a
+// deterministic virtual-time sweep of goodput vs offered load with the
+// protection stack off and on (internal/overload — the numbers CI pins), and
+// one wall-clock open-loop spike against a real wire server per mode
+// (internal/experiment — the same story, live).
+func runOverloadBench(study *core.Study, w io.Writer) error {
+	seed := uint64(study.Seed)
+	const capacity = 0.8 // default sim capacity: 4 slots / 5-tick service
+
+	fmt.Fprintln(w, "goodput vs offered load (virtual-time simulator, steady state)")
+	fmt.Fprintf(w, "%-14s %12s %12s %12s\n", "offered/cap", "offered/tick", "feral", "protected")
+	for _, f := range []float64{0.5, 0.75, 1.0, 1.5, 2.0, 3.0} {
+		rate := f * capacity
+		var goodput [2]float64
+		for i, protected := range []bool{false, true} {
+			m := overload.Run(overload.Config{
+				Seed: seed, BaseRate: rate, SpikeFactor: 1, Protected: protected,
+			})
+			goodput[i] = m.FinalGoodput
+		}
+		fmt.Fprintf(w, "%-14.2f %12.2f %12.3f %12.3f\n", f, rate, goodput[0], goodput[1])
+	}
+
+	fmt.Fprintln(w, "\nspike timeline (goodput per 100-tick bucket; spike ticks 1000-1500)")
+	for _, protected := range []bool{false, true} {
+		m := overload.Run(overload.Config{Seed: seed, Protected: protected})
+		label := "feral"
+		if protected {
+			label = "protected"
+		}
+		fmt.Fprintf(w, "%-10s", label)
+		for i, g := range m.Buckets {
+			if i%4 == 0 {
+				fmt.Fprintf(w, " %.2f", g)
+			}
+		}
+		fmt.Fprintf(w, "\n%-10s amplification %.2fx, sheds %d, wasted %d\n",
+			"", m.Amplification(), m.Sheds, m.Wasted)
+	}
+
+	fmt.Fprintln(w, "\nlive open-loop spike (wall clock; figures vary run to run)")
+	cfg := experiment.OverloadConfig{Seed: study.Seed}
+	if study.Quick {
+		cfg.BaseRate = 100
+		cfg.Warm = 800 * time.Millisecond
+		cfg.Spike = 800 * time.Millisecond
+		cfg.Cooldown = 1200 * time.Millisecond
+	}
+	for _, protected := range []bool{false, true} {
+		cfg.Protected = protected
+		res, err := experiment.RunOverload(cfg)
+		if err != nil {
+			return err
+		}
+		experiment.RenderOverload(w, res)
+	}
+	return nil
+}
+
 func run(study *core.Study, id string) error {
 	w := os.Stdout
 	start := time.Now()
@@ -202,6 +263,8 @@ func run(study *core.Study, id string) error {
 			return err
 		}
 		core.RenderFrameworkSurvey(w, results)
+	case "overload":
+		return runOverloadBench(study, w)
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}

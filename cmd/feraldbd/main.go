@@ -48,6 +48,12 @@ func main() {
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /statusz, and /debug/pprof on this address (empty = disabled)")
 		slowQuery   = flag.Duration("slow-query", 0, "log statements slower than this, with trace ID and span breakdown (0 = disabled)")
+
+		maxConns    = flag.Int("max-conns", 0, "reject new connections beyond this many with a retryable overloaded response (0 = unlimited)")
+		maxInFlight = flag.Int("max-in-flight", 0, "statement admission: concurrent execution slots (0 = unlimited)")
+		maxQueue    = flag.Int("max-queue", 0, "statement admission: waiters allowed behind the slots before shedding (with -max-in-flight; negative = shed instead of queueing)")
+		lockQueue   = flag.Int("lock-queue-bound", 0, "engine per-lock wait-queue bound: >0 caps waiters, negative sheds instead of waiting (0 = unbounded)")
+		commitQueue = flag.Int("commit-queue-bound", 0, "commit-pipeline submission queue bound, same semantics as -lock-queue-bound")
 	)
 	flag.Parse()
 	level, err := storage.ParseIsolationLevel(*iso)
@@ -63,6 +69,8 @@ func main() {
 		PhantomBug:       *bug,
 		DataDir:          *dataDir,
 		SyncPolicy:       policy,
+		LockQueueBound:   *lockQueue,
+		CommitQueueBound: *commitQueue,
 	})
 	if err != nil {
 		log.Fatalf("feraldbd: %v", err)
@@ -77,6 +85,16 @@ func main() {
 
 	srv := wire.NewServer(store, log.Printf)
 	srv.SetSlowQuery(*slowQuery)
+	if *maxConns > 0 {
+		srv.SetMaxConns(*maxConns)
+	}
+	if *maxInFlight > 0 {
+		srv.SetAdmission(*maxInFlight, *maxQueue)
+	}
+	if *maxConns > 0 || *maxInFlight > 0 || *lockQueue != 0 || *commitQueue != 0 {
+		log.Printf("feraldbd: overload protection: max-conns=%d max-in-flight=%d max-queue=%d lock-queue-bound=%d commit-queue-bound=%d",
+			*maxConns, *maxInFlight, *maxQueue, *lockQueue, *commitQueue)
+	}
 	if err := srv.Listen(*addr); err != nil {
 		log.Fatalf("feraldbd: %v", err)
 	}
@@ -92,6 +110,9 @@ func main() {
 				"durable":        *dataDir != "",
 				"sync":           fmt.Sprint(policy),
 				"slow_query":     slowQuery.String(),
+				"max_conns":      *maxConns,
+				"max_in_flight":  *maxInFlight,
+				"max_queue":      *maxQueue,
 				"uptime_seconds": time.Since(startTime).Seconds(),
 			}
 		}

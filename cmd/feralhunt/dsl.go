@@ -30,6 +30,12 @@ import (
 //
 //	table <name> <col>:<kind>[:pk] ...   kinds: int, string
 //	row <table> <col>=<value> ...        seed row, inserted at setup
+//	lock-queue-bound <n>                 engine lock-wait queue bound: 0 =
+//	                                     unbounded (default), n>0 = at most n
+//	                                     waiters per lock, -1 = no waiting
+//	                                     (conflicts shed with ErrOverloaded)
+//	commit-queue-bound <n>               commit-pipeline queue bound, same
+//	                                     0 / n / -1 semantics
 //	task                                 starts the next transaction template
 //	  read <table> <rowid> <col>         Get; remembers the column value
 //	  add <table> <rowid> <col> <delta>  Update col = remembered + delta
@@ -62,6 +68,9 @@ type dslFile struct {
 		vals  map[string]storage.Value
 	}
 	tasks []dslTask
+	// Queue bounds for the overload shed path (0 = engine default).
+	lockQueueBound   int
+	commitQueueBound int
 }
 
 // parseDSL reads a workload file.
@@ -121,6 +130,19 @@ func parseDSL(r io.Reader, name string) (experiment.HuntWorkload, error) {
 				table string
 				vals  map[string]storage.Value
 			}{table: fields[1], vals: vals})
+		case "lock-queue-bound", "commit-queue-bound":
+			if len(fields) != 2 {
+				return fail("%s <n>", fields[0])
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return fail("%s: bad bound %q", fields[0], fields[1])
+			}
+			if fields[0] == "lock-queue-bound" {
+				f.lockQueueBound = n
+			} else {
+				f.commitQueueBound = n
+			}
 		case "task":
 			f.tasks = append(f.tasks, dslTask{})
 			cur = &f.tasks[len(f.tasks)-1]
@@ -301,9 +323,22 @@ func (f *dslFile) workload(name string) experiment.HuntWorkload {
 			return tx.ID(), tx.Commit()
 		}
 	}
+	var tune func(*storage.Options)
+	if f.lockQueueBound != 0 || f.commitQueueBound != 0 {
+		lb, cb := f.lockQueueBound, f.commitQueueBound
+		tune = func(o *storage.Options) {
+			if lb != 0 {
+				o.LockQueueBound = lb
+			}
+			if cb != 0 {
+				o.CommitQueueBound = cb
+			}
+		}
+	}
 	return experiment.HuntWorkload{
 		Name:        name,
 		Description: "custom DSL workload",
+		Tune:        tune,
 		Setup: func(db *storage.Database) error {
 			for _, s := range f.schemas {
 				// Re-validate per run: CreateTable mutates nothing on error.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,6 +10,7 @@ import (
 
 	"feralcc/internal/experiment"
 	"feralcc/internal/histcheck"
+	"feralcc/internal/sched"
 	"feralcc/internal/storage"
 )
 
@@ -163,6 +165,54 @@ task
 	}
 	if res.Schedules > 10 {
 		t.Errorf("took %d schedules, want <= 10", res.Schedules)
+	}
+}
+
+// TestDSLOverloadShed pins the DSL's queue-bound directives: with
+// lock-queue-bound -1 the engine refuses lock waits, so holding task 0's
+// commit open while task 1 runs forces task 1's conflicting write to shed
+// with ErrOverloaded — deterministically, under the scheduler — and the shed
+// must leave no trace (the Adya report stays clean, the committed write wins).
+func TestDSLOverloadShed(t *testing.T) {
+	const src = `
+table accounts id:int:pk balance:int
+row accounts balance=100
+lock-queue-bound -1
+commit-queue-bound 8
+task
+  set accounts 1 balance 201
+task
+  set accounts 1 balance 202
+`
+	w, err := parseDSL(strings.NewReader(src), "shed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Tune == nil {
+		t.Fatal("queue-bound directives must compile to a Tune hook")
+	}
+	var opts storage.Options
+	w.Tune(&opts)
+	if opts.LockQueueBound != -1 || opts.CommitQueueBound != 8 {
+		t.Fatalf("Tune applied lock=%d commit=%d, want -1 and 8", opts.LockQueueBound, opts.CommitQueueBound)
+	}
+
+	sc := sched.Schedule{Delays: []sched.Delay{{
+		Task: 0, Point: storage.YieldCommit,
+		Until: sched.Until{Task: 1, Point: storage.YieldCommit},
+	}}}
+	res, err := experiment.RunHuntSchedule(w, storage.ReadCommitted, sc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TaskErrs[0] != nil {
+		t.Fatalf("task 0 held the lock and must commit: %v", res.TaskErrs[0])
+	}
+	if !errors.Is(res.TaskErrs[1], storage.ErrOverloaded) {
+		t.Fatalf("task 1 must shed on the held lock, got %v", res.TaskErrs[1])
+	}
+	if !res.Report.Pass() || res.InvariantViolation != "" {
+		t.Fatalf("shed left a trace: report pass=%v invariant=%q", res.Report.Pass(), res.InvariantViolation)
 	}
 }
 

@@ -9,8 +9,10 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"feralcc/internal/db"
 	"feralcc/internal/orm"
 	"feralcc/internal/storage"
 )
@@ -28,12 +30,34 @@ type Server struct {
 	// here through the ORM session and db connection into the engine's lock
 	// waits). Zero disables the bound. Set before Listen.
 	Timeout time.Duration
+	// brownout, when set via EnableBrownout, watches the shed rate and
+	// switches reads to the stale cache under sustained overload.
+	brownout *Brownout
+	// readCache holds the last value served for each model/key read, the
+	// degraded-mode answer when the database is shedding.
+	readCache sync.Map
+}
+
+// EnableBrownout installs a brownout controller (see Brownout). Call before
+// Listen; without it the server never degrades, the pre-existing behavior.
+func (s *Server) EnableBrownout(b *Brownout) { s.brownout = b }
+
+// observe feeds one request outcome to the brownout controller: load-shed
+// failures (saturated pool, overloaded database) count toward the rate that
+// trips degraded mode; everything else counts as served.
+func (s *Server) observe(err error) {
+	if s.brownout == nil {
+		return
+	}
+	shed := err != nil && (errors.Is(err, ErrPoolSaturated) || errors.Is(err, storage.ErrOverloaded))
+	s.brownout.Observe(shed)
 }
 
 // NewServer builds the front end over a worker pool, exposing the two
 // experiment applications:
 //
 //	POST   /entries            {"model": "...", "key": k, "value": v}
+//	GET    /entries/{key}?model=...
 //	POST   /users              {"model": "...", "department_id": n}
 //	POST   /departments        {"model": "...", "id": n, "name": s}
 //	DELETE /departments/{id}?model=...
@@ -41,6 +65,7 @@ type Server struct {
 func NewServer(pool *Pool) *Server {
 	s := &Server{pool: pool, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/entries", s.createEntry)
+	s.mux.HandleFunc("/entries/", s.readEntry)
 	s.mux.HandleFunc("/users", s.createUser)
 	s.mux.HandleFunc("/departments", s.createDepartment)
 	s.mux.HandleFunc("/departments/", s.deleteDepartment)
@@ -79,7 +104,9 @@ func (s *Server) Close() {
 
 // apiError maps handler failures onto HTTP statuses the way a Rails app
 // would: validation failures are 422, conflicts/serialization 409, a full
-// worker pool 503, a spent request deadline 504, the rest 500.
+// worker pool or an overloaded database 503 (overload responses carry a
+// Retry-After header with the backoff hint, rounded up to whole seconds), a
+// spent request deadline 504, the rest 500.
 func apiError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
@@ -92,6 +119,13 @@ func apiError(w http.ResponseWriter, err error) {
 		status = http.StatusConflict
 	case errors.Is(err, orm.ErrRecordNotFound):
 		status = http.StatusNotFound
+	case errors.Is(err, storage.ErrOverloaded):
+		status = http.StatusServiceUnavailable
+		secs := int64(1)
+		if hint, ok := db.RetryAfter(err); ok && hint > 0 {
+			secs = int64((hint + time.Second - 1) / time.Second)
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	case errors.Is(err, ErrPoolSaturated):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, storage.ErrStmtDeadline),
@@ -144,11 +178,74 @@ func (s *Server) createEntry(w http.ResponseWriter, r *http.Request) {
 		id = rec.ID()
 		return nil
 	})
+	s.observe(err)
 	if err != nil {
 		apiError(w, err)
 		return
 	}
+	// A successful write refreshes the degraded-read cache: the freshest
+	// value we could possibly serve stale is the one just written.
+	s.readCache.Store(body.Model+"/"+body.Key, body.Value)
 	_ = json.NewEncoder(w).Encode(map[string]int64{"id": id})
+}
+
+// readEntry serves GET /entries/{key}?model=... — the stack's only read
+// endpoint, and the traffic brownout mode degrades. In normal mode it reads
+// through the database and refreshes the stale cache; in degraded mode (or
+// when the database sheds this particular read) it answers from the cache
+// with an X-Degraded: stale header, spending no database capacity at all.
+func (s *Server) readEntry(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	key := strings.TrimPrefix(r.URL.Path, "/entries/")
+	model := r.URL.Query().Get("model")
+	cacheKey := model + "/" + key
+	if s.brownout != nil && s.brownout.State() == BrownoutDegraded {
+		if v, ok := s.readCache.Load(cacheKey); ok {
+			mDegradedReads.Inc()
+			w.Header().Set("X-Degraded", "stale")
+			_ = json.NewEncoder(w).Encode(map[string]string{"key": key, "value": v.(string)})
+			return
+		}
+		// Cache miss: fall through to the database — a degraded mode that
+		// turns every uncached read into an error would be worse than none.
+	}
+	var value string
+	var found bool
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	err := s.pool.DoContext(ctx, func(wk *Worker) error {
+		recs, err := wk.Session.Where(model, "key", storage.Str(key))
+		if err != nil {
+			return err
+		}
+		if len(recs) > 0 {
+			value = recs[0].GetString("value")
+			found = true
+		}
+		return nil
+	})
+	s.observe(err)
+	if err != nil {
+		if errors.Is(err, storage.ErrOverloaded) || errors.Is(err, ErrPoolSaturated) {
+			if v, ok := s.readCache.Load(cacheKey); ok {
+				mDegradedReads.Inc()
+				w.Header().Set("X-Degraded", "stale")
+				_ = json.NewEncoder(w).Encode(map[string]string{"key": key, "value": v.(string)})
+				return
+			}
+		}
+		apiError(w, err)
+		return
+	}
+	if !found {
+		apiError(w, fmt.Errorf("%w: %s/%s", orm.ErrRecordNotFound, model, key))
+		return
+	}
+	s.readCache.Store(cacheKey, value)
+	_ = json.NewEncoder(w).Encode(map[string]string{"key": key, "value": value})
 }
 
 func (s *Server) createUser(w http.ResponseWriter, r *http.Request) {
@@ -178,6 +275,7 @@ func (s *Server) createUser(w http.ResponseWriter, r *http.Request) {
 		id = rec.ID()
 		return nil
 	})
+	s.observe(err)
 	if err != nil {
 		apiError(w, err)
 		return
@@ -209,6 +307,7 @@ func (s *Server) createDepartment(w http.ResponseWriter, r *http.Request) {
 		_, err := wk.Session.Create(body.Model, attrs)
 		return err
 	})
+	s.observe(err)
 	if err != nil {
 		apiError(w, err)
 		return
@@ -237,6 +336,7 @@ func (s *Server) deleteDepartment(w http.ResponseWriter, r *http.Request) {
 		}
 		return wk.Session.Destroy(rec)
 	})
+	s.observe(err)
 	if err != nil {
 		apiError(w, err)
 		return

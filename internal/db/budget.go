@@ -1,0 +1,128 @@
+package db
+
+import (
+	"sync"
+
+	"feralcc/internal/obs"
+)
+
+// mBudgetDenied counts retries refused by a RetryBudget across the process:
+// the moment this counter moves, first-attempt traffic is being protected
+// from a retry storm.
+var mBudgetDenied = obs.NewCounter(obs.Default(),
+	"feraldb_db_retry_budget_denied_total", "Retries refused because the retry budget was exhausted")
+
+// RetryBudget is a token bucket that caps retry traffic as a fraction of
+// first-attempt traffic. Every first attempt deposits Ratio tokens (up to the
+// Burst cap); every retry withdraws one. When the bucket is empty the retry
+// is denied and the original error surfaces to the caller — the systematic
+// version of "give up instead of amplifying the overload".
+//
+// The bound is the point: with Ratio = 1.0, retries can never exceed first
+// attempts, so total attempts stay ≤ 2× offered load no matter how high the
+// failure rate climbs. That 2× cap is what breaks the metastable retry storm
+// — under saturation the paper's ad-hoc retry loops multiply every failure
+// back into the arrival stream, and the storm outlives the spike that
+// started it (see internal/overload for the reproduction).
+//
+// Share one budget across every connection in a pool (it is safe for
+// concurrent use): the protection is per-workload, not per-connection.
+type RetryBudget struct {
+	mu     sync.Mutex
+	ratio  float64
+	burst  float64
+	tokens float64
+
+	firstAttempts uint64
+	retries       uint64
+	denied        uint64
+}
+
+// DefaultRetryBurst is the bucket cap when NewRetryBudget gets burst <= 0:
+// enough to ride out a brief contention blip, small enough that a saturated
+// system drains it in well under a second.
+const DefaultRetryBurst = 10
+
+// NewRetryBudget builds a budget granting ratio retry tokens per first
+// attempt (ratio <= 0 defaults to 1.0, the ≤2× amplification setting), with
+// the bucket capped at burst tokens. The bucket starts full so isolated
+// failures retry immediately.
+func NewRetryBudget(ratio float64, burst int) *RetryBudget {
+	if ratio <= 0 {
+		ratio = 1.0
+	}
+	if burst <= 0 {
+		burst = DefaultRetryBurst
+	}
+	return &RetryBudget{ratio: ratio, burst: float64(burst), tokens: float64(burst)}
+}
+
+// OnAttempt records one first attempt, depositing Ratio tokens.
+func (b *RetryBudget) OnAttempt() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.firstAttempts++
+	b.tokens += b.ratio
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
+// Allow withdraws one token for a retry, reporting whether the retry may
+// proceed. A denied retry is counted and must not be re-asked for the same
+// failure. A nil budget always allows (plumbing a policy without a budget
+// changes nothing).
+func (b *RetryBudget) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		b.denied++
+		mBudgetDenied.Inc()
+		return false
+	}
+	b.tokens--
+	b.retries++
+	return true
+}
+
+// BudgetStats is a point-in-time snapshot of a budget's counters.
+type BudgetStats struct {
+	// FirstAttempts is the number of first attempts deposited.
+	FirstAttempts uint64
+	// Retries is the number of retries granted.
+	Retries uint64
+	// Denied is the number of retries refused on an empty bucket.
+	Denied uint64
+	// Tokens is the current bucket level.
+	Tokens float64
+}
+
+// Amplification is total attempts divided by first attempts (1.0 = no
+// retries ever granted; the budget bounds it near 1 + Ratio).
+func (s BudgetStats) Amplification() float64 {
+	if s.FirstAttempts == 0 {
+		return 1
+	}
+	return float64(s.FirstAttempts+s.Retries) / float64(s.FirstAttempts)
+}
+
+// Stats snapshots the budget's counters.
+func (b *RetryBudget) Stats() BudgetStats {
+	if b == nil {
+		return BudgetStats{}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BudgetStats{
+		FirstAttempts: b.firstAttempts,
+		Retries:       b.retries,
+		Denied:        b.denied,
+		Tokens:        b.tokens,
+	}
+}

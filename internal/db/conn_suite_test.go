@@ -31,3 +31,14 @@ func TestEmbeddedConnHistorySuite(t *testing.T) {
 		return d.Connect, d.History
 	})
 }
+
+// TestEmbeddedConnOverloadSuite runs the shared overload-shed contract suite
+// against embedded connections; internal/wire runs the identical suite, which
+// is what guarantees a shed classifies the same on both seams.
+func TestEmbeddedConnOverloadSuite(t *testing.T) {
+	conntest.RunOverload(t, func(t *testing.T, opts storage.Options) (func() db.Conn, func() []histcheck.Event) {
+		d := db.Open(opts)
+		t.Cleanup(func() { d.Close() })
+		return d.Connect, d.History
+	})
+}

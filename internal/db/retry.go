@@ -19,6 +19,14 @@
 //     behalf would overshoot it.
 //   - Everything else (constraint violations, parse errors, missing
 //     tables): permanent, surfaced unchanged.
+//
+// Overload sheds (storage.ErrOverloaded) are a refinement of Retryable:
+// retryable-after-backoff. The work never ran, so a fresh attempt is safe,
+// but the failure is a load signal, not a race — retrying immediately feeds
+// the overload. Shed errors therefore carry a retry-after hint (extract it
+// with RetryAfter) that floors the backoff sleep, and automatic retries are
+// additionally metered by an optional RetryBudget so that retry traffic can
+// never exceed a configured fraction of first-attempt traffic.
 package db
 
 import (
@@ -53,6 +61,22 @@ type retryabler interface{ Retryable() bool }
 
 // transienter is implemented by errors that self-report as transient.
 type transienter interface{ Transient() bool }
+
+// retryAfterer is implemented by errors carrying a backoff hint
+// (storage.OverloadError does; wire reconstructs it across the protocol).
+type retryAfterer interface{ RetryAfterHint() time.Duration }
+
+// RetryAfter extracts the backoff hint from an overload-shed error. ok is
+// false when err carries no hint (not every retryable error is a shed).
+// Retry loops — automatic or hand-rolled — should sleep at least this long
+// before the next attempt; it is the server saying "not before then".
+func RetryAfter(err error) (hint time.Duration, ok bool) {
+	var ra retryAfterer
+	if errors.As(err, &ra) {
+		return ra.RetryAfterHint(), true
+	}
+	return 0, false
+}
 
 // Retryable reports whether err is worth retrying on a fresh attempt:
 // serialization failures, lock-wait timeouts (deadlock victims), dropped
@@ -97,21 +121,32 @@ func Transient(err error) bool {
 type RetryPolicy struct {
 	// MaxRetries is the number of re-attempts after the initial try.
 	MaxRetries int
-	// BaseDelay is the backoff before the first retry (default 1ms).
+	// BaseDelay is the backoff window before the first retry (default 1ms).
 	BaseDelay time.Duration
-	// MaxDelay caps the exponential growth (default 50ms).
+	// MaxDelay caps the exponential growth of the window (default 50ms).
 	MaxDelay time.Duration
 	// Seed makes the jitter deterministic; two runs with the same seed make
 	// identical sleep decisions, which the chaos tests rely on.
 	Seed uint64
+	// Budget, when non-nil, meters retries against first-attempt traffic:
+	// each first attempt deposits into the token bucket and each retry
+	// withdraws, so under sustained failure the retry rate is capped at
+	// Budget's ratio times the offered load. A denied retry surfaces the
+	// original error. Share one budget across a pool's connections.
+	Budget *RetryBudget
 }
 
 // Enabled reports whether the policy performs any retries.
 func (p RetryPolicy) Enabled() bool { return p.MaxRetries > 0 }
 
-// Backoff returns the sleep before retry attempt n (1-based): exponential
-// from BaseDelay, capped at MaxDelay, with ±50% deterministic jitter drawn
-// from Seed and n.
+// Backoff returns the sleep before retry attempt n (1-based): full-jitter
+// exponential backoff — uniform over the window (0, min(MaxDelay,
+// BaseDelay·2^(n-1))], drawn deterministically from Seed and n. Full jitter
+// (sleep anywhere in the window, not clustered near its top) is what
+// de-synchronizes a thundering herd of contending retriers: with ±50% jitter
+// the herd re-collides inside a half-window; with full jitter arrivals
+// spread across the whole window. The sleep is floored at 1/16 of the
+// window so no draw degenerates into a hot loop.
 func (p RetryPolicy) Backoff(attempt int) time.Duration {
 	base := p.BaseDelay
 	if base <= 0 {
@@ -128,11 +163,42 @@ func (p RetryPolicy) Backoff(attempt int) time.Duration {
 	if d > maxd {
 		d = maxd
 	}
-	// Jitter in [0.5, 1.5): de-synchronizes contending retriers without
-	// sacrificing run-to-run determinism for a fixed seed.
 	u := splitmix64(p.Seed + uint64(attempt)*0x9e3779b97f4a7c15)
 	frac := float64(u>>11) / (1 << 53)
-	return time.Duration(float64(d) * (0.5 + frac))
+	sleep := time.Duration(float64(d) * frac)
+	if floor := d / 16; sleep < floor {
+		sleep = floor
+	}
+	return sleep
+}
+
+// BackoffFor is Backoff floored by err's retry-after hint: when the server
+// shed the work with "not before then", sleeping any less just gets shed
+// again. Hand-rolled retry loops above this package (the ORM's transaction
+// wrapper) use it so overload hints are honored at every tier.
+func (p RetryPolicy) BackoffFor(attempt int, err error) time.Duration {
+	d := p.Backoff(attempt)
+	if hint, ok := RetryAfter(err); ok && hint > d {
+		d = hint
+	}
+	return d
+}
+
+// sleepAllowed reports whether a backoff sleep of d fits inside ctx's
+// remaining deadline. An attempt whose backoff alone would outlive the
+// caller's budget is never started: the caller gets the last real error now
+// instead of a guaranteed deadline expiry later.
+func sleepAllowed(ctx context.Context, d time.Duration) bool {
+	if ctx == nil {
+		return true
+	}
+	if ctx.Err() != nil {
+		return false
+	}
+	if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= d {
+		return false
+	}
+	return true
 }
 
 // splitmix64 is the standard 64-bit mixer (public domain, Vigna); good
@@ -214,11 +280,15 @@ func (r *reliableConn) ExecContext(ctx context.Context, sql string, args ...stor
 // through the reliable path by statement text, which keeps replay logging
 // and re-preparation after a reconnect in one place.
 func (r *reliableConn) Prepare(sql string) (Stmt, error) {
+	r.policy.Budget.OnAttempt()
 	st, err := r.conn.Prepare(sql)
 	// Preparing is read-only, so a retryable failure (a dropped connection,
-	// an injected abort) is always safe to re-attempt.
+	// an injected abort) is always safe to re-attempt — budget permitting.
 	for attempt := 1; err != nil && Retryable(err) && r.policy.Enabled() && attempt <= r.policy.MaxRetries; attempt++ {
-		time.Sleep(r.policy.Backoff(attempt))
+		if !r.policy.Budget.Allow() {
+			break
+		}
+		time.Sleep(r.policy.BackoffFor(attempt, err))
 		atomic.AddUint64(&r.retries, 1)
 		mRetries.Inc()
 		st, err = r.conn.Prepare(sql)
@@ -298,10 +368,16 @@ func classify(sql string) stmtKind {
 // transaction state itself).
 func (r *reliableConn) exec(ctx context.Context, sql string, args []storage.Value) (*Result, error) {
 	kind := classify(sql)
+	r.policy.Budget.OnAttempt()
 	res, err := r.doExec(ctx, sql, args)
 
 	// Retry loop. Inside a transaction a bare re-execution is wrong (the
 	// transaction is aborted), so each attempt is a full replay instead.
+	// Before every retry, three gates in order: the backoff sleep (floored by
+	// any retry-after hint) must fit in the remaining context deadline — an
+	// attempt that cannot start in time surfaces the real error instead of a
+	// guaranteed expiry; then the retry budget must grant a token, so retry
+	// traffic stays a bounded fraction of first attempts under overload.
 	for attempt := 1; err != nil && Retryable(err) && r.policy.Enabled() && attempt <= r.policy.MaxRetries; attempt++ {
 		if kind == kindRollback {
 			// The transaction is gone either way; a rollback that failed
@@ -311,10 +387,14 @@ func (r *reliableConn) exec(ctx context.Context, sql string, args []storage.Valu
 			r.txLog, r.overflow = nil, false
 			return &Result{}, nil
 		}
-		if ctx != nil && ctx.Err() != nil {
+		backoff := r.policy.BackoffFor(attempt, err)
+		if !sleepAllowed(ctx, backoff) {
 			break
 		}
-		time.Sleep(r.policy.Backoff(attempt))
+		if !r.policy.Budget.Allow() {
+			break
+		}
+		time.Sleep(backoff)
 		atomic.AddUint64(&r.retries, 1)
 		mRetries.Inc()
 		if r.txLog != nil || kind == kindCommit {

@@ -41,6 +41,11 @@ type HuntWorkload struct {
 	// workloads need it: a feral validation race materializes as corrupt
 	// final state even when the item-level serialization graph stays acyclic.
 	Invariant func(db *storage.Database) string
+	// Tune, when non-nil, adjusts the engine options before Open — how
+	// overload workloads set queue bounds (LockQueueBound, CommitQueueBound)
+	// without the runner growing a parameter per knob. It runs after the
+	// runner fills the fields it owns, so it can override them too.
+	Tune func(*storage.Options)
 }
 
 // HuntResult is one scheduled execution of a workload.
@@ -78,12 +83,16 @@ func (r *HuntResult) Anomalies() []string {
 // vocabulary must not depend on it, which TestHuntCommitPipelineParity pins.
 func RunHuntSchedule(w HuntWorkload, level storage.IsolationLevel, sc sched.Schedule, serial bool) (*HuntResult, error) {
 	s := sched.New(len(w.Tasks), sc)
-	db := storage.Open(storage.Options{
+	opts := storage.Options{
 		DefaultIsolation: level,
 		RecordHistory:    true,
 		SerialCommit:     serial,
 		Yielder:          s,
-	})
+	}
+	if w.Tune != nil {
+		w.Tune(&opts)
+	}
+	db := storage.Open(opts)
 	defer db.Close()
 	if err := w.Setup(db); err != nil {
 		return nil, fmt.Errorf("experiment: hunt setup %s: %w", w.Name, err)
@@ -124,12 +133,16 @@ func RunHuntSchedule(w HuntWorkload, level storage.IsolationLevel, sc sched.Sche
 // the anomaly that a directed schedule forces — so run summaries can report
 // the comparison the issue asks for.
 func RunHuntStress(w HuntWorkload, level storage.IsolationLevel, serial bool) (*HuntResult, error) {
-	db := storage.Open(storage.Options{
+	opts := storage.Options{
 		DefaultIsolation: level,
 		RecordHistory:    true,
 		SerialCommit:     serial,
 		LockTimeout:      50 * time.Millisecond,
-	})
+	}
+	if w.Tune != nil {
+		w.Tune(&opts)
+	}
+	db := storage.Open(opts)
 	defer db.Close()
 	if err := w.Setup(db); err != nil {
 		return nil, fmt.Errorf("experiment: hunt setup %s: %w", w.Name, err)
@@ -179,6 +192,7 @@ func HuntWorkloads() []HuntWorkload {
 		WriteSkewWorkload(),
 		UniquenessHuntWorkload(),
 		AssociationHuntWorkload(),
+		OverloadShedWorkload(),
 	}
 }
 
@@ -382,6 +396,76 @@ func huntCountEmail(db *storage.Database, email string) (int, error) {
 		return true
 	})
 	return n, err
+}
+
+// OverloadShedWorkload exercises the engine's shed path under the hunter:
+// three blind writes contend on one row with lock waiting disabled
+// (LockQueueBound -1), so every lock conflict is answered with an immediate
+// ErrOverloaded instead of a park. Blind writes keep the anomaly vocabulary
+// empty regardless of interleaving (no read-modify-write, so no G-single);
+// the interesting property is negative — a shed transaction must abort
+// cleanly and leave no trace in the history (no G1a) or the final state,
+// which the invariant and the standard Adya report jointly pin.
+func OverloadShedWorkload() HuntWorkload {
+	const rowID = storage.RowID(1)
+	return HuntWorkload{
+		Name:        "overload-shed",
+		Description: "three contended blind writes with no-wait locks (sheds must abort cleanly, no G1a)",
+		Setup: func(db *storage.Database) error {
+			if err := db.CreateTable(&storage.Schema{
+				Name: "accounts",
+				Columns: []storage.Column{
+					{Name: "id", Kind: storage.KindInt, PrimaryKey: true},
+					{Name: "balance", Kind: storage.KindInt},
+				},
+			}); err != nil {
+				return err
+			}
+			tx := db.Begin(storage.ReadCommitted)
+			if _, _, err := tx.Insert("accounts", map[string]storage.Value{"balance": storage.Int(100)}); err != nil {
+				tx.Rollback()
+				return err
+			}
+			return tx.Commit()
+		},
+		Tasks: []HuntTask{
+			huntBlindWrite(rowID, 201),
+			huntBlindWrite(rowID, 202),
+			huntBlindWrite(rowID, 203),
+		},
+		Invariant: func(db *storage.Database) string {
+			tx := db.Begin(storage.ReadCommitted)
+			defer tx.Rollback()
+			vals, err := tx.Get("accounts", rowID)
+			if err != nil || vals == nil {
+				return "invariant check failed: seed row missing"
+			}
+			// The committed balance must be the seed or one task's whole
+			// write; a shed transaction's value surviving would mean the
+			// abort leaked a write.
+			switch bal := vals[1].I; bal {
+			case 100, 201, 202, 203:
+				return ""
+			default:
+				return fmt.Sprintf("balance %d is no task's committed write: a shed leaked", bal)
+			}
+		},
+		Tune: func(o *storage.Options) {
+			o.LockQueueBound = -1 // no waiting: conflicts shed immediately
+		},
+	}
+}
+
+// huntBlindWrite sets the balance of row id to val without reading it first.
+func huntBlindWrite(id storage.RowID, val int64) HuntTask {
+	return func(db *storage.Database, level storage.IsolationLevel) (uint64, error) {
+		tx := db.Begin(level)
+		if err := tx.Update("accounts", id, map[string]storage.Value{"balance": storage.Int(val)}); err != nil {
+			tx.Rollback()
+			return tx.ID(), err
+		}
+		return tx.ID(), tx.Commit()
+	}
 }
 
 // AssociationHuntWorkload is the paper's Figure 5 pattern: one transaction

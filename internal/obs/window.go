@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// RateWindow measures an event ratio (sheds per request, errors per attempt)
+// over a sliding time window, implemented as a ring of fixed-width buckets.
+// Unlike a Counter pair — whose ratio is cumulative since process start — a
+// RateWindow answers "what fraction of the last N seconds of traffic
+// failed?", which is the question a brownout controller has to ask: it must
+// react to the current shed rate and notice when the rate falls again.
+//
+// The clock is injectable so controllers built on it (internal/appserver's
+// brownout) are testable without sleeping. A nil clock uses time.Now.
+type RateWindow struct {
+	mu      sync.Mutex
+	now     func() time.Time
+	width   time.Duration // per-bucket span
+	buckets []rateBucket
+	// cursor is the index of the bucket covering the current instant; stamp
+	// is that bucket's start time.
+	cursor int
+	stamp  time.Time
+}
+
+type rateBucket struct {
+	hits  uint64 // events counted toward the rate (e.g. sheds)
+	total uint64 // all events (e.g. requests)
+}
+
+// NewRateWindow builds a window spanning the given duration split into
+// nbuckets ring slots (more buckets = smoother roll-off; 10 is typical).
+// clock may be nil for wall time.
+func NewRateWindow(window time.Duration, nbuckets int, clock func() time.Time) *RateWindow {
+	if nbuckets < 1 {
+		nbuckets = 1
+	}
+	if window <= 0 {
+		window = time.Second
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	w := &RateWindow{
+		now:     clock,
+		width:   window / time.Duration(nbuckets),
+		buckets: make([]rateBucket, nbuckets),
+	}
+	w.stamp = clock()
+	return w
+}
+
+// advance rotates the ring forward to cover the current instant, zeroing
+// buckets whose span has fully expired. Called with mu held.
+func (w *RateWindow) advance() {
+	now := w.now()
+	elapsed := now.Sub(w.stamp)
+	if elapsed < w.width {
+		return
+	}
+	steps := int(elapsed / w.width)
+	if steps > len(w.buckets) {
+		steps = len(w.buckets)
+	}
+	for i := 0; i < steps; i++ {
+		w.cursor = (w.cursor + 1) % len(w.buckets)
+		w.buckets[w.cursor] = rateBucket{}
+	}
+	// Re-anchor the stamp on the bucket grid rather than at now, so bucket
+	// boundaries stay width-aligned regardless of observation timing.
+	w.stamp = w.stamp.Add(time.Duration(elapsed/w.width) * w.width)
+}
+
+// Observe records one event; hit marks it as counting toward the rate.
+func (w *RateWindow) Observe(hit bool) {
+	w.mu.Lock()
+	w.advance()
+	w.buckets[w.cursor].total++
+	if hit {
+		w.buckets[w.cursor].hits++
+	}
+	w.mu.Unlock()
+}
+
+// Rate returns hits/total over the live window, and the total itself so
+// callers can refuse to act on a statistically meaningless sample.
+func (w *RateWindow) Rate() (rate float64, total uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.advance()
+	var hits uint64
+	for _, b := range w.buckets {
+		hits += b.hits
+		total += b.total
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	return float64(hits) / float64(total), total
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is an adjustable time source for windowed-rate tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestRateWindowBasicRatio(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	w := NewRateWindow(time.Second, 10, clk.now)
+	for i := 0; i < 8; i++ {
+		w.Observe(false)
+	}
+	w.Observe(true)
+	w.Observe(true)
+	rate, total := w.Rate()
+	if total != 10 || rate != 0.2 {
+		t.Fatalf("rate = %v over %d, want 0.2 over 10", rate, total)
+	}
+}
+
+func TestRateWindowExpiresOldBuckets(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	w := NewRateWindow(time.Second, 10, clk.now)
+	for i := 0; i < 10; i++ {
+		w.Observe(true) // a burst of pure failure
+	}
+	if rate, _ := w.Rate(); rate != 1.0 {
+		t.Fatalf("burst should read 1.0, got %v", rate)
+	}
+	// Half a window later, healthy traffic dilutes the burst...
+	clk.advance(500 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		w.Observe(false)
+	}
+	rate, total := w.Rate()
+	if total != 20 || rate != 0.5 {
+		t.Fatalf("diluted rate = %v over %d, want 0.5 over 20", rate, total)
+	}
+	// ...and past the full window the burst is gone entirely.
+	clk.advance(600 * time.Millisecond)
+	w.Observe(false)
+	rate, total = w.Rate()
+	if rate != 0 {
+		t.Fatalf("expired burst still visible: rate %v over %d", rate, total)
+	}
+}
+
+func TestRateWindowLongIdleResets(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	w := NewRateWindow(time.Second, 4, clk.now)
+	w.Observe(true)
+	// An idle gap many windows long must fully clear the ring (the cursor
+	// advance is clamped to one revolution, not run for every lapsed tick).
+	clk.advance(time.Hour)
+	if rate, total := w.Rate(); rate != 0 || total != 0 {
+		t.Fatalf("stale data survived an idle hour: rate=%v total=%d", rate, total)
+	}
+}

@@ -344,10 +344,22 @@ func (s *Session) withTx(fn func() error) error {
 	}
 	err := s.Transaction(fn)
 	for attempt := 1; err != nil && db.Retryable(err) && s.Retry.Enabled() && attempt <= s.Retry.MaxRetries; attempt++ {
-		if s.ctx != nil && s.ctx.Err() != nil {
+		// Same gates as db.Reliable: the backoff (floored by any overload
+		// retry-after hint) must fit in the remaining deadline, and the retry
+		// budget must grant a token.
+		backoff := s.Retry.BackoffFor(attempt, err)
+		if s.ctx != nil {
+			if s.ctx.Err() != nil {
+				break
+			}
+			if dl, ok := s.ctx.Deadline(); ok && time.Until(dl) <= backoff {
+				break
+			}
+		}
+		if !s.Retry.Budget.Allow() {
 			break
 		}
-		time.Sleep(s.Retry.Backoff(attempt))
+		time.Sleep(backoff)
 		s.retries++
 		err = s.Transaction(fn)
 	}

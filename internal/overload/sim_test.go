@@ -1,0 +1,103 @@
+package overload
+
+import (
+	"math"
+	"testing"
+)
+
+// TestUnprotectedMetastableCollapse pins the failure mode the protection
+// stack exists for: a 4× load spike ends, but the unprotected stack's
+// goodput does not come back — timed-out clients' feral retries keep the
+// server saturated with work nobody is waiting for, and the collapse
+// sustains itself on baseline load alone.
+func TestUnprotectedMetastableCollapse(t *testing.T) {
+	m := Run(Config{Seed: 42, Protected: false})
+	if m.PeakGoodput <= 0 {
+		t.Fatalf("no healthy baseline established: peak=%v", m.PeakGoodput)
+	}
+	// The spike is long over by the final window, yet goodput stays below
+	// half of the healthy baseline: the definition of metastable collapse.
+	if m.FinalGoodput >= 0.5*m.PeakGoodput {
+		t.Errorf("expected sustained collapse after the spike: final=%.3f peak=%.3f",
+			m.FinalGoodput, m.PeakGoodput)
+	}
+	// The collapse is driven by retry amplification: attempts dwarf offered
+	// load once every timeout feeds back into the arrival stream.
+	if amp := m.Amplification(); amp <= 2 {
+		t.Errorf("expected a retry storm (amplification > 2), got %.2f", amp)
+	}
+	// The server was busy the whole time — on wasted work. That is what
+	// distinguishes congestion collapse from simple underprovisioning.
+	if m.Wasted == 0 {
+		t.Error("expected wasted service (completions after client timeout)")
+	}
+}
+
+// TestProtectedRidesThroughSpike pins the claim for the protection stack:
+// bounded admission queues shed the un-serveable excess cheaply, budgeted
+// full-jitter retries stop the feedback loop, and goodput holds through the
+// spike and recovers fully after it.
+func TestProtectedRidesThroughSpike(t *testing.T) {
+	m := Run(Config{Seed: 42, Protected: true})
+	if m.PeakGoodput <= 0 {
+		t.Fatalf("no healthy baseline established: peak=%v", m.PeakGoodput)
+	}
+	if m.SpikeGoodput < 0.7*m.PeakGoodput {
+		t.Errorf("goodput sagged during the spike: spike=%.3f peak=%.3f",
+			m.SpikeGoodput, m.PeakGoodput)
+	}
+	if m.FinalGoodput < 0.95*m.PeakGoodput {
+		t.Errorf("goodput did not recover after the spike: final=%.3f peak=%.3f",
+			m.FinalGoodput, m.PeakGoodput)
+	}
+	// The retry budget's contract: with ratio 1.0, total attempts can never
+	// exceed twice the offered load, no matter the shed rate.
+	if amp := m.Amplification(); amp > 2 {
+		t.Errorf("retry budget failed to cap amplification: %.2f", amp)
+	}
+	// Admission control did real work (the spike exceeded capacity), and it
+	// kept the server off doomed requests entirely.
+	if m.Sheds == 0 {
+		t.Error("expected admission sheds during the spike")
+	}
+	if m.Wasted != 0 {
+		t.Errorf("protected server wasted service on %d dead requests", m.Wasted)
+	}
+}
+
+// TestProtectionImprovesOutcome compares the two modes on identical offered
+// load: protection must convert a losing configuration into a winning one,
+// not merely shuffle failure categories.
+func TestProtectionImprovesOutcome(t *testing.T) {
+	off := Run(Config{Seed: 7, Protected: false})
+	on := Run(Config{Seed: 7, Protected: true})
+	if on.Completed <= off.Completed {
+		t.Errorf("protection should complete more requests in-deadline: on=%d off=%d",
+			on.Completed, off.Completed)
+	}
+	if on.FinalGoodput <= off.FinalGoodput {
+		t.Errorf("protection should recover post-spike goodput: on=%.3f off=%.3f",
+			on.FinalGoodput, off.FinalGoodput)
+	}
+}
+
+// TestDeterministic pins reproducibility: the same seed yields bit-identical
+// metrics, which is what lets CI assert on this simulation at all.
+func TestDeterministic(t *testing.T) {
+	for _, prot := range []bool{false, true} {
+		a := Run(Config{Seed: 99, Protected: prot})
+		b := Run(Config{Seed: 99, Protected: prot})
+		if a.Completed != b.Completed || a.Retries != b.Retries ||
+			a.Sheds != b.Sheds || a.Timeouts != b.Timeouts || a.GaveUp != b.GaveUp {
+			t.Fatalf("protected=%v: runs diverged: %+v vs %+v", prot, a, b)
+		}
+		if len(a.Buckets) != len(b.Buckets) {
+			t.Fatalf("bucket counts diverged")
+		}
+		for i := range a.Buckets {
+			if math.Abs(a.Buckets[i]-b.Buckets[i]) > 0 {
+				t.Fatalf("protected=%v: bucket %d diverged: %v vs %v", prot, i, a.Buckets[i], b.Buckets[i])
+			}
+		}
+	}
+}

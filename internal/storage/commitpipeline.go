@@ -67,6 +67,11 @@ type commitPipeline struct {
 	// Fsync-amortization bookkeeping for the fsyncs-per-commit gauge.
 	groupFsyncs uint64 // atomic
 	groupTxns   uint64 // atomic
+
+	// queueDepth counts submissions handed to the writer and not yet durable
+	// (mirrors mCommitQueueDepth as a readable value); submit sheds against
+	// Options.CommitQueueBound using it.
+	queueDepth int64 // atomic
 }
 
 // commitIntent is a validated-but-not-yet-installed commit. Its summary is
@@ -344,14 +349,29 @@ func (p *commitPipeline) abortIntent(in *commitIntent) {
 }
 
 // submit hands a commit record to the group-commit writer and blocks until
-// the record's batch is durable per the sync policy.
+// the record's batch is durable per the sync policy. With a CommitQueueBound
+// set, a submission that would push the queue past the bound is shed with
+// ErrOverloaded instead of enqueued: the caller's commit fails exactly like a
+// WAL-stage fault (nothing installed, nothing acknowledged, CSN turn
+// consumed by abortIntent), and the retry-after hint scales with the depth
+// the queue had reached.
 func (p *commitPipeline) submit(payload []byte, tr *obs.StmtTrace) error {
+	depth := atomic.AddInt64(&p.queueDepth, 1)
+	if b := p.db.opts.CommitQueueBound; b != 0 && (b < 0 || depth > int64(b)) {
+		atomic.AddInt64(&p.queueDepth, -1)
+		mCommitSheds.Inc()
+		return &OverloadError{
+			Reason:     "commit queue full",
+			RetryAfter: overloadRetryAfter(time.Duration(depth) * 100 * time.Microsecond),
+		}
+	}
 	s := &walSubmission{payload: payload, tr: tr, enqueued: time.Now(), res: make(chan error, 1)}
 	mCommitQueueDepth.Inc()
 	select {
 	case p.subCh <- s:
 	case <-p.stopCh:
 		mCommitQueueDepth.Dec()
+		atomic.AddInt64(&p.queueDepth, -1)
 		return errPipelineClosed
 	}
 	if y := p.db.opts.Yielder; y != nil {
@@ -383,6 +403,7 @@ func (p *commitPipeline) writerLoop(w *wal) {
 				select {
 				case s := <-p.subCh:
 					mCommitQueueDepth.Dec()
+					atomic.AddInt64(&p.queueDepth, -1)
 					s.res <- errPipelineClosed
 				default:
 					return
@@ -434,6 +455,7 @@ func (p *commitPipeline) writeBatch(w *wal, batch []*walSubmission) {
 	now := time.Now()
 	for _, s := range batch {
 		mCommitQueueDepth.Dec()
+		atomic.AddInt64(&p.queueDepth, -1)
 		s.tr.Add(obs.SpanCommitQueue, now.Sub(s.enqueued))
 	}
 	survivors, err := w.appendGroup(batch)

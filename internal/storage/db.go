@@ -90,7 +90,7 @@ func newDatabase(o Options) *Database {
 		tables:   make(map[string]*table),
 		childFKs: make(map[string][]fkEdge),
 		active:   make(map[uint64]uint64),
-		locks:    newLockManager(o.LockTimeout, o.Yielder),
+		locks:    newLockManager(o.LockTimeout, o.LockQueueBound, o.Yielder),
 	}
 	db.pipe = newCommitPipeline(db)
 	if o.RecordHistory {

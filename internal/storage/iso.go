@@ -157,6 +157,20 @@ type Options struct {
 	// pre-pipeline engine. This is the ablation baseline for the commit
 	// throughput benchmarks and the vocabulary-equivalence tests.
 	SerialCommit bool
+	// LockQueueBound bounds how many transactions may queue waiting for any
+	// single lock resource. 0 (the default) keeps the queue unbounded, the
+	// pre-overload-control behavior. N > 0 admits at most N waiters per
+	// resource; further would-be waiters are shed immediately with
+	// ErrOverloaded instead of queueing toward a timeout. Negative disables
+	// waiting entirely: any acquisition that cannot be granted on the spot is
+	// shed — the fully deterministic setting the overload contract tests use.
+	LockQueueBound int
+	// CommitQueueBound bounds the group-commit submission queue the same way:
+	// 0 = unbounded (default), N > 0 sheds commits once N records are queued
+	// for the log writer and not yet durable, negative sheds any commit that
+	// would queue at all. A shed commit fails with ErrOverloaded before
+	// anything is installed or acknowledged, exactly like a WAL-stage fault.
+	CommitQueueBound int
 	// RecordHistory, when true, makes every transaction emit an operation
 	// history (begins, reads with observed versions, predicate reads,
 	// installed writes, commits, aborts) into an in-memory recorder readable

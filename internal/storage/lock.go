@@ -90,6 +90,9 @@ type lockWaiter struct {
 type lockEntry struct {
 	holders map[uint64]LockMode
 	queue   []*lockWaiter
+	// parked counts waiters in the scheduler-mode try-then-Park loop, which
+	// has no queue slice; the queue bound applies to it all the same.
+	parked int
 }
 
 // lockManager provides blocking row and predicate locks with FIFO queuing
@@ -100,13 +103,16 @@ type lockManager struct {
 	mu      sync.Mutex
 	entries map[string]*lockEntry
 	timeout time.Duration
+	// queueBound is Options.LockQueueBound: 0 unbounded, N>0 at most N
+	// waiters per resource, negative no waiting at all (immediate shed).
+	queueBound int
 	// yielder, when non-nil, replaces queue-and-block waits with
 	// try-then-Park retry loops under the deterministic scheduler.
 	yielder Yielder
 }
 
-func newLockManager(timeout time.Duration, yielder Yielder) *lockManager {
-	return &lockManager{entries: make(map[string]*lockEntry), timeout: timeout, yielder: yielder}
+func newLockManager(timeout time.Duration, queueBound int, yielder Yielder) *lockManager {
+	return &lockManager{entries: make(map[string]*lockEntry), timeout: timeout, queueBound: queueBound, yielder: yielder}
 }
 
 // Acquire takes (or upgrades to) the given mode on key for owner, blocking
@@ -157,6 +163,11 @@ func (lm *lockManager) acquire(owner uint64, key string, mode LockMode, deadline
 		e.holders[owner] = mode
 		lm.mu.Unlock()
 		return nil
+	}
+	if b := lm.queueBound; b != 0 && (b < 0 || len(e.queue) >= b) {
+		lm.mu.Unlock()
+		mLockSheds.Inc()
+		return &OverloadError{Reason: "lock wait queue full", RetryAfter: overloadRetryAfter(lm.timeout / 4)}
 	}
 	w := &lockWaiter{owner: owner, mode: mode, granted: make(chan struct{})}
 	// Upgrades jump the queue: a holder waiting behind strangers who in turn
@@ -219,6 +230,9 @@ func (lm *lockManager) acquireSched(owner uint64, key string, mode LockMode) err
 		m := mode
 		if held, ok := e.holders[owner]; ok {
 			if lockSubsumes[held][m] {
+				if waited {
+					e.parked--
+				}
 				lm.mu.Unlock()
 				return nil
 			}
@@ -226,15 +240,27 @@ func (lm *lockManager) acquireSched(owner uint64, key string, mode LockMode) err
 		}
 		if e.grantable(owner, m) {
 			e.holders[owner] = m
+			if waited {
+				e.parked--
+			}
 			lm.mu.Unlock()
 			return nil
 		}
-		lm.mu.Unlock()
 		if !waited {
+			if b := lm.queueBound; b != 0 && (b < 0 || e.parked >= b) {
+				lm.mu.Unlock()
+				mLockSheds.Inc()
+				return &OverloadError{Reason: "lock wait queue full", RetryAfter: overloadRetryAfter(lm.timeout / 4)}
+			}
 			waited = true
+			e.parked++
 			mLockWaits.Inc()
 		}
+		lm.mu.Unlock()
 		if err := lm.yielder.Park(ParkLockWait, true); err != nil {
+			lm.mu.Lock()
+			e.parked--
+			lm.mu.Unlock()
 			mLockTimeouts.Inc()
 			return ErrLockTimeout
 		}
@@ -264,7 +290,7 @@ func (lm *lockManager) ReleaseAll(owner uint64) {
 		if changed {
 			lm.promoteLocked(key, e)
 		}
-		if len(e.holders) == 0 && len(e.queue) == 0 {
+		if len(e.holders) == 0 && len(e.queue) == 0 && e.parked == 0 {
 			delete(lm.entries, key)
 		}
 	}

@@ -31,6 +31,13 @@ var (
 		`feraldb_storage_aborts_total{reason="rollback"}`, "Transactions aborted, by reason")
 	mAbortsOther = obs.NewCounter(obs.Default(),
 		`feraldb_storage_aborts_total{reason="other"}`, "Transactions aborted, by reason")
+	mAbortsOverload = obs.NewCounter(obs.Default(),
+		`feraldb_storage_aborts_total{reason="overload"}`, "Transactions aborted, by reason")
+
+	mLockSheds = obs.NewCounter(obs.Default(),
+		`feraldb_storage_sheds_total{queue="lock"}`, "Acquisitions shed at a bounded queue, by queue")
+	mCommitSheds = obs.NewCounter(obs.Default(),
+		`feraldb_storage_sheds_total{queue="commit"}`, "Acquisitions shed at a bounded queue, by queue")
 
 	mLockWaits = obs.NewCounter(obs.Default(),
 		"feraldb_storage_lock_waits_total", "Lock acquisitions that queued behind a holder")
@@ -81,6 +88,8 @@ var (
 // the failure they masquerade as.
 func recordAbort(err error) {
 	switch {
+	case errors.Is(err, ErrOverloaded):
+		mAbortsOverload.Inc()
 	case errors.Is(err, ErrSerialization):
 		mAbortsSerialization.Inc()
 	case errors.Is(err, ErrUniqueViolation):

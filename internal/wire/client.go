@@ -310,7 +310,10 @@ func (c *Client) roundTrip(ctx context.Context, req *request) (*response, error)
 		return nil, c.recvPathErr(err)
 	}
 	if resp.Code != CodeOK {
-		return nil, errorFor(resp.Code, resp.Error)
+		if resp.Code == CodeOverloaded {
+			mClientOverloaded.Inc()
+		}
+		return nil, errorFor(resp.Code, resp.Error, time.Duration(resp.RetryAfterNanos))
 	}
 	return resp, nil
 }

@@ -266,7 +266,8 @@ func decodeRequest(body []byte) (*request, error) {
 func encodeResponse(b []byte, resp *response) []byte {
 	b = append(b, byte(resp.Code))
 	if resp.Code != CodeOK {
-		return appendString(b, resp.Error)
+		b = appendString(b, resp.Error)
+		return appendUvarint(b, uint64(resp.RetryAfterNanos))
 	}
 	b = appendUvarint(b, resp.Handle)
 	b = appendUvarint(b, uint64(resp.NumParams))
@@ -309,6 +310,7 @@ func decodeResponse(body []byte) (*response, error) {
 	resp := &response{Code: ErrorCode(d.byte())}
 	if d.err == nil && resp.Code != CodeOK {
 		resp.Error = d.string()
+		resp.RetryAfterNanos = int64(d.uvarint())
 		if d.err != nil {
 			return nil, d.err
 		}

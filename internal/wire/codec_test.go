@@ -48,7 +48,7 @@ func TestErrorCodesBinaryRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rebuilt := errorFor(resp.Code, resp.Error)
+		rebuilt := errorFor(resp.Code, resp.Error, time.Duration(resp.RetryAfterNanos))
 		if sentinel != nil && !errors.Is(rebuilt, sentinel) {
 			t.Errorf("code %d: errors.Is lost across the wire: %v", code, rebuilt)
 		}
@@ -60,7 +60,7 @@ func TestErrorCodesBinaryRoundTrip(t *testing.T) {
 	if codeOf(storage.ErrReadOnly) != CodeGeneric {
 		t.Error("unmapped sentinel not classified as generic")
 	}
-	if errorFor(CodeOK, "") != nil {
+	if errorFor(CodeOK, "", 0) != nil {
 		t.Error("CodeOK should reconstruct to nil")
 	}
 }

@@ -33,10 +33,21 @@ var (
 	mSlowQueries = obs.NewCounter(obs.Default(),
 		"feraldb_wire_slow_queries_total", "Statements that exceeded the slow-query threshold")
 
+	mConnsRejected = obs.NewCounter(obs.Default(),
+		"feraldb_wire_connections_rejected_total", "Connections refused at accept because max-conns was reached")
+	mAdmissionQueued = obs.NewGauge(obs.Default(),
+		"feraldb_wire_admission_queued", "Statements waiting for an admission slot")
+	mShedQueueFull = obs.NewCounter(obs.Default(),
+		`feraldb_wire_admission_sheds_total{reason="queue_full"}`, "Statements shed by admission control, by reason")
+	mShedDoomed = obs.NewCounter(obs.Default(),
+		`feraldb_wire_admission_sheds_total{reason="deadline_doomed"}`, "Statements shed by admission control, by reason")
+
 	mClientRedials = obs.NewCounter(obs.Default(),
 		"feraldb_client_redials_total", "Automatic reconnects after a severed connection")
 	mClientDeadlineExpiries = obs.NewCounter(obs.Default(),
 		"feraldb_client_deadline_expiries_total", "Round trips abandoned because the time budget expired")
+	mClientOverloaded = obs.NewCounter(obs.Default(),
+		"feraldb_client_overloaded_total", "Responses carrying CodeOverloaded (server shed the work)")
 )
 
 // requestCounter maps a message type to its throughput counter.

@@ -22,6 +22,8 @@ package wire
 import (
 	"errors"
 	"fmt"
+	"strings"
+	"time"
 
 	"feralcc/internal/obs"
 	"feralcc/internal/storage"
@@ -61,6 +63,11 @@ const (
 	// CodeTimeout reports a statement aborted because its deadline (carried
 	// on the request as a relative budget) expired server-side.
 	CodeTimeout
+	// CodeOverloaded reports work shed by an overloaded server — a bounded
+	// engine queue (lock wait, commit submission) or the wire tier's own
+	// admission controller refused to queue it. The response carries a
+	// retry-after hint; the reconstructed error is retryable-after-backoff.
+	CodeOverloaded
 )
 
 // codeOf classifies an error for transport.
@@ -84,13 +91,16 @@ func codeOf(err error) ErrorCode {
 		return CodeTxState
 	case errors.Is(err, storage.ErrStmtDeadline):
 		return CodeTimeout
+	case errors.Is(err, storage.ErrOverloaded):
+		return CodeOverloaded
 	default:
 		return CodeGeneric
 	}
 }
 
 // errorFor reconstructs a sentinel-wrapped error from a transported code.
-func errorFor(code ErrorCode, msg string) error {
+// retryAfter is the response's backoff hint; only CodeOverloaded carries one.
+func errorFor(code ErrorCode, msg string, retryAfter time.Duration) error {
 	switch code {
 	case CodeOK:
 		return nil
@@ -110,6 +120,12 @@ func errorFor(code ErrorCode, msg string) error {
 		return fmt.Errorf("%w: %s", storage.ErrTxDone, msg)
 	case CodeTimeout:
 		return fmt.Errorf("%w: %s", storage.ErrStmtDeadline, msg)
+	case CodeOverloaded:
+		// The transported message is the server-side Error() string, which
+		// already carries the sentinel prefix; strip it so the reconstructed
+		// error does not stutter.
+		msg = strings.TrimPrefix(msg, storage.ErrOverloaded.Error()+": ")
+		return &storage.OverloadError{Reason: msg, RetryAfter: retryAfter}
 	default:
 		return errors.New(msg)
 	}
@@ -134,8 +150,12 @@ type request struct {
 
 // response is one server->client message.
 type response struct {
-	Code         ErrorCode
-	Error        string // set when Code != CodeOK
+	Code  ErrorCode
+	Error string // set when Code != CodeOK
+	// RetryAfterNanos is the server's backoff hint for retryable-after-backoff
+	// failures (Code != CodeOK only; 0 = no hint). Clients floor their own
+	// jittered backoff at this value rather than obeying it exactly.
+	RetryAfterNanos int64
 	Handle       uint64 // set for MsgPrepare responses
 	NumParams    int    // set for MsgPrepare responses
 	Columns      []string

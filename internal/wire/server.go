@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"feralcc/internal/db"
 	"feralcc/internal/faultinject"
 	"feralcc/internal/sqlexec"
 	"feralcc/internal/storage"
@@ -31,6 +32,11 @@ type Server struct {
 	// slowQuery, when positive, logs any statement whose execution exceeds
 	// it: one line with duration, trace ID, span breakdown, and SQL.
 	slowQuery time.Duration
+	// maxConns, when positive, bounds open connections: excess connections
+	// are rejected at accept time with a CodeOverloaded frame (SetMaxConns).
+	maxConns int
+	// adm, when set, gates statement execution (SetAdmission).
+	adm *admission
 
 	mu       sync.Mutex
 	conns    map[net.Conn]*connState
@@ -106,6 +112,12 @@ func (s *Server) Serve() error {
 			s.mu.Unlock()
 			conn.Close()
 			return nil
+		}
+		if s.maxConns > 0 && len(s.conns) >= s.maxConns {
+			s.mu.Unlock()
+			mConnsRejected.Inc()
+			go s.rejectConn(conn)
+			continue
 		}
 		s.conns[conn] = &connState{}
 		s.wg.Add(1)
@@ -266,6 +278,13 @@ func (s *Server) handle(conn net.Conn) {
 			if fr := s.execFault(session, &resp, req.TraceID); fr {
 				break
 			}
+			if err := s.admit(req.DeadlineNanos); err != nil {
+				// Like any statement error, a shed aborts the session's open
+				// transaction; the client's replay logic sees consistent state.
+				session.Reset()
+				fillResult(&resp, nil, err)
+				break
+			}
 			session.BeginTrace(req.TraceID)
 			ctx, cancel := deadlineCtx(req.DeadlineNanos)
 			args := make([]storage.Value, len(req.Args))
@@ -280,6 +299,7 @@ func (s *Server) handle(conn net.Conn) {
 				s.finishExec(session, req.SQL, &resp, time.Since(execStart))
 			}
 			cancel()
+			s.admitDone(time.Since(execStart))
 			fillResult(&resp, res, err)
 		case MsgPrepare:
 			p, err := s.cache.Get(session, req.SQL)
@@ -300,12 +320,18 @@ func (s *Server) handle(conn net.Conn) {
 				fillResult(&resp, nil, fmt.Errorf("wire: unknown statement handle %d", req.Handle))
 				break
 			}
+			if err := s.admit(req.DeadlineNanos); err != nil {
+				session.Reset()
+				fillResult(&resp, nil, err)
+				break
+			}
 			session.BeginTrace(req.TraceID)
 			ctx, cancel := deadlineCtx(req.DeadlineNanos)
 			// Refresh DDL-invalidated plans in the handle table so the
 			// re-parse happens once, not per execution.
 			if fresh, err := session.Refreshed(p); err != nil {
 				cancel()
+				s.admitDone(0)
 				fillResult(&resp, nil, err)
 				break
 			} else if fresh != p {
@@ -320,6 +346,7 @@ func (s *Server) handle(conn net.Conn) {
 			res, err := session.ExecutePreparedContext(ctx, p, args...)
 			s.finishExec(session, p.SQL(), &resp, time.Since(execStart))
 			cancel()
+			s.admitDone(time.Since(execStart))
 			fillResult(&resp, res, err)
 		case MsgCloseStmt:
 			delete(stmts, req.Handle)
@@ -425,6 +452,9 @@ func fillResult(resp *response, res *sqlexec.Result, err error) {
 	resp.Code = codeOf(err)
 	if err != nil {
 		resp.Error = err.Error()
+		if hint, ok := db.RetryAfter(err); ok {
+			resp.RetryAfterNanos = int64(hint)
+		}
 		return
 	}
 	resp.Columns = res.Columns

@@ -215,6 +215,18 @@ func TestWireConnHistorySuite(t *testing.T) {
 	})
 }
 
+// TestWireConnOverloadSuite runs the shared overload-shed contract suite
+// across the protocol: the shed happens in the engine, travels as
+// CodeOverloaded with its retry-after hint, and must classify on the client
+// exactly as it does embedded.
+func TestWireConnOverloadSuite(t *testing.T) {
+	conntest.RunOverload(t, func(t *testing.T, opts storage.Options) (func() db.Conn, func() []histcheck.Event) {
+		store := storage.Open(opts)
+		addr := startServer(t, store)
+		return func() db.Conn { return dialT(t, addr) }, store.History
+	})
+}
+
 func TestFrameCodec(t *testing.T) {
 	var buf bytes.Buffer
 	in := request{Type: MsgExec, SQL: "SELECT 1 FROM t", Args: []wireValue{toWire(storage.Int(7))}}

@@ -1,8 +1,9 @@
 GO ?= go
 BENCH ?= BENCH_3.json
 BENCH_COMMIT ?= BENCH_6.json
+BENCH_LIVECHECK ?= BENCH_9.json
 
-.PHONY: check test bench bench-commit chaos obs-smoke histcheck hunt-regress hunt-smoke overload-smoke lint profile profile-mutex clean
+.PHONY: check test bench bench-commit bench-livecheck chaos obs-smoke livecheck-smoke histcheck hunt-regress hunt-smoke overload-smoke lint profile profile-mutex clean
 
 # check is the full gate: compile, vet, and the whole test suite under the
 # race detector (the plan cache, wire server, and WAL are concurrency-critical).
@@ -77,6 +78,17 @@ lint:
 obs-smoke:
 	$(GO) test -count=1 -run TestObsSmoke ./cmd/feraldbd
 
+# livecheck-smoke exercises the live anomaly observatory end to end: a real
+# feraldbd under -live-check 1 serves a forced lost update, the test scrapes
+# /metrics (lint-clean, anomaly counters live) and /anomalies, and pipes the
+# witness through the feralcheck binary on stdin — the offline verdict must
+# agree with the live one. The engine-level parity suite (hunt catalog +
+# Figure 2/5 cells, live vs offline checker) rides along under -race.
+livecheck-smoke:
+	$(GO) test -count=1 -run TestLiveCheckSmoke ./cmd/feraldbd
+	$(GO) test -race -count=1 -run 'TestHuntLiveParity|TestFigureCellsLiveParity' ./internal/experiment
+	$(GO) test -count=1 -run TestStdinDash ./cmd/feralcheck
+
 # profile captures CPU and heap pprof profiles from a running feraldbd's
 # metrics listener (default 127.0.0.1:6060, override with METRICS_ADDR) into
 # profiles/. Inspect with `go tool pprof profiles/cpu.pprof`.
@@ -111,6 +123,13 @@ bench:
 # one file carries both sides of the comparison.
 bench-commit:
 	$(GO) test -bench BenchmarkCommitThroughput -run '^$$' -benchtime=1s -timeout 30m -json . > $(BENCH_COMMIT)
+
+# bench-livecheck records the live-checker overhead grid (sample rate off/1%/
+# 10%/100% x committer count, with sampled-txn and shed-event counts) — the
+# bounded-overhead artifact for the anomaly observatory. The acceptance bar:
+# the 1%-sampling cells stay within 5% of the matching off cells.
+bench-livecheck:
+	$(GO) test -bench BenchmarkLiveCheckOverhead -run '^$$' -benchtime=1s -timeout 30m -json . > $(BENCH_LIVECHECK)
 
 # clean removes every cmd/ binary built into the repo root plus any data
 # directories left behind by local durable runs (feraldbd -data-dir,

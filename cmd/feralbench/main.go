@@ -36,6 +36,7 @@ func main() {
 		syncPol = flag.String("sync", "off", "WAL sync policy for durable experiment cells: always|interval|off (only meaningful with -data-dir)")
 		metrics = flag.Bool("metrics", true, "append a compact engine metrics snapshot to the output")
 		checkH  = flag.Bool("check-history", false, "record each experiment cell's operation history and fail the cell if the offline isolation checker (internal/histcheck) finds an anomaly its isolation level proscribes; failing histories are saved under $HISTCHECK_WITNESS_DIR")
+		liveC   = flag.Bool("live-check", false, "attach the streaming anomaly watcher (internal/anomalywatch) to every experiment cell and report live anomaly counts alongside throughput; with -check-history, each cell also gates on live/offline parity")
 	)
 	flag.Parse()
 
@@ -53,8 +54,12 @@ func main() {
 	if *dataDir != "" {
 		fmt.Printf("durable mode: per-cell stores under %s (wal sync %s), anomaly census after recovery\n\n", *dataDir, *syncPol)
 	}
+	study.LiveCheck = *liveC
 	if *checkH {
 		fmt.Printf("history checking armed: every cell gated through the Adya isolation checker\n\n")
+	}
+	if *liveC {
+		fmt.Printf("live anomaly watch armed: every cell streams sampled transactions through the windowed checker\n\n")
 	}
 	if *faults != "" {
 		spec, err := faultinject.ParseSpec(*faults)
@@ -80,9 +85,57 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *liveC {
+		fmt.Println()
+		printLiveCheckSummary(os.Stdout)
+	}
 	if *metrics {
 		fmt.Println()
 		printMetricsSnapshot(os.Stdout)
+	}
+}
+
+// printLiveCheckSummary digests the live anomaly watch instruments after the
+// experiments: anomalies by class and by isolation level, invariant violation
+// rates per tier, and the watcher's own health (shed events, truncations).
+func printLiveCheckSummary(w io.Writer) {
+	r := obs.Default()
+	fmt.Fprintln(w, "--- live anomaly watch ---")
+	for _, class := range []string{"G0", "G1a", "G1b", "G1c", "G-single", "G2-item"} {
+		name := `feraldb_anomaly_watch_anomalies_total{class="` + class + `"}`
+		if v := r.CounterValue(name); v != 0 {
+			fmt.Fprintf(w, "%-52s %d\n", name, v)
+		}
+	}
+	for _, lvl := range []string{"READ COMMITTED", "REPEATABLE READ", "SNAPSHOT ISOLATION", "SERIALIZABLE", "SERIALIZABLE 2PL", "other"} {
+		name := `feraldb_anomaly_watch_anomalies_by_level_total{level="` + lvl + `"}`
+		if v := r.CounterValue(name); v != 0 {
+			fmt.Fprintf(w, "%-52s %d\n", name, v)
+		}
+	}
+	for _, name := range []string{
+		"feraldb_anomaly_watch_forbidden_total",
+		"feraldb_anomaly_watch_sampled_txns_total",
+		"feraldb_anomaly_watch_escalations_total",
+		"feraldb_anomaly_watch_events_total",
+		"feraldb_anomaly_watch_events_shed_total",
+		"feraldb_anomaly_watch_window_evictions_total",
+		"feraldb_anomaly_watch_window_truncated_total",
+	} {
+		if v := r.CounterValue(name); v != 0 {
+			fmt.Fprintf(w, "%-52s %d\n", name, v)
+		}
+	}
+	for _, tier := range []string{"storage", "appserver"} {
+		for _, inv := range []string{"uniqueness", "foreign_key", "association_count"} {
+			labels := `{tier="` + tier + `",invariant="` + inv + `"}`
+			checks := r.CounterValue("feraldb_invariant_checks_total" + labels)
+			if checks == 0 {
+				continue
+			}
+			viol := r.CounterValue("feraldb_invariant_violations_total" + labels)
+			fmt.Fprintf(w, "%-52s %d checks, %d violations\n", "invariant "+tier+"/"+inv, checks, viol)
+		}
 	}
 }
 

@@ -106,6 +106,69 @@ func TestQuietSuppressesPassingReports(t *testing.T) {
 	}
 }
 
+// TestStdinDash pins the `feralcheck -` contract the live observatory's
+// scrape-and-replay flow depends on: a history piped to stdin — including one
+// with `#` provenance headers, the exact shape /anomalies serves — checks the
+// same as a file, under the same exit-status rules.
+func TestStdinDash(t *testing.T) {
+	feed := func(t *testing.T, data string) func() {
+		t.Helper()
+		f, err := os.CreateTemp(t.TempDir(), "stdin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteString(data); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Seek(0, 0); err != nil {
+			t.Fatal(err)
+		}
+		old := os.Stdin
+		os.Stdin = f
+		return func() { os.Stdin = old; f.Close() }
+	}
+
+	var buf strings.Builder
+	if err := histcheck.WriteJSONL(&buf, lostUpdateHistory("READ COMMITTED")); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("plain", func(t *testing.T) {
+		restore := feed(t, buf.String())
+		defer restore()
+		var out, errw strings.Builder
+		if code := run([]string{"-"}, &out, &errw); code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, errw.String())
+		}
+		if !strings.HasPrefix(out.String(), "-: ") || !strings.Contains(out.String(), "G-single") {
+			t.Fatalf("stdin verdict should name the source '-' and the anomaly: %s", out.String())
+		}
+	})
+
+	t.Run("witness-headers", func(t *testing.T) {
+		witness := "# anomaly=G-single forbidden=false txs=2,3 levels=\"READ COMMITTED\" traces=none truncated=false\n" +
+			"# cycle: wr kv:1 -> rw kv:1\n" + buf.String()
+		restore := feed(t, witness)
+		defer restore()
+		var out, errw strings.Builder
+		if code := run([]string{"-"}, &out, &errw); code != 0 {
+			t.Fatalf("witness with provenance headers should replay, exit %d: %s", code, errw.String())
+		}
+		if !strings.Contains(out.String(), "G-single") {
+			t.Fatalf("replayed witness lost its anomaly: %s", out.String())
+		}
+	})
+
+	t.Run("strict-exit", func(t *testing.T) {
+		restore := feed(t, buf.String())
+		defer restore()
+		var out, errw strings.Builder
+		if code := run([]string{"-strict", "-"}, &out, &errw); code != 1 {
+			t.Fatalf("-strict over stdin should exit 1, got %d", code)
+		}
+	})
+}
+
 func TestUsageAndMissingFile(t *testing.T) {
 	var out, errw strings.Builder
 	if code := run(nil, &out, &errw); code != 2 {

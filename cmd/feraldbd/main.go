@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"feralcc/internal/anomalywatch"
 	"feralcc/internal/obs"
 	"feralcc/internal/storage"
 	"feralcc/internal/wire"
@@ -46,8 +47,11 @@ func main() {
 		sync    = flag.String("sync", "always", "WAL fsync policy: always, interval, or off")
 		vacuum  = flag.Duration("vacuum-interval", 0, "period between Vacuum+checkpoint passes (0 = never)")
 
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /statusz, and /debug/pprof on this address (empty = disabled)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /statusz, /anomalies, and /debug/pprof on this address (empty = disabled)")
 		slowQuery   = flag.Duration("slow-query", 0, "log statements slower than this, with trace ID and span breakdown (0 = disabled)")
+
+		liveCheck     = flag.Float64("live-check", 0, "live anomaly watcher sample rate in (0,1]; 1 checks every transaction, 0 disables")
+		anomalyWindow = flag.Int("anomaly-window", 0, "live checker sliding-window size in closed transactions (0 = default 4096)")
 
 		maxConns    = flag.Int("max-conns", 0, "reject new connections beyond this many with a retryable overloaded response (0 = unlimited)")
 		maxInFlight = flag.Int("max-in-flight", 0, "statement admission: concurrent execution slots (0 = unlimited)")
@@ -64,16 +68,34 @@ func main() {
 	if err != nil {
 		log.Fatalf("feraldbd: %v", err)
 	}
-	store, err := storage.OpenDir(storage.Options{
+	opts := storage.Options{
 		DefaultIsolation: level,
 		PhantomBug:       *bug,
 		DataDir:          *dataDir,
 		SyncPolicy:       policy,
 		LockQueueBound:   *lockQueue,
 		CommitQueueBound: *commitQueue,
-	})
+	}
+	if *liveCheck > 0 {
+		opts.LiveCheck = &anomalywatch.Config{
+			SampleRate: *liveCheck,
+			WindowTxns: *anomalyWindow,
+			// The slow-query-style anomaly log line: one line per detected
+			// cycle, carrying every participant's transaction id and the
+			// statement trace IDs that link it to spans and slow-query lines.
+			OnFinding: func(w anomalywatch.Witness) {
+				log.Printf("feraldbd: anomaly class=%s forbidden=%v txs=%s levels=%q traces=%s cycle=%q",
+					w.Anomaly, w.Forbidden, anomalywatch.FormatTxs(w.Txs), w.Levels,
+					anomalywatch.FormatTraces(w.Traces), w.Cycle)
+			},
+		}
+	}
+	store, err := storage.OpenDir(opts)
 	if err != nil {
 		log.Fatalf("feraldbd: %v", err)
+	}
+	if *liveCheck > 0 {
+		log.Printf("feraldbd: live anomaly watch on: sample-rate=%g window=%d", *liveCheck, *anomalyWindow)
 	}
 	log.Printf("feraldbd: default isolation %v, phantom bug %v", level, *bug)
 	if *dataDir != "" {
@@ -103,7 +125,7 @@ func main() {
 	startTime := time.Now()
 	if *metricsAddr != "" {
 		statusz := func() any {
-			return map[string]any{
+			m := map[string]any{
 				"addr":           srv.Addr(),
 				"isolation":      fmt.Sprint(level),
 				"phantom_bug":    *bug,
@@ -114,15 +136,40 @@ func main() {
 				"max_in_flight":  *maxInFlight,
 				"max_queue":      *maxQueue,
 				"uptime_seconds": time.Since(startTime).Seconds(),
+				"live_check":     *liveCheck,
 			}
+			if w := store.Watcher(); w != nil {
+				st := w.Stats()
+				m["anomaly_window"] = st.WindowTxns
+				m["anomalies_forbidden"] = st.Forbidden
+				m["anomaly_events_shed"] = st.Shed
+				m["anomaly_window_truncated"] = st.Truncated
+			}
+			return m
 		}
+		mux := http.NewServeMux()
+		// /anomalies streams the watcher's recent cycle witnesses as JSONL a
+		// `feralcheck -` pipe replays offline; 404 without -live-check.
+		mux.HandleFunc("/anomalies", func(w http.ResponseWriter, r *http.Request) {
+			watch := store.Watcher()
+			if watch == nil {
+				http.Error(w, "live checking disabled (start with -live-check)", http.StatusNotFound)
+				return
+			}
+			watch.Drain()
+			w.Header().Set("Content-Type", "application/jsonl")
+			if err := anomalywatch.WriteWitnesses(w, watch.Witnesses()); err != nil {
+				log.Printf("feraldbd: /anomalies: %v", err)
+			}
+		})
+		mux.Handle("/", obs.Handler(obs.Default(), statusz))
 		mln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			log.Fatalf("feraldbd: metrics listen: %v", err)
 		}
 		log.Printf("feraldbd metrics on %s", mln.Addr())
 		go func() {
-			if err := http.Serve(mln, obs.Handler(obs.Default(), statusz)); err != nil {
+			if err := http.Serve(mln, mux); err != nil {
 				log.Printf("feraldbd: metrics server: %v", err)
 			}
 		}()

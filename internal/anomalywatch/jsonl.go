@@ -1,0 +1,63 @@
+package anomalywatch
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"feralcc/internal/histcheck"
+)
+
+// WriteWitnesses renders witnesses as JSONL compatible with feralcheck: each
+// witness is a `#` provenance header (which histcheck.ReadJSONL skips)
+// followed by the participants' event projection, one JSON object per line.
+// Piping the output through `feralcheck -` replays the live verdict offline.
+func WriteWitnesses(w io.Writer, ws []Witness) error {
+	for i, wit := range ws {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# anomaly=%s forbidden=%v txs=%s levels=%s traces=%s truncated=%v\n",
+			wit.Anomaly, wit.Forbidden, FormatTxs(wit.Txs), strings.Join(wit.Levels, "|"),
+			FormatTraces(wit.Traces), wit.Truncated); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "# cycle: %s\n", wit.Cycle); err != nil {
+			return err
+		}
+		if err := histcheck.WriteJSONL(w, wit.Events); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FormatTxs renders transaction ids as a comma-joined decimal list.
+func FormatTxs(xs []uint64) string {
+	var b strings.Builder
+	for i, x := range xs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	return b.String()
+}
+
+// FormatTraces renders trace ids the way the slow-query log does
+// (zero-padded hex), or "none" when no participant carried one.
+func FormatTraces(xs []uint64) string {
+	if len(xs) == 0 {
+		return "none"
+	}
+	var b strings.Builder
+	for i, x := range xs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%016x", x)
+	}
+	return b.String()
+}

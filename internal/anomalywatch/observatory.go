@@ -1,0 +1,87 @@
+package anomalywatch
+
+import "feralcc/internal/obs"
+
+// The invariant observatory: per-invariant check and violation counters at
+// both tiers the paper compares. The storage tier counts in-database
+// constraint enforcement (unique indexes, foreign keys — checked race-free at
+// commit); the appserver tier counts feral enforcement (ORM validations,
+// application-level cascades — checked racily before the write). Divergence
+// between the two tiers' violation rates for the same invariant is the
+// paper's headline phenomenon, now visible on /metrics while the system runs.
+
+// Tier names where an invariant is enforced.
+type Tier uint8
+
+const (
+	TierStorage Tier = iota
+	TierAppserver
+	numTiers
+)
+
+// Inv names one invariant family the observatory tracks.
+type Inv uint8
+
+const (
+	InvUniqueness Inv = iota
+	InvForeignKey
+	InvAssociationCount
+	numInvs
+)
+
+func (t Tier) String() string {
+	if t == TierStorage {
+		return "storage"
+	}
+	return "appserver"
+}
+
+func (i Inv) String() string {
+	switch i {
+	case InvUniqueness:
+		return "uniqueness"
+	case InvForeignKey:
+		return "foreign_key"
+	default:
+		return "association_count"
+	}
+}
+
+// The full tier x invariant grid is pre-registered so /metrics always shows
+// every series (a zero is information: the invariant was never even checked)
+// and the hot path indexes an array instead of a map.
+var (
+	invChecks     [numTiers][numInvs]*obs.Counter
+	invViolations [numTiers][numInvs]*obs.Counter
+)
+
+func init() {
+	for t := Tier(0); t < numTiers; t++ {
+		for i := Inv(0); i < numInvs; i++ {
+			labels := `{tier="` + t.String() + `",invariant="` + i.String() + `"}`
+			invChecks[t][i] = obs.NewCounter(obs.Default(),
+				"feraldb_invariant_checks_total"+labels,
+				"Invariant evaluations, by enforcing tier and invariant family")
+			invViolations[t][i] = obs.NewCounter(obs.Default(),
+				"feraldb_invariant_violations_total"+labels,
+				"Invariant evaluations that found a violation, by enforcing tier and invariant family")
+		}
+	}
+}
+
+// ObserveInvariant counts one invariant evaluation, and its violation when
+// violated is set. Safe from any goroutine; two atomic adds at most.
+func ObserveInvariant(t Tier, i Inv, violated bool) {
+	invChecks[t][i].Inc()
+	if violated {
+		invViolations[t][i].Inc()
+	}
+}
+
+// AddInvariantViolations counts n violations found by a census-style sweep
+// (e.g. the appserver's duplicate or orphan counts), with one check recorded
+// for the sweep itself.
+func AddInvariantViolations(t Tier, i Inv, n uint64) {
+	invChecks[t][i].Inc()
+	invViolations[t][i].Add(n)
+}

@@ -1,0 +1,84 @@
+package anomalywatch
+
+import (
+	"sync/atomic"
+
+	"feralcc/internal/histcheck"
+)
+
+// entry is one ring slot payload: the history event plus its enqueue time,
+// so the consumer can measure checker lag.
+type entry struct {
+	ev histcheck.Event
+	at int64 // enqueue time, UnixNano
+}
+
+// ring is a bounded lock-free multi-producer queue (Vyukov's bounded MPMC
+// design) drained by the single checker goroutine. Offer never blocks: a full
+// ring returns false and the caller sheds the event. Many transactions commit
+// concurrently, so the producer side must be multi-producer even though the
+// consumer side is single.
+type ring struct {
+	mask  uint64
+	slots []ringSlot
+	_     [64]byte // keep enq and deq on separate cache lines
+	enq   atomic.Uint64
+	_     [64]byte
+	deq   atomic.Uint64
+}
+
+type ringSlot struct {
+	seq atomic.Uint64
+	val entry
+}
+
+// newRing returns a ring with capacity rounded up to a power of two, at
+// least 2.
+func newRing(capacity int) *ring {
+	n := uint64(2)
+	for n < uint64(capacity) {
+		n <<= 1
+	}
+	r := &ring{mask: n - 1, slots: make([]ringSlot, n)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// offer enqueues without blocking; false means the ring is full.
+func (r *ring) offer(v entry) bool {
+	pos := r.enq.Load()
+	for {
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch d := int64(seq - pos); {
+		case d == 0:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				s.val = v
+				s.seq.Store(pos + 1)
+				return true
+			}
+			pos = r.enq.Load()
+		case d < 0:
+			return false // the slot a full lap behind is still unconsumed
+		default:
+			pos = r.enq.Load()
+		}
+	}
+}
+
+// poll dequeues one entry; only the checker goroutine may call it.
+func (r *ring) poll() (entry, bool) {
+	pos := r.deq.Load()
+	s := &r.slots[pos&r.mask]
+	seq := s.seq.Load()
+	if int64(seq-(pos+1)) < 0 {
+		return entry{}, false // producer has not published this slot yet
+	}
+	v := s.val
+	s.val = entry{}
+	s.seq.Store(pos + r.mask + 1)
+	r.deq.Store(pos + 1)
+	return v, true
+}

@@ -1,0 +1,110 @@
+package anomalywatch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"feralcc/internal/histcheck"
+)
+
+func TestRingFIFO(t *testing.T) {
+	r := newRing(8)
+	for i := uint64(1); i <= 8; i++ {
+		if !r.offer(entry{ev: histcheck.Event{Seq: i}}) {
+			t.Fatalf("offer %d failed on non-full ring", i)
+		}
+	}
+	if r.offer(entry{ev: histcheck.Event{Seq: 9}}) {
+		t.Fatal("offer succeeded on full ring")
+	}
+	for i := uint64(1); i <= 8; i++ {
+		e, ok := r.poll()
+		if !ok || e.ev.Seq != i {
+			t.Fatalf("poll %d: got (%v, %v)", i, e.ev.Seq, ok)
+		}
+	}
+	if _, ok := r.poll(); ok {
+		t.Fatal("poll succeeded on empty ring")
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := newRing(4)
+	var next, want uint64
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 3; i++ {
+			next++
+			if !r.offer(entry{ev: histcheck.Event{Seq: next}}) {
+				t.Fatalf("offer %d failed", next)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			want++
+			e, ok := r.poll()
+			if !ok || e.ev.Seq != want {
+				t.Fatalf("round %d: poll got (%v, %v), want %d", round, e.ev.Seq, ok, want)
+			}
+		}
+	}
+}
+
+func TestRingRoundsToPowerOfTwo(t *testing.T) {
+	r := newRing(5)
+	n := 0
+	for r.offer(entry{ev: histcheck.Event{Seq: uint64(n)}}) {
+		n++
+	}
+	if n != 8 {
+		t.Errorf("capacity %d, want 8 (5 rounded up)", n)
+	}
+}
+
+// TestRingConcurrentProducers hammers offer from many goroutines against one
+// consumer; under -race this is the lock-freedom check. Every event is either
+// consumed or reported shed — none vanish.
+func TestRingConcurrentProducers(t *testing.T) {
+	r := newRing(64)
+	const producers, perProducer = 8, 2000
+	var (
+		wg            sync.WaitGroup
+		totalShed     atomic.Uint64
+		producersDone atomic.Bool
+	)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if !r.offer(entry{ev: histcheck.Event{Seq: uint64(p*perProducer + i + 1)}}) {
+					totalShed.Add(1)
+				}
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	var got uint64
+	go func() {
+		defer close(done)
+		for {
+			if _, ok := r.poll(); ok {
+				got++
+				continue
+			}
+			if producersDone.Load() {
+				if _, ok := r.poll(); !ok {
+					return
+				}
+				got++
+			}
+		}
+	}()
+	wg.Wait()
+	producersDone.Store(true)
+	<-done
+
+	if total := got + totalShed.Load(); total != producers*perProducer {
+		t.Errorf("accounted %d consumed + %d shed = %d events, want %d",
+			got, totalShed.Load(), total, producers*perProducer)
+	}
+}

@@ -1,0 +1,1088 @@
+// Package anomalywatch is the live half of the isolation story: a streaming,
+// sampled, windowed Adya checker an operator can leave on in production.
+//
+// The offline checker (internal/histcheck) proves anomalies after the fact on
+// complete recorded histories. This package consumes the same histcheck.Event
+// stream incrementally: the storage engine samples transactions (seeded
+// probabilistic rate plus always-sample-on-conflict escalation) and offers
+// their events into a bounded lock-free ring; a single checker goroutine
+// drains the ring, maintains a sliding-window direct serialization graph with
+// FIFO eviction of closed transactions, and classifies every cycle it finds
+// through the same G0/G1c/G-single/G2-item code path the offline checker uses
+// (histcheck.CycleFindings), plus the direct G1a/G1b phenomena. The commit
+// path never blocks on the checker: a full ring sheds the event and counts
+// the shed.
+//
+// What a windowed checker can and cannot prove: a cycle wholly contained in
+// the window (all participants still resident when its last edge forms) is
+// detected exactly as the offline checker would. A cycle that straddles the
+// eviction horizon is not detectable — eviction of a transaction that still
+// carries dependency state increments the window_truncated counter, so "zero
+// anomalies, zero truncations" is a real certificate for the sampled
+// subgraph, while "zero anomalies, some truncations" only bounds where an
+// anomaly could hide. With a sample rate below 1, dependencies between a
+// sampled and an unsampled transaction are invisible; conflict escalation
+// exists to pull the transactions most likely to participate in a cycle into
+// the sample.
+package anomalywatch
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"feralcc/internal/histcheck"
+)
+
+// Config configures a Watcher. The zero value of every field gets a sane
+// default from withDefaults; a zero SampleRate means no transaction is
+// sampled by rate (conflict escalation still arms).
+type Config struct {
+	// SampleRate is the seeded probability a transaction's events enter the
+	// window; >= 1 samples everything.
+	SampleRate float64
+	// Seed makes the sampling decision deterministic per transaction id.
+	Seed uint64
+	// WindowTxns bounds how many closed (committed or aborted) transactions
+	// the sliding window retains. Default 4096.
+	WindowTxns int
+	// RingSize bounds the producer ring (rounded up to a power of two).
+	// Default 16384 entries.
+	RingSize int
+	// EscalationBudget is how many subsequent transactions are sampled at
+	// 100% after a conflict abort. Default 64.
+	EscalationBudget int
+	// MaxWitnesses bounds the retained witness ring served on /anomalies.
+	// Default 32.
+	MaxWitnesses int
+	// MaxTxEvents caps the per-transaction event buffer kept for witness
+	// projection. Default 256.
+	MaxTxEvents int
+	// OnFinding, when non-nil, is called from the checker goroutine for every
+	// newly detected anomaly.
+	OnFinding func(Witness)
+}
+
+func (c Config) withDefaults() Config {
+	if c.WindowTxns <= 0 {
+		c.WindowTxns = 4096
+	}
+	if c.RingSize <= 0 {
+		c.RingSize = 16384
+	}
+	if c.EscalationBudget <= 0 {
+		c.EscalationBudget = 64
+	}
+	if c.MaxWitnesses <= 0 {
+		c.MaxWitnesses = 32
+	}
+	if c.MaxTxEvents <= 0 {
+		c.MaxTxEvents = 256
+	}
+	return c
+}
+
+// Witness is one detected anomaly with enough context to replay it: the
+// participants, their isolation levels and trace IDs, the human-readable
+// cycle, and the projection of the participants' events — a self-contained
+// sub-history feralcheck can re-verify.
+type Witness struct {
+	Anomaly   histcheck.Anomaly
+	Forbidden bool
+	Txs       []uint64
+	Levels    []string
+	// Traces are the distinct non-zero statement trace IDs observed across
+	// the participants' events, linking the witness back to spans and
+	// slow-query log lines.
+	Traces []uint64
+	// Cycle is the printable evidence, e.g. "T5 --rw[...]--> T9 --ww[...]--> T5".
+	Cycle string
+	// Truncated marks that a participant's event buffer overflowed
+	// MaxTxEvents, so Events is incomplete.
+	Truncated bool
+	// Events is the participants' event projection in checker order.
+	Events []histcheck.Event
+}
+
+// Stats is a point-in-time snapshot of the watcher's counters.
+type Stats struct {
+	Events      uint64 // events accepted into the ring
+	Shed        uint64 // events dropped at a full ring
+	Sampled     uint64 // transactions selected for live checking
+	Escalations uint64 // transactions sampled by conflict escalation
+	WindowTxns  int    // transactions currently resident in the window
+	Evictions   uint64
+	Truncated   uint64 // evictions that discarded live dependency state
+	// Retargets counts rw edges re-pointed after an out-of-order install
+	// revealed a closer successor. Engine feeds install in commit order, so
+	// this stays zero; nonzero means intermediate detection ran over edges the
+	// final graph does not contain, and exact-parity consumers should stand
+	// down.
+	Retargets uint64
+	Anomalies map[histcheck.Anomaly]uint64
+	Forbidden uint64
+	Almost    int // near-miss count at the last refresh
+}
+
+// txState is the window's view of one sampled transaction.
+type txState struct {
+	id        uint64
+	level     string
+	committed bool
+	aborted   bool
+	closed    bool
+
+	reads  []readRec
+	writes []writeRec
+	// deferred are reads by other, already-committed transactions that
+	// observed one of this transaction's versions while its outcome was still
+	// unknown; they resolve to wr edges or G1a findings when it closes.
+	deferred   []deferredRead
+	finalWrite map[string]uint64
+
+	events          []histcheck.Event
+	eventsTruncated bool
+	// pendingRows names rows where this transaction has a registered read
+	// awaiting a successor install (a future rw edge).
+	pendingRows map[string]struct{}
+	// deferredOut counts this transaction's reads currently deferred on
+	// still-open writers; like pendingRows, outstanding ones at eviction mean
+	// a dependency was lost.
+	deferredOut int
+}
+
+type readRec struct {
+	rk       string
+	observed uint64
+}
+
+type writeRec struct {
+	rk      string
+	version uint64
+	seq     uint64
+}
+
+type deferredRead struct {
+	reader   uint64
+	rk       string
+	observed uint64
+}
+
+// rowState is the window's view of one row: committed installs in version
+// order, the writer of every version seen (any outcome, for G1a), and every
+// committed read tracked for rw-edge maintenance.
+type rowState struct {
+	installs []installRec
+	writerOf map[uint64]uint64
+	tracked  []trackedRead
+}
+
+type installRec struct {
+	version uint64
+	tx      uint64
+	seq     uint64
+}
+
+// trackedRead is one committed read's rw-side state. The offline checker
+// computes the anti-dependency against the whole history's version order; the
+// live checker mirrors that by retargeting the rw edge whenever an install
+// arrives that is a closer successor to the observed version than the current
+// target. succVer == 0 means no successor has been installed yet.
+type trackedRead struct {
+	tx       uint64
+	observed uint64
+	succVer  uint64
+	succTx   uint64
+}
+
+type edgeKey struct {
+	from, to uint64
+	kind     string
+}
+
+// Watcher is the live checker: lock-free producers, one consumer goroutine.
+type Watcher struct {
+	cfg       Config
+	threshold uint64 // sampling threshold over the splitmix64 hash space
+
+	escalate atomic.Int64 // remaining conflict-escalation budget
+	ring     *ring
+	notify   chan struct{}
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	enqueued  atomic.Uint64
+	processed atomic.Uint64
+	syncReq   atomic.Uint64
+	syncAck   atomic.Uint64
+
+	stShed        atomic.Uint64
+	stSampled     atomic.Uint64
+	stEscalations atomic.Uint64
+	stRetargets   atomic.Uint64
+
+	// Consumer-private state: only the checker goroutine touches these.
+	seq         uint64
+	txs         map[uint64]*txState
+	rows        map[string]*rowState
+	adj         map[uint64][]histcheck.DSGEdge
+	radj        map[uint64]map[uint64]struct{}
+	edgeCount   map[edgeKey]int
+	closed      []uint64 // FIFO of closed transaction ids awaiting eviction
+	findKeys    map[string]struct{}
+	graphDirty  bool
+	sinceAlmost int
+	// bufEvents counts events currently buffered across all window
+	// transactions — the cost of one almost-cycle scan — so the refresh
+	// cadence can stay a fixed fraction of the scan it pays for.
+	bufEvents int
+
+	// mu guards the cross-goroutine snapshot the consumer publishes.
+	mu          sync.Mutex
+	witnesses   []Witness
+	anomalies   map[histcheck.Anomaly]uint64
+	forbidden   uint64
+	windowSize  int
+	evictions   uint64
+	truncations uint64
+	almost      int
+}
+
+// New starts a watcher and its checker goroutine.
+func New(cfg Config) *Watcher {
+	cfg = cfg.withDefaults()
+	w := &Watcher{
+		cfg:       cfg,
+		ring:      newRing(cfg.RingSize),
+		notify:    make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		txs:       make(map[uint64]*txState),
+		rows:      make(map[string]*rowState),
+		adj:       make(map[uint64][]histcheck.DSGEdge),
+		radj:      make(map[uint64]map[uint64]struct{}),
+		edgeCount: make(map[edgeKey]int),
+		findKeys:  make(map[string]struct{}),
+		anomalies: make(map[histcheck.Anomaly]uint64),
+	}
+	switch {
+	case cfg.SampleRate >= 1:
+		w.threshold = ^uint64(0)
+	case cfg.SampleRate > 0:
+		w.threshold = uint64(cfg.SampleRate * float64(^uint64(0)))
+	}
+	go w.loop()
+	return w
+}
+
+// splitmix64 is the standard SplitMix64 finalizer; the package carries its
+// own copy so the sampling decision has no dependency beyond the stdlib.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SampleTx decides whether the transaction with this id is live-checked:
+// first against the conflict-escalation budget, then against the seeded hash
+// of the id. The decision is per-transaction and all-or-nothing, so sampled
+// transactions contribute complete event sequences.
+func (w *Watcher) SampleTx(id uint64) bool {
+	if w == nil {
+		return false
+	}
+	for {
+		v := w.escalate.Load()
+		if v <= 0 {
+			break
+		}
+		if w.escalate.CompareAndSwap(v, v-1) {
+			mEscalations.Inc()
+			mSampled.Inc()
+			w.stEscalations.Add(1)
+			w.stSampled.Add(1)
+			return true
+		}
+	}
+	if w.threshold == 0 {
+		return false
+	}
+	if w.threshold == ^uint64(0) || splitmix64(w.cfg.Seed^id) <= w.threshold {
+		mSampled.Inc()
+		w.stSampled.Add(1)
+		return true
+	}
+	return false
+}
+
+// NoteConflict arms the escalation budget: the next EscalationBudget
+// transactions are sampled unconditionally. Conflict aborts mark exactly the
+// contention cycles most likely to produce anomalies, so the sampler chases
+// them even at low base rates.
+func (w *Watcher) NoteConflict() {
+	if w == nil {
+		return
+	}
+	budget := int64(w.cfg.EscalationBudget)
+	for {
+		v := w.escalate.Load()
+		if v >= budget {
+			return
+		}
+		if w.escalate.CompareAndSwap(v, budget) {
+			return
+		}
+	}
+}
+
+// Offer feeds one event of a sampled transaction to the checker. It never
+// blocks: a full ring drops the event and counts the shed. Returns whether
+// the event was accepted.
+func (w *Watcher) Offer(e histcheck.Event) bool {
+	if w == nil {
+		return false
+	}
+	if !w.ring.offer(entry{ev: e, at: time.Now().UnixNano()}) {
+		mShed.Inc()
+		w.stShed.Add(1)
+		return false
+	}
+	w.enqueued.Add(1)
+	mEvents.Inc()
+	select {
+	case w.notify <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// Drain blocks until every event accepted so far has been processed and the
+// derived gauges (almost-cycles, window size) refreshed. Test hook; callers
+// must have stopped producing.
+func (w *Watcher) Drain() {
+	target := w.enqueued.Load()
+	for w.processed.Load() < target {
+		time.Sleep(100 * time.Microsecond)
+	}
+	req := w.syncReq.Add(1)
+	for w.syncAck.Load() < req {
+		select {
+		case w.notify <- struct{}{}:
+		default:
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// Stop terminates the checker goroutine after draining the ring. Idempotent.
+func (w *Watcher) Stop() {
+	if w == nil {
+		return
+	}
+	w.stopOnce.Do(func() { close(w.stop) })
+	<-w.done
+}
+
+// The almost-cycle gauge is the one derived value whose recomputation walks
+// every event buffered in the window, so it runs on a self-amortizing
+// cadence rather than per drain: only once almostRefreshEvery events have
+// arrived (almostRefreshForce under sustained load, without waiting for the
+// ring to empty) AND the new events amount to at least 1/almostRefreshCost
+// of the scan they trigger. The scan's cost is thus always amortized over a
+// proportional number of events, keeping overhead a constant fraction no
+// matter how large the window grows; the price is a gauge that can lag by
+// up to a quarter of the window's buffered events. Sync points (Drain, Stop)
+// always recompute, so observers that quiesce first read exact values.
+const (
+	almostRefreshEvery = 256
+	almostRefreshForce = 4096
+	almostRefreshCost  = 4
+)
+
+func (w *Watcher) loop() {
+	defer close(w.done)
+	dirty := false
+	for {
+		e, ok := w.ring.poll()
+		if !ok {
+			if dirty {
+				// A drained ring republishes the cheap window gauge every
+				// time, but the almost-cycle scan walks every buffered event
+				// in the window — rerunning it per drain turns a lightly
+				// loaded checker quadratic. Amortize it on an event cadence;
+				// the sync path below still forces an exact refresh, so
+				// Drain() observers never see a stale gauge.
+				w.publishWindow()
+				if w.sinceAlmost >= almostRefreshEvery && w.sinceAlmost*almostRefreshCost >= w.bufEvents {
+					w.refreshDerived()
+				}
+				dirty = false
+			}
+			if sr := w.syncReq.Load(); sr != w.syncAck.Load() {
+				w.refreshDerived()
+				w.syncAck.Store(sr)
+			}
+			select {
+			case <-w.notify:
+				continue
+			case <-w.stop:
+				for {
+					e, ok := w.ring.poll()
+					if !ok {
+						break
+					}
+					w.handle(e)
+					w.processed.Add(1)
+				}
+				w.refreshDerived()
+				if sr := w.syncReq.Load(); sr != w.syncAck.Load() {
+					w.syncAck.Store(sr)
+				}
+				return
+			}
+		}
+		w.handle(e)
+		dirty = true
+		w.sinceAlmost++
+		if w.sinceAlmost >= almostRefreshForce && w.sinceAlmost*almostRefreshCost >= w.bufEvents {
+			w.refreshDerived()
+		}
+		w.processed.Add(1)
+	}
+}
+
+// ---- consumer-side graph maintenance ----
+
+func (w *Watcher) tx(id uint64) *txState {
+	t := w.txs[id]
+	if t == nil {
+		t = &txState{id: id, finalWrite: make(map[string]uint64)}
+		w.txs[id] = t
+	}
+	return t
+}
+
+func (w *Watcher) row(rk string) *rowState {
+	r := w.rows[rk]
+	if r == nil {
+		r = &rowState{writerOf: make(map[uint64]uint64)}
+		w.rows[rk] = r
+	}
+	return r
+}
+
+func rowKeyOf(e *histcheck.Event) string {
+	return e.Table + "\x00" + fmt.Sprint(e.Row)
+}
+
+func prettyRowKey(rk string) string {
+	for i := 0; i < len(rk); i++ {
+		if rk[i] == 0 {
+			return rk[:i] + " r" + rk[i+1:]
+		}
+	}
+	return rk
+}
+
+// addEdge inserts a deduplicated, reference-counted DSG edge. Multiple rows
+// can justify the same (from, to, kind) edge; the adjacency holds one entry
+// until every justification is evicted.
+func (w *Watcher) addEdge(from, to uint64, kind, label string) {
+	if from == to {
+		return
+	}
+	k := edgeKey{from: from, to: to, kind: kind}
+	w.edgeCount[k]++
+	if w.edgeCount[k] > 1 {
+		return
+	}
+	w.adj[from] = append(w.adj[from], histcheck.DSGEdge{From: from, To: to, Kind: kind, Label: label})
+	if w.radj[to] == nil {
+		w.radj[to] = make(map[uint64]struct{})
+	}
+	w.radj[to][from] = struct{}{}
+	w.graphDirty = true
+}
+
+// removeEdge drops one reference to a (from, to, kind) edge, deleting the
+// adjacency entry when the last justification is gone. Used when an
+// out-of-order install splits a previously adjacent ww pair.
+func (w *Watcher) removeEdge(from, to uint64, kind string) {
+	if from == to {
+		return
+	}
+	k := edgeKey{from: from, to: to, kind: kind}
+	n, ok := w.edgeCount[k]
+	if !ok {
+		return
+	}
+	if n > 1 {
+		w.edgeCount[k] = n - 1
+		return
+	}
+	delete(w.edgeCount, k)
+	edges := w.adj[from]
+	kept := edges[:0]
+	for _, e := range edges {
+		if e.To == to && e.Kind == kind {
+			continue
+		}
+		kept = append(kept, e)
+	}
+	if len(kept) == 0 {
+		delete(w.adj, from)
+	} else {
+		w.adj[from] = kept
+	}
+	// Drop the reverse reference only if no other edge kind still links the
+	// pair.
+	stillLinked := false
+	for _, e := range w.adj[from] {
+		if e.To == to {
+			stillLinked = true
+			break
+		}
+	}
+	if !stillLinked {
+		if back := w.radj[to]; back != nil {
+			delete(back, from)
+			if len(back) == 0 {
+				delete(w.radj, to)
+			}
+		}
+	}
+}
+
+func (w *Watcher) handle(en entry) {
+	if en.at != 0 {
+		if lag := time.Now().UnixNano() - en.at; lag > 0 {
+			mCheckerLag.Observe(time.Duration(lag))
+		}
+	}
+	e := en.ev
+	w.seq++
+	e.Seq = w.seq
+	t := w.tx(e.Tx)
+	if len(t.events) < w.cfg.MaxTxEvents {
+		t.events = append(t.events, e)
+		w.bufEvents++
+	} else {
+		t.eventsTruncated = true
+	}
+	switch e.Kind {
+	case histcheck.KindBegin:
+		t.level = e.Level
+	case histcheck.KindRead:
+		if !e.Own && e.Observed != 0 && len(t.reads) < w.cfg.MaxTxEvents {
+			t.reads = append(t.reads, readRec{rk: rowKeyOf(&e), observed: e.Observed})
+		}
+	case histcheck.KindWrite:
+		if e.Version == 0 {
+			return // never installed; invisible, exactly as offline
+		}
+		rk := rowKeyOf(&e)
+		r := w.row(rk)
+		if _, dup := r.writerOf[e.Version]; !dup {
+			r.writerOf[e.Version] = e.Tx
+		}
+		t.finalWrite[rk] = e.Version
+		t.writes = append(t.writes, writeRec{rk: rk, version: e.Version, seq: e.Seq})
+	case histcheck.KindCommit:
+		t.committed = true
+		w.processCommit(t)
+		if w.graphDirty {
+			w.graphDirty = false
+			w.detect()
+		}
+		w.closeTx(t)
+	case histcheck.KindAbort:
+		t.aborted = true
+		w.processAbort(t)
+		w.closeTx(t)
+	}
+}
+
+// processCommit installs the transaction's versions into the window's row
+// order (ww edges, pending-rw resolution), resolves reads deferred on it, and
+// resolves its own reads into wr/rw edges or G1a/G1b findings.
+func (w *Watcher) processCommit(t *txState) {
+	// Installs first: a read-modify-write's own install must be registered
+	// before its read looks for a successor, mirroring the offline checker's
+	// whole-history version order.
+	for _, wr := range t.writes {
+		w.installVersion(t, wr)
+	}
+	for _, d := range t.deferred {
+		reader := w.txs[d.reader]
+		if reader == nil {
+			continue // reader evicted; its eviction counted the truncation
+		}
+		reader.deferredOut--
+		w.resolveWR(reader, t, d.rk, d.observed)
+	}
+	t.deferred = nil
+	for _, rr := range t.reads {
+		w.resolveRead(t, rr)
+	}
+}
+
+// processAbort resolves reads deferred on an aborted writer into G1a
+// findings. The aborted transaction's own reads add no edges (offline only
+// considers committed readers) and its writes were never installed.
+func (w *Watcher) processAbort(t *txState) {
+	for _, d := range t.deferred {
+		reader := w.txs[d.reader]
+		if reader == nil {
+			continue
+		}
+		reader.deferredOut--
+		w.reportG1a(reader, t, d.rk, d.observed)
+	}
+	t.deferred = nil
+}
+
+// installVersion inserts one committed install into its row's version order,
+// adds the ww edge from its predecessor, and resolves pending reads whose
+// successor now exists.
+func (w *Watcher) installVersion(t *txState, wr writeRec) {
+	r := w.row(wr.rk)
+	rec := installRec{version: wr.version, tx: t.id, seq: wr.seq}
+	idx := sort.Search(len(r.installs), func(i int) bool {
+		if r.installs[i].version != rec.version {
+			return r.installs[i].version > rec.version
+		}
+		return r.installs[i].seq > rec.seq
+	})
+	// The engine emits installs in CSN order, so idx == len almost always; the
+	// general insert keeps synthetic out-of-order histories correct.
+	if idx < len(r.installs) && idx > 0 {
+		a, b := r.installs[idx-1], r.installs[idx]
+		w.removeEdge(a.tx, b.tx, "ww")
+	}
+	r.installs = append(r.installs, installRec{})
+	copy(r.installs[idx+1:], r.installs[idx:])
+	r.installs[idx] = rec
+	pretty := prettyRowKey(wr.rk)
+	if idx > 0 {
+		a := r.installs[idx-1]
+		w.addEdge(a.tx, t.id, "ww", fmt.Sprintf("%s: v%d->v%d", pretty, a.version, rec.version))
+	}
+	if idx+1 < len(r.installs) {
+		b := r.installs[idx+1]
+		w.addEdge(t.id, b.tx, "ww", fmt.Sprintf("%s: v%d->v%d", pretty, rec.version, b.version))
+	}
+	// Retarget tracked reads for which this install is now the closest
+	// successor: pending reads gain their first rw edge, and reads whose rw
+	// edge pointed past this version move to it — matching the offline
+	// checker's first-install-greater-than-observed rule under out-of-order
+	// install arrival.
+	for i := range r.tracked {
+		tr := &r.tracked[i]
+		if tr.observed >= rec.version {
+			continue
+		}
+		if tr.succVer != 0 && tr.succVer <= rec.version {
+			continue
+		}
+		if tr.succVer != 0 {
+			w.removeEdge(tr.tx, tr.succTx, "rw")
+			mRetargets.Inc()
+			w.stRetargets.Add(1)
+		}
+		wasPending := tr.succVer == 0
+		tr.succVer, tr.succTx = rec.version, t.id
+		w.addEdge(tr.tx, t.id, "rw",
+			fmt.Sprintf("%s: read v%d, overwritten by v%d", pretty, tr.observed, rec.version))
+		if wasPending {
+			w.clearPendingRow(r, tr.tx, wr.rk)
+		}
+	}
+}
+
+// clearPendingRow drops the reader's pending-row mark once it has no tracked
+// read on the row still awaiting a successor.
+func (w *Watcher) clearPendingRow(r *rowState, reader uint64, rk string) {
+	for _, tr := range r.tracked {
+		if tr.tx == reader && tr.succVer == 0 {
+			return
+		}
+	}
+	if rt := w.txs[reader]; rt != nil {
+		delete(rt.pendingRows, rk)
+	}
+}
+
+// resolveRead turns one committed read into its wr-side consequence (wr edge,
+// G1a, G1b, or a deferral on a still-open writer) and its rw-side consequence
+// (an rw edge to the observed version's successor, or a pending registration
+// awaiting one).
+func (w *Watcher) resolveRead(t *txState, rr readRec) {
+	// The row may have no state yet (the observed version predates the window
+	// or its writer was unsampled); the read is still tracked so a later
+	// install produces the rw edge, exactly as offline.
+	r := w.row(rr.rk)
+	// No self-exclusion here: the engine marks reads of a transaction's own
+	// buffered writes with Own (filtered at intake), but a synthetic history
+	// can carry an unmarked read of the reader's own intermediate version, and
+	// offline classifies that as G1b with reader == writer. resolveWR mirrors
+	// it; addEdge drops the self wr edge either way.
+	if writerID, known := r.writerOf[rr.observed]; known {
+		switch writer := w.txs[writerID]; {
+		case writer == nil:
+			// Writer evicted between its install and this read: only possible
+			// for synthetic histories (the engine orders install before read),
+			// and the eviction already counted its truncation.
+		case writer.aborted:
+			w.reportG1a(t, writer, rr.rk, rr.observed)
+		case writer.committed:
+			w.resolveWR(t, writer, rr.rk, rr.observed)
+		default:
+			writer.deferred = append(writer.deferred, deferredRead{reader: t.id, rk: rr.rk, observed: rr.observed})
+			t.deferredOut++
+		}
+	}
+	idx := sort.Search(len(r.installs), func(i int) bool { return r.installs[i].version > rr.observed })
+	if idx < len(r.installs) {
+		succ := r.installs[idx]
+		r.tracked = append(r.tracked, trackedRead{tx: t.id, observed: rr.observed, succVer: succ.version, succTx: succ.tx})
+		w.addEdge(t.id, succ.tx, "rw",
+			fmt.Sprintf("%s: read v%d, overwritten by v%d", prettyRowKey(rr.rk), rr.observed, succ.version))
+		return
+	}
+	r.tracked = append(r.tracked, trackedRead{tx: t.id, observed: rr.observed})
+	if t.pendingRows == nil {
+		t.pendingRows = make(map[string]struct{})
+	}
+	t.pendingRows[rr.rk] = struct{}{}
+}
+
+// resolveWR adds the wr edge from a committed writer to a committed reader,
+// surfacing G1b when the observed version was not the writer's final write.
+func (w *Watcher) resolveWR(reader, writer *txState, rk string, observed uint64) {
+	if final := writer.finalWrite[rk]; final != observed {
+		key := fmt.Sprintf("G1b|%d|%d|%s|%d", reader.id, writer.id, rk, observed)
+		if _, dup := w.findKeys[key]; !dup {
+			w.noteFindKey(key)
+			w.report(histcheck.Finding{
+				Anomaly: histcheck.G1b,
+				Txs:     []uint64{reader.id, writer.id},
+				Levels:  []string{reader.level, writer.level},
+				Witness: fmt.Sprintf("T%d read %s v%d, an intermediate write of T%d (final v%d)",
+					reader.id, prettyRowKey(rk), observed, writer.id, final),
+			})
+		}
+	}
+	w.addEdge(writer.id, reader.id, "wr",
+		fmt.Sprintf("%s: T%d installed v%d, read by T%d", prettyRowKey(rk), writer.id, observed, reader.id))
+}
+
+func (w *Watcher) reportG1a(reader, writer *txState, rk string, observed uint64) {
+	key := fmt.Sprintf("G1a|%d|%d|%s|%d", reader.id, writer.id, rk, observed)
+	if _, dup := w.findKeys[key]; dup {
+		return
+	}
+	w.noteFindKey(key)
+	w.report(histcheck.Finding{
+		Anomaly: histcheck.G1a,
+		Txs:     []uint64{reader.id, writer.id},
+		Levels:  []string{reader.level, writer.level},
+		Witness: fmt.Sprintf("T%d read %s v%d installed by aborted T%d",
+			reader.id, prettyRowKey(rk), observed, writer.id),
+	})
+}
+
+// noteFindKey records a finding dedup key. Transaction ids never recur, so a
+// full clear at the bound can re-report at most the currently-resident
+// cycles once.
+func (w *Watcher) noteFindKey(key string) {
+	if len(w.findKeys) > 16384 {
+		w.findKeys = make(map[string]struct{})
+	}
+	w.findKeys[key] = struct{}{}
+}
+
+// detect runs the shared cycle classifier over the window's current edge set
+// and reports findings not seen before.
+func (w *Watcher) detect() {
+	if len(w.adj) == 0 {
+		return
+	}
+	edges := make([]histcheck.DSGEdge, 0, len(w.edgeCount))
+	for _, out := range w.adj {
+		edges = append(edges, out...)
+	}
+	levels := make(map[uint64]string, len(w.txs))
+	for id, t := range w.txs {
+		levels[id] = t.level
+	}
+	for _, f := range histcheck.CycleFindings(edges, levels) {
+		ids := append([]uint64(nil), f.Txs...)
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		key := string(f.Anomaly)
+		for _, id := range ids {
+			key += fmt.Sprintf("|%d", id)
+		}
+		if _, dup := w.findKeys[key]; dup {
+			continue
+		}
+		w.noteFindKey(key)
+		w.report(f)
+	}
+}
+
+// report marks a finding forbidden per the participants' levels, updates the
+// counters, publishes the witness, and fires the callback.
+func (w *Watcher) report(f histcheck.Finding) {
+	if !f.Forbidden {
+		for _, lvl := range f.Levels {
+			if !histcheck.Allowed(lvl)[f.Anomaly] {
+				f.Forbidden = true
+				break
+			}
+		}
+	}
+	countFinding(f)
+	wit := w.buildWitness(f)
+	w.mu.Lock()
+	w.anomalies[f.Anomaly]++
+	if f.Forbidden {
+		w.forbidden++
+	}
+	w.witnesses = append(w.witnesses, wit)
+	if len(w.witnesses) > w.cfg.MaxWitnesses {
+		w.witnesses = append(w.witnesses[:0], w.witnesses[len(w.witnesses)-w.cfg.MaxWitnesses:]...)
+	}
+	w.mu.Unlock()
+	if w.cfg.OnFinding != nil {
+		w.cfg.OnFinding(wit)
+	}
+}
+
+// buildWitness projects the participants' buffered events into a
+// self-contained, replayable sub-history.
+func (w *Watcher) buildWitness(f histcheck.Finding) Witness {
+	wit := Witness{
+		Anomaly:   f.Anomaly,
+		Forbidden: f.Forbidden,
+		Txs:       append([]uint64(nil), f.Txs...),
+		Levels:    append([]string(nil), f.Levels...),
+		Cycle:     f.Witness,
+	}
+	seen := make(map[uint64]struct{}, len(f.Txs))
+	traces := make(map[uint64]struct{})
+	for _, id := range f.Txs {
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		t := w.txs[id]
+		if t == nil {
+			wit.Truncated = true
+			continue
+		}
+		if t.eventsTruncated {
+			wit.Truncated = true
+		}
+		wit.Events = append(wit.Events, t.events...)
+		for _, e := range t.events {
+			if e.Trace != 0 {
+				traces[e.Trace] = struct{}{}
+			}
+		}
+	}
+	sort.Slice(wit.Events, func(i, j int) bool { return wit.Events[i].Seq < wit.Events[j].Seq })
+	for tr := range traces {
+		wit.Traces = append(wit.Traces, tr)
+	}
+	sort.Slice(wit.Traces, func(i, j int) bool { return wit.Traces[i] < wit.Traces[j] })
+	return wit
+}
+
+// closeTx moves a finished transaction into the eviction FIFO and evicts
+// beyond the window bound.
+func (w *Watcher) closeTx(t *txState) {
+	if t.closed {
+		return
+	}
+	t.closed = true
+	w.closed = append(w.closed, t.id)
+	for len(w.closed) > w.cfg.WindowTxns {
+		id := w.closed[0]
+		w.closed = w.closed[1:]
+		w.evict(id)
+	}
+	w.publishWindow()
+}
+
+// evict removes one closed transaction and every piece of graph state it
+// anchors. If it still carried dependency state — graph edges, or reads
+// awaiting a successor — a cycle through it can no longer be detected, and
+// window_truncated counts the loss.
+func (w *Watcher) evict(id uint64) {
+	t := w.txs[id]
+	if t == nil {
+		return
+	}
+	truncated := len(w.adj[id]) > 0 || len(w.radj[id]) > 0 || len(t.pendingRows) > 0 || t.deferredOut > 0
+	mEvictions.Inc()
+	if truncated {
+		mTruncated.Inc()
+	}
+	w.mu.Lock()
+	w.evictions++
+	if truncated {
+		w.truncations++
+	}
+	w.mu.Unlock()
+
+	for _, e := range w.adj[id] {
+		delete(w.edgeCount, edgeKey{from: id, to: e.To, kind: e.Kind})
+		if in := w.radj[e.To]; in != nil {
+			delete(in, id)
+			if len(in) == 0 {
+				delete(w.radj, e.To)
+			}
+		}
+	}
+	delete(w.adj, id)
+	for from := range w.radj[id] {
+		out := w.adj[from]
+		kept := out[:0]
+		for _, e := range out {
+			if e.To == id {
+				delete(w.edgeCount, edgeKey{from: from, to: id, kind: e.Kind})
+				continue
+			}
+			kept = append(kept, e)
+		}
+		if len(kept) == 0 {
+			delete(w.adj, from)
+		} else {
+			w.adj[from] = kept
+		}
+	}
+	delete(w.radj, id)
+
+	cleanRow := func(rk string) {
+		r := w.rows[rk]
+		if r == nil {
+			return
+		}
+		installs := r.installs[:0]
+		for _, in := range r.installs {
+			if in.tx != id {
+				installs = append(installs, in)
+			}
+		}
+		r.installs = installs
+		for v, tx := range r.writerOf {
+			if tx == id {
+				delete(r.writerOf, v)
+			}
+		}
+		tracked := r.tracked[:0]
+		for _, tr := range r.tracked {
+			if tr.tx != id {
+				tracked = append(tracked, tr)
+			}
+		}
+		r.tracked = tracked
+		if len(r.installs) == 0 && len(r.writerOf) == 0 && len(r.tracked) == 0 {
+			delete(w.rows, rk)
+		}
+	}
+	for _, wr := range t.writes {
+		cleanRow(wr.rk)
+	}
+	for _, rr := range t.reads {
+		cleanRow(rr.rk)
+	}
+	for rk := range t.pendingRows {
+		cleanRow(rk)
+	}
+	w.bufEvents -= len(t.events)
+	delete(w.txs, id)
+}
+
+func (w *Watcher) publishWindow() {
+	n := len(w.txs)
+	mWindowTxns.Set(int64(n))
+	w.mu.Lock()
+	w.windowSize = n
+	w.mu.Unlock()
+}
+
+// refreshDerived recomputes the almost-cycle gauge from the window's buffered
+// events (the near-miss pressure signal feralhunt steers by, exported for
+// operators) and republishes the window gauge. Expensive — O(window events) —
+// so the loop runs it on the almostRefresh* cadence and at sync points, never
+// per event.
+func (w *Watcher) refreshDerived() {
+	w.sinceAlmost = 0
+	var events []histcheck.Event
+	for _, t := range w.txs {
+		events = append(events, t.events...)
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
+	n := len(histcheck.AlmostCycles(events))
+	mAlmostCycles.Set(int64(n))
+	w.mu.Lock()
+	w.almost = n
+	w.mu.Unlock()
+	w.publishWindow()
+}
+
+// ---- cross-goroutine read API ----
+
+// Stats returns a snapshot of the watcher's counters.
+func (w *Watcher) Stats() Stats {
+	if w == nil {
+		return Stats{}
+	}
+	s := Stats{
+		Events:      w.enqueued.Load(),
+		Shed:        w.stShed.Load(),
+		Sampled:     w.stSampled.Load(),
+		Escalations: w.stEscalations.Load(),
+		Retargets:   w.stRetargets.Load(),
+		Anomalies:   make(map[histcheck.Anomaly]uint64),
+	}
+	w.mu.Lock()
+	s.WindowTxns = w.windowSize
+	s.Evictions = w.evictions
+	s.Truncated = w.truncations
+	s.Forbidden = w.forbidden
+	s.Almost = w.almost
+	for a, n := range w.anomalies {
+		s.Anomalies[a] = n
+	}
+	w.mu.Unlock()
+	return s
+}
+
+// Witnesses returns a copy of the retained witness ring, oldest first.
+func (w *Watcher) Witnesses() []Witness {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Witness, len(w.witnesses))
+	copy(out, w.witnesses)
+	return out
+}
+
+// Classes returns the distinct anomaly classes detected so far, sorted.
+func (w *Watcher) Classes() []histcheck.Anomaly {
+	s := w.Stats()
+	out := make([]histcheck.Anomaly, 0, len(s.Anomalies))
+	for a := range s.Anomalies {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,6 +1,7 @@
 package appserver
 
 import (
+	"feralcc/internal/anomalywatch"
 	"feralcc/internal/db"
 	"feralcc/internal/orm"
 	"feralcc/internal/storage"
@@ -104,7 +105,9 @@ func MigrateOn(d *db.DB, registry *orm.Registry) error {
 
 // CountDuplicates runs the Appendix C.2 duplicate counter against a table:
 // SELECT key, COUNT(key)-1 FROM t GROUP BY key HAVING COUNT(key) > 1,
-// summing the surplus across keys.
+// summing the surplus across keys. The census result feeds the invariant
+// observatory as appserver-tier uniqueness violations — materialized
+// duplicates the feral validations failed to prevent.
 func CountDuplicates(conn db.Conn, table string) (int64, error) {
 	res, err := conn.Exec(
 		"SELECT key, COUNT(key)-1 FROM " + table + " GROUP BY key HAVING COUNT(key) > 1")
@@ -115,11 +118,14 @@ func CountDuplicates(conn db.Conn, table string) (int64, error) {
 	for _, row := range res.Rows {
 		total += row[1].I
 	}
+	anomalywatch.AddInvariantViolations(anomalywatch.TierAppserver, anomalywatch.InvUniqueness, uint64(total))
 	return total, nil
 }
 
 // CountOrphans runs the Appendix C.5 orphan counter: users whose department
-// no longer exists, via LEFT OUTER JOIN.
+// no longer exists, via LEFT OUTER JOIN. The census result feeds the
+// invariant observatory as appserver-tier association-count violations —
+// orphans the feral cascades left behind.
 func CountOrphans(conn db.Conn, usersTable, deptCol, deptsTable string) (int64, error) {
 	res, err := conn.Exec(
 		"SELECT COUNT(*) FROM " + usersTable + " AS U " +
@@ -128,5 +134,7 @@ func CountOrphans(conn db.Conn, usersTable, deptCol, deptsTable string) (int64, 
 	if err != nil {
 		return 0, err
 	}
-	return res.Rows[0][0].I, nil
+	n := res.Rows[0][0].I
+	anomalywatch.AddInvariantViolations(anomalywatch.TierAppserver, anomalywatch.InvAssociationCount, uint64(n))
+	return n, nil
 }

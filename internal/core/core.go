@@ -49,6 +49,12 @@ type Study struct {
 	// isolation level proscribes fails; anomalies the level admits — the ones
 	// the paper measures — pass. Enabled by feralbench -check-history.
 	CheckHistory bool
+	// LiveCheck attaches the streaming anomaly watcher
+	// (internal/anomalywatch) to every experiment cell at full sampling, so
+	// anomaly counts accumulate on /metrics while the workloads run. With
+	// CheckHistory also set, every cell additionally gates on live/offline
+	// parity. Enabled by feralbench -live-check.
+	LiveCheck bool
 
 	analysis *experiment.CorpusAnalysis
 }
@@ -94,6 +100,7 @@ func (s *Study) StressConfig() experiment.StressConfig {
 	cfg.DataDir = s.DataDir
 	cfg.Sync = s.Sync
 	cfg.CheckHistory = s.CheckHistory
+	cfg.LiveCheck = s.LiveCheck
 	return cfg
 }
 
@@ -111,6 +118,7 @@ func (s *Study) WorkloadConfig() experiment.WorkloadConfig {
 	cfg.DataDir = s.DataDir
 	cfg.Sync = s.Sync
 	cfg.CheckHistory = s.CheckHistory
+	cfg.LiveCheck = s.LiveCheck
 	return cfg
 }
 
@@ -124,6 +132,7 @@ func (s *Study) AssociationStressConfig() experiment.AssociationStressConfig {
 		cfg.InsertsPerDepartment = 32
 	}
 	cfg.CheckHistory = s.CheckHistory
+	cfg.LiveCheck = s.LiveCheck
 	return cfg
 }
 
@@ -139,6 +148,7 @@ func (s *Study) AssociationWorkloadConfig() experiment.AssociationWorkloadConfig
 		cfg.Workers = 32
 	}
 	cfg.CheckHistory = s.CheckHistory
+	cfg.LiveCheck = s.LiveCheck
 	return cfg
 }
 
@@ -190,6 +200,7 @@ func (s *Study) RunIsolationSweep() ([]experiment.IsolationSweepPoint, error) {
 		cfg.Workers, cfg.Rounds, cfg.Concurrency = 8, 10, 16
 	}
 	cfg.CheckHistory = s.CheckHistory
+	cfg.LiveCheck = s.LiveCheck
 	return experiment.RunIsolationSweep(cfg)
 }
 

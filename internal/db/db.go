@@ -12,6 +12,7 @@ import (
 	"context"
 	"sync"
 
+	"feralcc/internal/anomalywatch"
 	"feralcc/internal/histcheck"
 	"feralcc/internal/sqlexec"
 	"feralcc/internal/storage"
@@ -101,6 +102,10 @@ func (d *DB) History() []histcheck.Event { return d.store.History() }
 // ResetHistory discards recorded history, e.g. between schema setup and the
 // measured workload.
 func (d *DB) ResetHistory() { d.store.ResetHistory() }
+
+// Watcher returns the store's live anomaly watcher (nil unless the database
+// was opened with storage.Options.LiveCheck).
+func (d *DB) Watcher() *anomalywatch.Watcher { return d.store.Watcher() }
 
 // Connect opens a new connection. All connections of one DB share its plan
 // cache.

@@ -54,6 +54,8 @@ type AssociationStressConfig struct {
 	// CheckHistory mirrors StressConfig.CheckHistory: record each cell's
 	// operation history and gate it through the offline isolation checker.
 	CheckHistory bool
+	// LiveCheck mirrors StressConfig.LiveCheck.
+	LiveCheck bool
 }
 
 // DefaultAssociationStressConfig returns the paper's parameters.
@@ -100,11 +102,12 @@ func associationTables(variant AssociationVariant) (deptModel, userModel, usersT
 	return "ValidatedDepartment", "ValidatedUser", "validated_users", "validated_department_id", "validated_departments"
 }
 
-func newAssociationStack(isolation storage.IsolationLevel, variant AssociationVariant, workers int, think time.Duration, recordHistory bool) (*db.DB, *appserver.Pool, error) {
+func newAssociationStack(isolation storage.IsolationLevel, variant AssociationVariant, workers int, think time.Duration, recordHistory, liveCheck bool) (*db.DB, *appserver.Pool, error) {
 	d := db.Open(storage.Options{
 		DefaultIsolation: isolation,
 		LockTimeout:      2 * time.Second,
 		RecordHistory:    recordHistory,
+		LiveCheck:        liveCheckConfig(liveCheck),
 	})
 	registry, err := appserver.AssociationModels()
 	if err != nil {
@@ -131,10 +134,11 @@ func newAssociationStack(isolation storage.IsolationLevel, variant AssociationVa
 }
 
 func associationStressCell(cfg AssociationStressConfig, workers int, variant AssociationVariant) (int64, error) {
-	d, pool, err := newAssociationStack(cfg.Isolation, variant, workers, cfg.ThinkTime, cfg.CheckHistory)
+	d, pool, err := newAssociationStack(cfg.Isolation, variant, workers, cfg.ThinkTime, cfg.CheckHistory, cfg.LiveCheck)
 	if err != nil {
 		return 0, err
 	}
+	defer d.Close()
 	defer pool.Close()
 	deptModel, userModel, usersTable, fkCol, deptsTable := associationTables(variant)
 
@@ -189,6 +193,9 @@ func associationStressCell(cfg AssociationStressConfig, workers int, variant Ass
 		if err := verifyHistory(d, label); err != nil {
 			return 0, err
 		}
+		if err := verifyLiveParity(d, label); err != nil {
+			return 0, err
+		}
 	}
 	conn := d.Connect()
 	defer conn.Close()
@@ -209,6 +216,8 @@ type AssociationWorkloadConfig struct {
 	ThinkTime time.Duration
 	// CheckHistory mirrors StressConfig.CheckHistory.
 	CheckHistory bool
+	// LiveCheck mirrors StressConfig.LiveCheck.
+	LiveCheck bool
 }
 
 // DefaultAssociationWorkloadConfig returns the paper's parameters.
@@ -251,10 +260,11 @@ func RunAssociationWorkload(cfg AssociationWorkloadConfig) ([]AssociationWorkloa
 }
 
 func associationWorkloadCell(cfg AssociationWorkloadConfig, departments int, variant AssociationVariant) (int64, error) {
-	d, pool, err := newAssociationStack(cfg.Isolation, variant, cfg.Workers, cfg.ThinkTime, cfg.CheckHistory)
+	d, pool, err := newAssociationStack(cfg.Isolation, variant, cfg.Workers, cfg.ThinkTime, cfg.CheckHistory, cfg.LiveCheck)
 	if err != nil {
 		return 0, err
 	}
+	defer d.Close()
 	defer pool.Close()
 	deptModel, userModel, usersTable, fkCol, deptsTable := associationTables(variant)
 
@@ -307,6 +317,9 @@ func associationWorkloadCell(cfg AssociationWorkloadConfig, departments int, var
 	if cfg.CheckHistory {
 		label := fmt.Sprintf("assoc-workload-d%d-v%d-%s", departments, variant, cfg.Isolation)
 		if err := verifyHistory(d, label); err != nil {
+			return 0, err
+		}
+		if err := verifyLiveParity(d, label); err != nil {
 			return 0, err
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"feralcc/internal/anomalywatch"
 	"feralcc/internal/db"
 	"feralcc/internal/histcheck"
 )
@@ -34,6 +35,63 @@ func verifyHistory(d *db.DB, label string) error {
 		where = " (history saved to " + where + ")"
 	}
 	return fmt.Errorf("experiment: %s: isolation check failed%s:\n%s", label, where, rep)
+}
+
+// liveCheckConfig translates a cell's LiveCheck flag into watcher options:
+// every transaction sampled, so the live verdict is comparable with the
+// offline one on the same run.
+func liveCheckConfig(on bool) *anomalywatch.Config {
+	if !on {
+		return nil
+	}
+	return &anomalywatch.Config{SampleRate: 1}
+}
+
+// verifyLiveParity compares the live windowed checker's verdict against the
+// offline checker's on the same cell. On a clean run (no shed events, no
+// window truncation) the two must report exactly the same anomaly classes —
+// the live checker's central correctness claim. Once events were shed or a
+// transaction was evicted while it still carried dependency state, the
+// windowed verdict is explicitly best-effort (that is what the
+// window_truncated counter is for) and the gate stands down rather than
+// demand what a bounded window cannot prove.
+func verifyLiveParity(d *db.DB, label string) error {
+	w := d.Watcher()
+	if w == nil {
+		return nil
+	}
+	w.Drain()
+	events := d.History()
+	if len(events) == 0 {
+		return nil // nothing recorded offline to compare against
+	}
+	st := w.Stats()
+	if st.Shed != 0 || st.Truncated != 0 {
+		return nil
+	}
+	live := w.Classes()
+	rep := histcheck.Check(events)
+	offline := rep.Classes()
+	offSet := make(map[histcheck.Anomaly]bool, len(offline))
+	for _, c := range offline {
+		offSet[c] = true
+	}
+	liveSet := make(map[histcheck.Anomaly]bool, len(live))
+	for _, c := range live {
+		liveSet[c] = true
+		// An rw retarget means detection ran over a transient edge the final
+		// graph lacks, so a live-only class is explainable; the live checker
+		// must still find everything offline does (the graph converges).
+		if !offSet[c] && st.Retargets == 0 {
+			return fmt.Errorf("experiment: %s: live checker reported %s, absent from the offline report", label, c)
+		}
+	}
+	for _, c := range offline {
+		if !liveSet[c] {
+			return fmt.Errorf("experiment: %s: offline checker found %s the live checker missed on a clean window (no shed, no truncation)", label, c)
+		}
+	}
+	return nil
 }
 
 // saveWitness writes the failing history as JSONL under $HISTCHECK_WITNESS_DIR

@@ -32,6 +32,8 @@ type IsolationSweepConfig struct {
 	// isolation checker — the strongest use of the gate, since the sweep
 	// visits every level the engine implements.
 	CheckHistory bool
+	// LiveCheck mirrors StressConfig.LiveCheck.
+	LiveCheck bool
 }
 
 // DefaultIsolationSweepConfig returns a moderate-contention configuration.
@@ -60,6 +62,7 @@ func RunIsolationSweep(cfg IsolationSweepConfig) ([]IsolationSweepPoint, error) 
 			Isolation:    level,
 			ThinkTime:    cfg.ThinkTime,
 			CheckHistory: cfg.CheckHistory,
+			LiveCheck:    cfg.LiveCheck,
 		}
 		dups, stats, err := uniquenessStressCellWithStats(sc, cfg.Workers, FeralValidation)
 		if err != nil {
@@ -75,6 +78,7 @@ func RunIsolationSweep(cfg IsolationSweepConfig) ([]IsolationSweepPoint, error) 
 			Isolation:            level,
 			ThinkTime:            cfg.ThinkTime,
 			CheckHistory:         cfg.CheckHistory,
+			LiveCheck:            cfg.LiveCheck,
 		}
 		orphans, err := associationStressCell(ac, cfg.Workers, FeralAssociation)
 		if err != nil {
@@ -93,6 +97,7 @@ func uniquenessStressCellWithStats(cfg StressConfig, workers int, variant Unique
 	if err != nil {
 		return 0, storage.Stats{}, err
 	}
+	defer d.Close()
 	defer pool.Close()
 	if err := runStressRounds(pool, model, cfg.Rounds, cfg.Concurrency); err != nil {
 		return 0, storage.Stats{}, err
@@ -100,6 +105,9 @@ func uniquenessStressCellWithStats(cfg StressConfig, workers int, variant Unique
 	if cfg.CheckHistory {
 		label := fmt.Sprintf("sweep-p%d-v%d-%s", workers, variant, cfg.Isolation)
 		if err := verifyHistory(d, label); err != nil {
+			return 0, storage.Stats{}, err
+		}
+		if err := verifyLiveParity(d, label); err != nil {
 			return 0, storage.Stats{}, err
 		}
 	}

@@ -90,6 +90,12 @@ type StressConfig struct {
 	// (feralbench -check-history). A history containing an anomaly the
 	// cell's isolation level proscribes fails the cell.
 	CheckHistory bool
+	// LiveCheck attaches the streaming anomaly watcher
+	// (internal/anomalywatch) to every cell at full sampling (feralbench
+	// -live-check). With CheckHistory also set, each cell additionally gates
+	// on live/offline parity: on a clean window the two checkers must report
+	// the same anomaly classes.
+	LiveCheck bool
 }
 
 // DefaultStressConfig returns the paper's parameters.
@@ -147,6 +153,10 @@ func uniquenessStressCell(cfg StressConfig, workers int, variant UniquenessVaria
 			d.Close()
 			return 0, err
 		}
+		if err := verifyLiveParity(d, label); err != nil {
+			d.Close()
+			return 0, err
+		}
 	}
 	if cfg.DataDir != "" {
 		// Restart the database: every duplicate still counted after recovery
@@ -190,6 +200,7 @@ func buildUniquenessStack(cfg StressConfig, workers int, variant UniquenessVaria
 		PhantomBug:       cfg.PhantomBug,
 		LockTimeout:      2 * time.Second,
 		RecordHistory:    cfg.CheckHistory,
+		LiveCheck:        liveCheckConfig(cfg.LiveCheck),
 	}
 	if !cfg.Faults.Empty() {
 		inj = cfg.Faults.Injector(cfg.FaultSeed)
@@ -303,6 +314,8 @@ type WorkloadConfig struct {
 	Sync string
 	// CheckHistory mirrors StressConfig.CheckHistory.
 	CheckHistory bool
+	// LiveCheck mirrors StressConfig.LiveCheck.
+	LiveCheck bool
 }
 
 // DefaultWorkloadConfig returns the paper's parameters.
@@ -353,6 +366,7 @@ func uniquenessWorkloadCell(cfg WorkloadConfig, dist string, keys int64, variant
 		DefaultIsolation: cfg.Isolation,
 		LockTimeout:      2 * time.Second,
 		RecordHistory:    cfg.CheckHistory,
+		LiveCheck:        liveCheckConfig(cfg.LiveCheck),
 	}
 	if cfg.DataDir != "" {
 		opts.DataDir = fmt.Sprintf("%s/workload-%s-k%d-v%d", cfg.DataDir, dist, keys, variant)
@@ -421,6 +435,9 @@ func uniquenessWorkloadCell(cfg WorkloadConfig, dist string, keys int64, variant
 	if cfg.CheckHistory {
 		label := fmt.Sprintf("workload-%s-k%d-v%d-%s", dist, keys, variant, cfg.Isolation)
 		if err := verifyHistory(d, label); err != nil {
+			return 0, err
+		}
+		if err := verifyLiveParity(d, label); err != nil {
 			return 0, err
 		}
 	}

@@ -458,9 +458,12 @@ func findCycles(adj map[uint64][]edge, txs map[uint64]*txInfo) []Finding {
 			}
 		}
 		// G-single vs G2-item: for every rw edge inside the component, a
-		// ww/wr return path means a cycle with exactly one anti-dependency
-		// (G-single); otherwise any return path — one exists, the endpoints
-		// share the component — closes a cycle with at least two (G2-item).
+		// ww/wr return path closes a cycle with exactly one anti-dependency
+		// (G-single), and a return path crossing another rw edge closes one
+		// with at least two (G2-item). Both are checked independently — the
+		// same rw edge can participate in cycles of both classes, and the live
+		// checker detects on growing edge sets, so class presence must be
+		// monotone under edge addition for the two verdicts to agree.
 		for _, n := range comp {
 			if counts[GSingle] >= maxWitnessesPerClass && counts[G2Item] >= maxWitnessesPerClass {
 				break
@@ -471,7 +474,8 @@ func findCycles(adj map[uint64][]edge, txs map[uint64]*txInfo) []Finding {
 				}
 				if path := shortestPath(adj, e.to, e.from, in, func(x edge) bool { return x.kind != edgeRW }); path != nil {
 					record(GSingle, append([]edge{e}, path...))
-				} else if path := shortestPath(adj, e.to, e.from, in, func(edge) bool { return true }); path != nil {
+				}
+				if path := rwReturnPath(adj, e.to, e.from, in); path != nil {
 					record(G2Item, append([]edge{e}, path...))
 				}
 				if counts[GSingle] >= maxWitnessesPerClass && counts[G2Item] >= maxWitnessesPerClass {
@@ -511,6 +515,56 @@ func shortestPath(adj map[uint64][]edge, src, dst uint64, in map[uint64]bool, ok
 				return path
 			}
 			queue = append(queue, e.to)
+		}
+	}
+	return nil
+}
+
+// rwReturnPath returns the edges of a shortest path from src to dst that
+// crosses at least one rw edge, restricted to nodes with in[node] and never
+// extending through dst. Prepending the rw edge dst->src closes a cycle
+// carrying two or more anti-dependencies (G2-item) even when an rw-free
+// return path also exists (that one the G-single branch reports separately).
+// The search runs over (node, crossed-an-rw) states, so a node may be visited
+// once per flag value.
+func rwReturnPath(adj map[uint64][]edge, src, dst uint64, in map[uint64]bool) []edge {
+	if src == dst {
+		return nil
+	}
+	type state struct {
+		node uint64
+		rw   bool
+	}
+	start := state{node: src}
+	parentS := map[state]state{}
+	parentE := map[state]edge{}
+	visited := map[state]bool{start: true}
+	queue := []state{start}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		if s.node == dst {
+			continue // the destination terminates a path, never extends one
+		}
+		for _, e := range adj[s.node] {
+			if !in[e.to] {
+				continue
+			}
+			ns := state{node: e.to, rw: s.rw || e.kind == edgeRW}
+			if visited[ns] {
+				continue
+			}
+			visited[ns] = true
+			parentS[ns] = s
+			parentE[ns] = e
+			if e.to == dst && ns.rw {
+				var path []edge
+				for at := ns; at != start; at = parentS[at] {
+					path = append([]edge{parentE[at]}, path...)
+				}
+				return path
+			}
+			queue = append(queue, ns)
 		}
 	}
 	return nil

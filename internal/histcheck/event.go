@@ -59,6 +59,12 @@ type Event struct {
 	Version  uint64    `json:"version,omitempty"`
 	Pred     string    `json:"pred,omitempty"`
 	Reason   string    `json:"reason,omitempty"`
+	// Trace carries the obs statement trace ID active when the event was
+	// emitted, linking an anomaly witness back to its spans and slow-query log
+	// lines. Only the live anomaly watcher populates it: recorded histories
+	// (Options.RecordHistory) leave it zero so fixed-schedule histories stay
+	// byte-identical, which the scheduler determinism suite pins.
+	Trace uint64 `json:"trace,omitempty"`
 }
 
 // Recorder is an append-only, concurrency-safe event log.

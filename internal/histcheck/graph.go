@@ -1,0 +1,67 @@
+package histcheck
+
+// Incremental-checker entry points. The offline Check builds the whole direct
+// serialization graph from a complete history; the live anomaly watcher
+// (internal/anomalywatch) instead maintains a sliding-window graph itself and
+// only needs the cycle classification — the SCC walk and the G0/G1c/
+// G-single/G2-item witness extraction — applied to whatever edge set its
+// window currently holds. CycleFindings exposes exactly that, on the same
+// code path the offline checker uses, so live and offline verdicts cannot
+// drift apart.
+
+// DSGEdge is one direct-serialization-graph edge in exported form: a ww
+// (write-write), wr (write-read), or rw (anti-dependency) edge from one
+// transaction to another, with a human-readable label for witnesses.
+type DSGEdge struct {
+	From, To uint64
+	Kind     string // "ww", "wr", or "rw"
+	Label    string
+}
+
+// CycleFindings runs the cyclic-phenomena detector (G0, G1c, G-single,
+// G2-item) over an explicit edge set. levels maps transaction id to the
+// isolation level name it ran under (storage.IsolationLevel.String() form);
+// missing entries are treated as unknown, which Allowed treats as strict.
+// Findings come back with Forbidden set exactly as Check would set it.
+func CycleFindings(edges []DSGEdge, levels map[uint64]string) []Finding {
+	adj := make(map[uint64][]edge, len(levels))
+	txs := make(map[uint64]*txInfo, len(levels))
+	get := func(id uint64) *txInfo {
+		t := txs[id]
+		if t == nil {
+			t = &txInfo{id: id, level: levels[id]}
+			txs[id] = t
+		}
+		return t
+	}
+	for _, e := range edges {
+		if e.From == e.To {
+			continue
+		}
+		var k edgeKind
+		switch e.Kind {
+		case "ww":
+			k = edgeWW
+		case "wr":
+			k = edgeWR
+		case "rw":
+			k = edgeRW
+		default:
+			continue
+		}
+		get(e.From)
+		get(e.To)
+		adj[e.From] = append(adj[e.From], edge{from: e.From, to: e.To, kind: k, label: e.Label})
+	}
+	out := findCycles(adj, txs)
+	for i := range out {
+		f := &out[i]
+		for _, lvl := range f.Levels {
+			if !Allowed(lvl)[f.Anomaly] {
+				f.Forbidden = true
+				break
+			}
+		}
+	}
+	return out
+}

@@ -165,6 +165,21 @@ func (r *Registry) CounterValue(name string) uint64 {
 	return 0
 }
 
+// GaugeValue returns the value of the gauge registered under the full series
+// name, or 0 if absent. Scrape-path convenience for snapshots.
+func (r *Registry) GaugeValue(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f := r.families[familyOf(name)]; f != nil {
+		for _, s := range f.series {
+			if s.name == name && s.g != nil {
+				return s.g.Value()
+			}
+		}
+	}
+	return 0
+}
+
 // HistogramSnapshot returns a snapshot of the named histogram; ok is false
 // if no histogram is registered under name.
 func (r *Registry) HistogramSnapshot(name string) (HistSnapshot, bool) {

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"feralcc/internal/anomalywatch"
 	"feralcc/internal/db"
 	"feralcc/internal/storage"
 )
@@ -288,6 +289,12 @@ func (s *Session) destroyTree(rec *Record) error {
 			}
 		}
 	}
+	if cascaded {
+		// A feral cascade is the appserver tier's association-count
+		// maintenance; the probe itself can't see its own race, so it counts
+		// as a check with no violation (census sweeps count the orphans).
+		anomalywatch.ObserveInvariant(anomalywatch.TierAppserver, anomalywatch.InvAssociationCount, false)
+	}
 	if cascaded && s.ThinkTime > 0 {
 		// The window between the feral cascade's child SELECT and the
 		// parent's deletion, in which concurrent child inserts are missed.
@@ -475,6 +482,7 @@ func (s *Session) runValidations(rec *Record, onDelete bool) error {
 		if err != nil {
 			return err
 		}
+		observeFeralCheck(v, msg != "")
 		if msg != "" {
 			rec.errs = append(rec.errs, msg)
 		}
@@ -483,6 +491,24 @@ func (s *Session) runValidations(rec *Record, onDelete bool) error {
 		return &ValidationError{Model: rec.model.Name, Messages: rec.Errors()}
 	}
 	return nil
+}
+
+// observeFeralCheck feeds the invariant observatory's appserver tier: feral
+// uniqueness probes and association-presence probes are the application-level
+// enforcement of the same invariants the storage tier checks race-free at
+// commit time, and the per-tier violation-rate divergence on /metrics is the
+// paper's headline phenomenon made observable.
+func observeFeralCheck(v Validation, violated bool) {
+	switch vv := v.(type) {
+	case *Uniqueness:
+		anomalywatch.ObserveInvariant(anomalywatch.TierAppserver, anomalywatch.InvUniqueness, violated)
+	case *Presence:
+		if vv.Association != "" {
+			anomalywatch.ObserveInvariant(anomalywatch.TierAppserver, anomalywatch.InvForeignKey, violated)
+		}
+	case *Associated:
+		anomalywatch.ObserveInvariant(anomalywatch.TierAppserver, anomalywatch.InvForeignKey, violated)
+	}
 }
 
 // columnList renders the SELECT list for a model: id, attrs, lock_version?,

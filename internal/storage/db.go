@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"feralcc/internal/anomalywatch"
 	"feralcc/internal/histcheck"
 )
 
@@ -53,6 +54,10 @@ type Database struct {
 	// isolation checker; nil unless Options.RecordHistory is set.
 	hist *histcheck.Recorder
 
+	// watch is the live anomaly watcher sampled transactions stream events
+	// into; nil unless Options.LiveCheck is set.
+	watch *anomalywatch.Watcher
+
 	statCommits  uint64 // atomic
 	statAborts   uint64 // atomic
 	statConflict uint64 // atomic: serialization failures
@@ -96,8 +101,15 @@ func newDatabase(o Options) *Database {
 	if o.RecordHistory {
 		db.hist = histcheck.NewRecorder()
 	}
+	if o.LiveCheck != nil {
+		db.watch = anomalywatch.New(*o.LiveCheck)
+	}
 	return db
 }
+
+// Watcher returns the live anomaly watcher, or nil when the database was
+// opened without Options.LiveCheck.
+func (db *Database) Watcher() *anomalywatch.Watcher { return db.watch }
 
 // History returns a copy of the recorded operation history, or nil when the
 // database was opened without Options.RecordHistory.
@@ -141,11 +153,15 @@ func (db *Database) yieldFunc() func(string) {
 	return y.Yield
 }
 
-// Close stops the group-commit log writer, then flushes and closes the
-// write-ahead log. In-memory databases (no DataDir) have nothing to release
-// and Close is a no-op. The caller must have quiesced transactions; commits
-// racing Close may fail with a write error.
+// Close stops the live anomaly watcher (draining its ring) and the
+// group-commit log writer, then flushes and closes the write-ahead log.
+// In-memory databases (no DataDir) have no log to release. The caller must
+// have quiesced transactions; commits racing Close may fail with a write
+// error. Idempotent.
 func (db *Database) Close() error {
+	if db.watch != nil {
+		db.watch.Stop()
+	}
 	if db.wal == nil {
 		return nil
 	}
@@ -456,13 +472,20 @@ func (db *Database) Begin(level IsolationLevel) *Tx {
 	db.active[id] = start
 	db.activeMu.Unlock()
 	db.histAppend(histcheck.Event{Tx: id, Kind: histcheck.KindBegin, Level: level.String()})
-	return &Tx{
+	tx := &Tx{
 		db:      db,
 		id:      id,
 		level:   level,
 		startTS: start,
 		writes:  make(map[string]map[RowID]*txWrite),
 	}
+	// The live-checking sampling decision is per-transaction and made here,
+	// so a sampled transaction contributes its complete event sequence.
+	if db.watch != nil && db.watch.SampleTx(id) {
+		tx.sampled = true
+		tx.liveEmit(histcheck.Event{Tx: id, Kind: histcheck.KindBegin, Level: level.String()})
+	}
+	return tx
 }
 
 // BeginDefault starts a transaction at the database default isolation level.

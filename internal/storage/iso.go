@@ -3,6 +3,8 @@ package storage
 import (
 	"fmt"
 	"time"
+
+	"feralcc/internal/anomalywatch"
 )
 
 // IsolationLevel selects the concurrency control regime for a transaction.
@@ -177,6 +179,16 @@ type Options struct {
 	// via Database.History. The histcheck package checks such histories
 	// offline against Adya's isolation model; see internal/histcheck.
 	RecordHistory bool
+	// LiveCheck, when non-nil, attaches a live anomaly watcher
+	// (internal/anomalywatch): transactions are sampled per the config's
+	// seeded rate (escalating to 100% after conflict aborts), and sampled
+	// transactions emit their history events into the watcher's lock-free
+	// ring for incremental windowed isolation checking. Unlike RecordHistory,
+	// nothing is buffered unboundedly and the commit path never blocks: a
+	// full ring sheds events and counts the shed. The two options compose —
+	// RecordHistory keeps the complete offline history, LiveCheck streams the
+	// sampled one.
+	LiveCheck *anomalywatch.Config
 	// Yielder, when non-nil, puts the engine under a deterministic scheduler
 	// (internal/sched) for directed concurrency testing: the engine calls
 	// Yield at the Yield* progress points below and replaces its blocking

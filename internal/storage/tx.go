@@ -1,12 +1,14 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
 
+	"feralcc/internal/anomalywatch"
 	"feralcc/internal/histcheck"
 	"feralcc/internal/obs"
 )
@@ -57,6 +59,11 @@ type Tx struct {
 	probes map[string]struct{}
 
 	tookLocks bool
+
+	// sampled marks the transaction as selected for live anomaly checking:
+	// every history event it generates is also offered (never blocking) to
+	// the database's anomalywatch ring. Decided once at Begin.
+	sampled bool
 
 	// stmtDeadline bounds the currently executing statement (zero = none).
 	// Set from the caller's context deadline; lock waits respect it and
@@ -147,25 +154,46 @@ func (tx *Tx) SetStmtDeadline(t time.Time) { tx.stmtDeadline = t }
 // waits and the commit path accumulate spans into.
 func (tx *Tx) SetTrace(tr *obs.StmtTrace) { tx.trace = tr }
 
+// liveEmit offers one history event to the live anomaly watcher when this
+// transaction was sampled. The trace ID is stamped here — only on the live
+// path, never into the Recorder, so recorded histories stay byte-stable for
+// fixed schedules. Offer never blocks; a full ring sheds the event.
+func (tx *Tx) liveEmit(e histcheck.Event) {
+	if !tx.sampled {
+		return
+	}
+	if tx.trace != nil {
+		e.Trace = tx.trace.ID
+	}
+	tx.db.watch.Offer(e)
+}
+
 // histRead records an item read in the operation history. observed is the
 // begin timestamp of the version the read returned (0 = absent/invisible);
 // own marks reads served from the transaction's own write buffer.
 func (tx *Tx) histRead(lower string, id RowID, observed uint64, own bool) {
-	tx.db.histAppend(histcheck.Event{
+	e := histcheck.Event{
 		Tx: tx.id, Kind: histcheck.KindRead,
 		Table: lower, Row: uint64(id), Observed: observed, Own: own,
-	})
+	}
+	tx.db.histAppend(e)
+	tx.liveEmit(e)
 }
 
 // histAbort records the end of an unsuccessfully finished transaction.
 func (tx *Tx) histAbort(reason string) {
-	tx.db.histAppend(histcheck.Event{Tx: tx.id, Kind: histcheck.KindAbort, Reason: reason})
+	e := histcheck.Event{Tx: tx.id, Kind: histcheck.KindAbort, Reason: reason}
+	tx.db.histAppend(e)
+	tx.liveEmit(e)
 }
 
-// recordInstalls emits one write event per installed row. Called immediately
-// after install, inside the commit's install turn (or under the exclusive
-// gate on the serial path), so a history snapshot can never observe an
-// installed version before the event that explains it.
+// recordInstalls emits one write event per installed row, into the offline
+// recorder and/or the live watcher. Called immediately after install, inside
+// the commit's install turn (or under the exclusive gate on the serial path),
+// so a history snapshot can never observe an installed version before the
+// event that explains it — and, on the live path, so per-row install events
+// reach the watcher in commit-sequence order, which is what lets it maintain
+// the version order incrementally.
 func (tx *Tx) recordInstalls(commitTS uint64) {
 	type rec struct {
 		lower string
@@ -190,11 +218,27 @@ func (tx *Tx) recordInstalls(commitTS uint64) {
 		case opDelete:
 			op = "delete"
 		}
-		tx.db.hist.Append(histcheck.Event{
+		e := histcheck.Event{
 			Tx: tx.id, Kind: histcheck.KindWrite,
 			Table: r.lower, Row: uint64(r.id), Op: op, Version: commitTS,
-		})
+		}
+		tx.db.histAppend(e)
+		tx.liveEmit(e)
 	}
+}
+
+// recordCommitEvents emits the install and commit events for a successful
+// writing commit to whichever sinks are attached. Caller must invoke it at
+// the same point the old inline recording happened: after install, before
+// the clock publish, still inside the commit's install turn.
+func (tx *Tx) recordCommitEvents(commitTS uint64) {
+	if tx.db.hist == nil && !tx.sampled {
+		return
+	}
+	tx.recordInstalls(commitTS)
+	e := histcheck.Event{Tx: tx.id, Kind: histcheck.KindCommit}
+	tx.db.histAppend(e)
+	tx.liveEmit(e)
 }
 
 // lock acquires a lock for this transaction, remembering that cleanup is
@@ -502,10 +546,14 @@ func (tx *Tx) Scan(tableName string, opts ScanOptions, fn func(RowID, []Value) b
 		predKey = "p\x00" + lower + "\x00" + strings.ToLower(s.Columns[filterPos].Name) + "\x00" + filterKey
 	}
 	tx.notePredRead(predKey)
-	tx.db.histAppend(histcheck.Event{
-		Tx: tx.id, Kind: histcheck.KindPredRead, Table: lower,
-		Pred: strings.ReplaceAll(predKey, "\x00", "/"),
-	})
+	if tx.db.hist != nil || tx.sampled {
+		e := histcheck.Event{
+			Tx: tx.id, Kind: histcheck.KindPredRead, Table: lower,
+			Pred: strings.ReplaceAll(predKey, "\x00", "/"),
+		}
+		tx.db.histAppend(e)
+		tx.liveEmit(e)
+	}
 	if tx.level.locking() {
 		if tx.db.opts.PredicateLocks == TableGranularity || filterPos < 0 {
 			if err := tx.lock(tableLockKey(lower), LockS); err != nil {
@@ -708,7 +756,9 @@ func (tx *Tx) Commit() error {
 		atomic.AddUint64(&db.statCommits, 1)
 		mCommits.Inc()
 		tx.trace.Add(obs.SpanCommit, time.Since(start))
-		db.histAppend(histcheck.Event{Tx: tx.id, Kind: histcheck.KindCommit})
+		e := histcheck.Event{Tx: tx.id, Kind: histcheck.KindCommit}
+		db.histAppend(e)
+		tx.liveEmit(e)
 		db.finish(tx)
 		return nil
 	}
@@ -724,9 +774,24 @@ func (tx *Tx) abortCommit(err error) error {
 	tx.done = true
 	atomic.AddUint64(&db.statAborts, 1)
 	recordAbort(err)
+	// Conflict-class aborts arm the live checker's escalation: the next
+	// transactions sample at 100%, because contention is exactly where
+	// anomalies live.
+	if db.watch != nil && isConflictAbort(err) {
+		db.watch.NoteConflict()
+	}
 	tx.histAbort(err.Error())
 	db.finish(tx)
 	return err
+}
+
+// isConflictAbort reports whether a commit failure indicates data contention
+// worth escalating the live-check sample rate for.
+func isConflictAbort(err error) bool {
+	return errors.Is(err, ErrSerialization) ||
+		errors.Is(err, ErrUniqueViolation) ||
+		errors.Is(err, ErrForeignKeyViolation) ||
+		errors.Is(err, ErrLockTimeout)
 }
 
 // commitSerial is the pre-pipeline commit path: the whole
@@ -765,10 +830,7 @@ func (tx *Tx) commitSerial(start time.Time) error {
 	// retry on their own turns instead of blocking the runtime.
 	db.yield(YieldInstall)
 	tx.install(commitTS)
-	if db.hist != nil {
-		tx.recordInstalls(commitTS)
-		db.hist.Append(histcheck.Event{Tx: tx.id, Kind: histcheck.KindCommit})
-	}
+	tx.recordCommitEvents(commitTS)
 	atomic.StoreUint64(&db.clock, commitTS)
 	p.gate.Unlock()
 
@@ -869,10 +931,7 @@ func (tx *Tx) commitPipelined(start time.Time) error {
 	p.awaitTurn(csn)
 	latches := p.latch(tx.writeTableNames())
 	tx.install(csn)
-	if db.hist != nil {
-		tx.recordInstalls(csn)
-		db.hist.Append(histcheck.Event{Tx: tx.id, Kind: histcheck.KindCommit})
-	}
+	tx.recordCommitEvents(csn)
 	atomic.StoreUint64(&db.clock, csn)
 	p.unlatch(latches)
 	// Publish the summary for certification before resolving the intent, so a
@@ -1117,6 +1176,7 @@ func (tx *Tx) expandCascades() error {
 					}{e.childTable, cid})
 				case SetNull:
 					if child.schema.Columns[fkPos].NotNull {
+						anomalywatch.ObserveInvariant(anomalywatch.TierStorage, anomalywatch.InvForeignKey, true)
 						return fmt.Errorf("%w: ON DELETE SET NULL into NOT NULL column %s.%s",
 							ErrForeignKeyViolation, e.childTable, e.fk.Column)
 					}
@@ -1134,6 +1194,7 @@ func (tx *Tx) expandCascades() error {
 					tx.seq++
 					childWrites[cid] = &txWrite{op: opUpdate, vals: newVals, old: vals, baseTS: baseTS, seq: tx.seq}
 				default: // NoAction
+					anomalywatch.ObserveInvariant(anomalywatch.TierStorage, anomalywatch.InvForeignKey, true)
 					return fmt.Errorf("%w: %s row referenced by %s.%s",
 						ErrForeignKeyViolation, item.table, e.childTable, e.fk.Column)
 				}
@@ -1144,9 +1205,26 @@ func (tx *Tx) expandCascades() error {
 }
 
 // checkUnique enforces in-database unique indexes against the latest
-// committed state plus this transaction's own writes.
+// committed state plus this transaction's own writes. Evaluations and
+// violations feed the invariant observatory's storage tier: this is the
+// race-free enforcement the paper recommends over feral validation, and the
+// counters are what let an operator compare the two tiers' violation rates.
 func (tx *Tx) checkUnique() error {
+	err := tx.checkUniqueConstraints()
+	if errors.Is(err, ErrUniqueViolation) {
+		anomalywatch.ObserveInvariant(anomalywatch.TierStorage, anomalywatch.InvUniqueness, true)
+	}
+	return err
+}
+
+func (tx *Tx) checkUniqueConstraints() error {
 	db := tx.db
+	checked := false
+	defer func() {
+		if checked {
+			anomalywatch.ObserveInvariant(anomalywatch.TierStorage, anomalywatch.InvUniqueness, false)
+		}
+	}()
 	for lower, rows := range tx.writes {
 		t, err := db.lookupTable(lower)
 		if err != nil {
@@ -1161,6 +1239,7 @@ func (tx *Tx) checkUnique() error {
 			if pos < 0 {
 				continue
 			}
+			checked = true
 			// Keys written by this transaction, for intra-transaction dups.
 			newKeys := make(map[string]RowID)
 			for id, w := range rows {
@@ -1207,9 +1286,24 @@ func (tx *Tx) checkUnique() error {
 
 // checkForeignKeys verifies every inserted/updated child row's parent
 // exists (in committed state or in this transaction's writes) and is not
-// being deleted by this transaction.
+// being deleted by this transaction. Like checkUnique, evaluations and
+// violations feed the invariant observatory's storage tier.
 func (tx *Tx) checkForeignKeys() error {
+	err := tx.checkFKConstraints()
+	if errors.Is(err, ErrForeignKeyViolation) {
+		anomalywatch.ObserveInvariant(anomalywatch.TierStorage, anomalywatch.InvForeignKey, true)
+	}
+	return err
+}
+
+func (tx *Tx) checkFKConstraints() error {
 	db := tx.db
+	checked := false
+	defer func() {
+		if checked {
+			anomalywatch.ObserveInvariant(anomalywatch.TierStorage, anomalywatch.InvForeignKey, false)
+		}
+	}()
 	for lower, rows := range tx.writes {
 		t, err := db.lookupTable(lower)
 		if err != nil {
